@@ -1,0 +1,124 @@
+package pace
+
+import (
+	"fmt"
+
+	"pace/internal/altsplice"
+	"pace/internal/consensus"
+)
+
+// ConsensusResult is the assembled consensus of one cluster.
+type ConsensusResult struct {
+	// Seq is the consensus sequence.
+	Seq string
+	// Coverage[i] is the number of reads supporting position i.
+	Coverage []int
+	// Used and Excluded count members that did / did not contribute.
+	Used, Excluded int
+}
+
+// Consensus assembles a consensus sequence for every cluster of a
+// clustering: the downstream assembly step the paper positions EST
+// clustering as a preprocessor for. Results are indexed by cluster label;
+// clusters assemble independently via greedy scaffold extension with
+// per-position majority voting (strands resolved per member).
+func Consensus(ests []string, labels []int) ([]*ConsensusResult, error) {
+	parsed, err := parseESTs(ests)
+	if err != nil {
+		return nil, err
+	}
+	if len(labels) != len(ests) {
+		return nil, fmt.Errorf("pace: %d labels for %d ESTs", len(labels), len(ests))
+	}
+	l32 := make([]int32, len(labels))
+	for i, l := range labels {
+		l32[i] = int32(l)
+	}
+	res, err := consensus.BuildAll(parsed, l32, consensus.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*ConsensusResult, len(res))
+	for i, r := range res {
+		if r == nil {
+			continue
+		}
+		cov := make([]int, len(r.Coverage))
+		for k, c := range r.Coverage {
+			cov[k] = int(c)
+		}
+		out[i] = &ConsensusResult{
+			Seq:      r.Seq.String(),
+			Coverage: cov,
+			Used:     r.Used,
+			Excluded: r.Excluded,
+		}
+	}
+	return out, nil
+}
+
+// SpliceEvent is one candidate alternative-splicing event: a cluster member
+// whose alignment to the cluster consensus shows a long internal gap with
+// well-matched flanks.
+type SpliceEvent struct {
+	// Cluster and Member identify where the event was observed (Member
+	// indexes the original EST list).
+	Cluster, Member int
+	// SkippedInMember is true when the member lacks a segment present in
+	// the consensus (it came from the exon-skipping isoform); false when
+	// the member carries extra sequence the consensus lacks.
+	SkippedInMember bool
+	// ConsensusPos and GapLen locate the event on the consensus.
+	ConsensusPos, GapLen int
+	// FlankMatches is the weaker flank's matched-column count — the
+	// evidence strength.
+	FlankMatches int
+}
+
+// DetectSplicing scans every cluster's members against its consensus with a
+// jump-state spliced aligner and reports candidate exon-skipping events —
+// the paper's named follow-on analysis ("additional processing like
+// detection of alternative splicing").
+func DetectSplicing(ests []string, labels []int) ([]SpliceEvent, error) {
+	parsed, err := parseESTs(ests)
+	if err != nil {
+		return nil, err
+	}
+	if len(labels) != len(ests) {
+		return nil, fmt.Errorf("pace: %d labels for %d ESTs", len(labels), len(ests))
+	}
+	groups := map[int][]int{}
+	for i, l := range labels {
+		groups[l] = append(groups[l], i)
+	}
+	var out []SpliceEvent
+	copt := consensus.DefaultOptions()
+	dopt := altsplice.DefaultOptions()
+	for l, members := range groups {
+		if len(members) < 2 {
+			continue
+		}
+		cres, err := consensus.Build(parsed, members, copt)
+		if err != nil {
+			return nil, fmt.Errorf("pace: cluster %d consensus: %w", l, err)
+		}
+		if len(cres.Seq) == 0 {
+			continue
+		}
+		events, err := altsplice.Detect(parsed, members, cres.Seq, dopt)
+		if err != nil {
+			return nil, fmt.Errorf("pace: cluster %d splice scan: %w", l, err)
+		}
+		for _, ev := range events {
+			out = append(out, SpliceEvent{
+				Cluster:         l,
+				Member:          ev.Member,
+				SkippedInMember: ev.Kind == altsplice.SkippedInMember,
+				ConsensusPos:    int(ev.ConsensusPos),
+				GapLen:          int(ev.GapLen),
+				FlankMatches:    int(ev.FlankMatches),
+			})
+		}
+	}
+	return out, nil
+}

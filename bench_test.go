@@ -1,0 +1,175 @@
+package pace
+
+// One benchmark per table and figure of the paper's evaluation section.
+// Each target regenerates its experiment at the Tiny scale so `go test
+// -bench=.` completes quickly; cmd/experiments runs the same code at the
+// larger scales used for EXPERIMENTS.md.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"pace/internal/cluster"
+	"pace/internal/experiments"
+	"pace/internal/mp"
+)
+
+func reportRows(b *testing.B, n int) {
+	b.ReportMetric(float64(n), "rows")
+}
+
+func BenchmarkTable1_BaselineVsPace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1(experiments.Tiny, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, len(rows))
+	}
+}
+
+func BenchmarkTable2_Quality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2(experiments.Tiny, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, len(rows))
+	}
+}
+
+func BenchmarkTable3_Components(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table3(experiments.Tiny, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, len(rows))
+	}
+}
+
+func BenchmarkFig6a_RuntimeVsProcs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig6a(experiments.Tiny, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, len(pts))
+	}
+}
+
+func BenchmarkFig6b_RuntimeVsSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig6b(experiments.Tiny, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, len(pts))
+	}
+}
+
+func BenchmarkFig7_PairCounts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig7(experiments.Tiny, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, len(rows))
+	}
+}
+
+func BenchmarkFig8_BatchSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig8(experiments.Tiny, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, len(rows))
+	}
+}
+
+// --- Ablation benches for the design choices called out in DESIGN.md ---
+
+func BenchmarkAblationSuite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Ablations(experiments.Tiny.ComponentN, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, len(rows))
+	}
+}
+
+// BenchmarkAblationWindow sweeps the bucket width w: small w concentrates
+// suffixes in few buckets (worse balance, deeper re-bucketing), large w
+// multiplies bucket bookkeeping.
+func BenchmarkAblationWindow(b *testing.B) {
+	bench, err := experiments.Dataset(experiments.Tiny.ComponentN, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{4, 6, 8, 10} {
+		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) {
+			cfg := cluster.DefaultConfig(1)
+			cfg.Window = w
+			for i := 0; i < b.N; i++ {
+				if _, err := cluster.Run(bench.ESTs, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationNetwork sweeps the simulated interconnect latency and
+// reports its effect on virtual run-time at a fixed machine size.
+func BenchmarkAblationNetwork(b *testing.B) {
+	bench, err := experiments.Dataset(experiments.Tiny.ComponentN, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, lat := range []time.Duration{10 * time.Microsecond, 100 * time.Microsecond, time.Millisecond} {
+		b.Run(lat.String(), func(b *testing.B) {
+			var virt time.Duration
+			for i := 0; i < b.N; i++ {
+				cfg := cluster.DefaultConfig(8)
+				cfg.MP = mp.DefaultSimConfig(8)
+				cfg.MP.Latency = lat
+				res, err := cluster.Run(bench.ESTs, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				virt = res.Stats.Phases.Total
+			}
+			b.ReportMetric(virt.Seconds(), "virtual-s")
+		})
+	}
+}
+
+// BenchmarkPublicAPI measures the end-to-end public entry point.
+func BenchmarkPublicAPI(b *testing.B) {
+	bench, err := Simulate(SimOptions{NumESTs: 200, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := DefaultOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Cluster(bench.ESTs, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationTrim measures the poly(A) tail study (why trimming is a
+// prerequisite for suffix-tree clustering).
+func BenchmarkAblationTrim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.TrimStudy(experiments.Tiny.ComponentN, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, len(rows))
+	}
+}

@@ -1,0 +1,102 @@
+package pace
+
+import (
+	"fmt"
+
+	"pace/internal/simulate"
+)
+
+// SimOptions configures synthetic benchmark generation (the stand-in for the
+// paper's Arabidopsis data set with known correct clustering).
+type SimOptions struct {
+	// NumESTs is the number of reads to generate.
+	NumESTs int
+	// NumGenes is the number of source genes (0 derives NumESTs/20).
+	NumGenes int
+	// ErrorRate is the per-base sequencing error probability
+	// (default 0.02: 80% substitutions, 10% insertions, 10% deletions).
+	ErrorRate float64
+	// MeanLength / SDLength / MinLength shape read lengths
+	// (defaults 550/60/150, the paper's EST length regime).
+	MeanLength, SDLength, MinLength int
+	// TranscriptLen bounds gene transcript lengths [min,max] via exon
+	// structure; zero keeps gene-structure defaults.
+	TranscriptLen [2]int
+	// ParalogFamilies adds that many diverged gene duplicates at
+	// ParalogDivergence per-base divergence.
+	ParalogFamilies   int
+	ParalogDivergence float64
+	// PolyATail, when non-zero, appends a poly(A) tail of a length in the
+	// inclusive range to every transcript — reads then carry untrimmed
+	// tails, as raw dbEST submissions do.
+	PolyATail [2]int
+	// AltSpliceProb is the probability a gene carries an exon-skipping
+	// isoform whose reads mix into the gene's cluster.
+	AltSpliceProb float64
+	// Seed makes the benchmark reproducible.
+	Seed int64
+}
+
+// Benchmark is a generated data set with ground truth.
+type Benchmark struct {
+	// ESTs are the reads as DNA strings, interleaved across genes.
+	ESTs []string
+	// Truth is the correct clustering: Truth[i] is EST i's source gene.
+	Truth []int
+	// NumGenes is the number of genes (including paralogs).
+	NumGenes int
+}
+
+// Simulate generates a synthetic EST benchmark with known correct
+// clustering.
+func Simulate(opt SimOptions) (*Benchmark, error) {
+	cfg := simulate.DefaultConfig(opt.NumESTs)
+	cfg.NumGenes = opt.NumGenes
+	cfg.Seed = opt.Seed
+	if opt.ErrorRate != 0 {
+		cfg.ErrorRate = opt.ErrorRate
+	}
+	if opt.MeanLength != 0 {
+		cfg.MeanESTLen = opt.MeanLength
+	}
+	if opt.SDLength != 0 {
+		cfg.SDESTLen = opt.SDLength
+	}
+	if opt.MinLength != 0 {
+		cfg.MinESTLen = opt.MinLength
+	}
+	if opt.TranscriptLen != [2]int{} {
+		lo, hi := opt.TranscriptLen[0], opt.TranscriptLen[1]
+		if lo <= 0 || hi < lo {
+			return nil, fmt.Errorf("pace: invalid TranscriptLen %v", opt.TranscriptLen)
+		}
+		// Approximate the requested transcript range with 3 exons.
+		cfg.ExonsPerGene = [2]int{3, 3}
+		cfg.ExonLen = [2]int{lo / 3, hi / 3}
+		if cfg.ExonLen[0] < 1 {
+			cfg.ExonLen[0] = 1
+		}
+		if cfg.ExonLen[1] < cfg.ExonLen[0] {
+			cfg.ExonLen[1] = cfg.ExonLen[0]
+		}
+	}
+	cfg.ParalogFamilies = opt.ParalogFamilies
+	cfg.ParalogDivergence = opt.ParalogDivergence
+	cfg.PolyATail = opt.PolyATail
+	cfg.AltSpliceProb = opt.AltSpliceProb
+
+	b, err := simulate.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &Benchmark{
+		ESTs:     make([]string, len(b.ESTs)),
+		Truth:    make([]int, len(b.Truth)),
+		NumGenes: len(b.Genes),
+	}
+	for i := range b.ESTs {
+		out.ESTs[i] = b.ESTs[i].String()
+		out.Truth[i] = int(b.Truth[i])
+	}
+	return out, nil
+}

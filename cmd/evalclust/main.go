@@ -1,0 +1,101 @@
+// Command evalclust assesses a predicted clustering against a reference
+// using the paper's pair-based metrics (OQ, OV, UN, CC — §4.1).
+//
+// Usage:
+//
+//	evalclust -pred clusters.tsv -truth truth.tsv
+//
+// Both inputs are TSV files of "id<TAB>label" lines; ids must coincide
+// (order may differ).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pace"
+)
+
+// readLabels parses an id→label TSV.
+func readLabels(path string) (map[string]int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]int{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	labelIDs := map[string]int{}
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want 'id label', got %q", path, line, text)
+		}
+		if _, dup := out[fields[0]]; dup {
+			return nil, fmt.Errorf("%s:%d: duplicate id %q", path, line, fields[0])
+		}
+		// Labels may be arbitrary strings; densify.
+		l, ok := labelIDs[fields[1]]
+		if !ok {
+			l = len(labelIDs)
+			labelIDs[fields[1]] = l
+		}
+		out[fields[0]] = l
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	pred := flag.String("pred", "", "predicted clustering TSV (required)")
+	truth := flag.String("truth", "", "reference clustering TSV (required)")
+	flag.Parse()
+	if *pred == "" || *truth == "" {
+		fmt.Fprintln(os.Stderr, "evalclust: -pred and -truth are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	p, err := readLabels(*pred)
+	if err != nil {
+		fatal(err)
+	}
+	t, err := readLabels(*truth)
+	if err != nil {
+		fatal(err)
+	}
+	if len(p) != len(t) {
+		fatal(fmt.Errorf("id sets differ in size: %d vs %d", len(p), len(t)))
+	}
+	var pv, tv []int
+	for id, pl := range p {
+		tl, ok := t[id]
+		if !ok {
+			fatal(fmt.Errorf("id %q missing from truth", id))
+		}
+		pv = append(pv, pl)
+		tv = append(tv, tl)
+	}
+	q, err := pace.Evaluate(pv, tv)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("n=%d\n", len(pv))
+	fmt.Printf("TP=%d FP=%d TN=%d FN=%d\n", q.TP, q.FP, q.TN, q.FN)
+	fmt.Printf("OQ=%.2f%% OV=%.2f%% UN=%.2f%% CC=%.2f%%\n",
+		100*q.OQ, 100*q.OV, 100*q.UN, 100*q.CC)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "evalclust:", err)
+	os.Exit(1)
+}

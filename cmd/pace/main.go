@@ -1,0 +1,164 @@
+// Command pace clusters the ESTs in a FASTA file.
+//
+// Usage:
+//
+//	pace -in ests.fasta [-out clusters.tsv] [-p 4] [-sim] [-w 8] [-psi 20]
+//
+// The output is a TSV with one line per EST: record id, cluster label.
+// A run summary (cluster count, pair statistics, phase times) goes to
+// standard error.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"pace"
+)
+
+func main() {
+	in := flag.String("in", "", "input FASTA file (required)")
+	out := flag.String("out", "", "output TSV file (default stdout)")
+	procs := flag.Int("p", 1, "number of ranks (1 = sequential, >=2 = master+slaves)")
+	sim := flag.Bool("sim", false, "run on the simulated parallel machine (virtual time)")
+	window := flag.Int("w", 8, "suffix bucketing window w")
+	psi := flag.Int("psi", 20, "promising pair threshold ψ (min maximal common substring)")
+	batch := flag.Int("batch", 60, "pairs per master-slave interaction")
+	minOverlap := flag.Int("min-overlap", 40, "minimum accepted overlap columns")
+	minIdentity := flag.Float64("min-identity", 0.90, "minimum accepted overlap identity")
+	doTrim := flag.Bool("trim", false, "trim poly(A)/poly(T) tails before clustering")
+	consOut := flag.String("consensus", "", "also assemble per-cluster consensus sequences to this FASTA file")
+	spliceOut := flag.String("splice", "", "also scan clusters for alternative-splicing events, TSV to this file")
+	flag.Parse()
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "pace: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	recs, err := pace.ReadFASTA(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	if len(recs) == 0 {
+		fatal(fmt.Errorf("no records in %s", *in))
+	}
+
+	seqs := pace.Sequences(recs)
+	if *doTrim {
+		trimmed, st, err := pace.Trim(seqs, pace.TrimOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		seqs = trimmed
+		fmt.Fprintf(os.Stderr, "pace: trimmed %d/%d reads (%d chars)\n",
+			st.Trimmed, st.Reads, st.CharsRemoved)
+	}
+
+	opt := pace.DefaultOptions()
+	opt.Processors = *procs
+	opt.Simulated = *sim
+	opt.Window = *window
+	opt.MinMatch = *psi
+	opt.BatchSize = *batch
+	opt.MinOverlap = *minOverlap
+	opt.MinIdentity = *minIdentity
+
+	cl, err := pace.Cluster(seqs, opt)
+	if err != nil {
+		fatal(err)
+	}
+
+	dst := os.Stdout
+	if *out != "" {
+		dst, err = os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer dst.Close()
+	}
+	w := bufio.NewWriter(dst)
+	for i, rec := range recs {
+		fmt.Fprintf(w, "%s\t%d\n", rec.ID, cl.Labels[i])
+	}
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
+
+	if *consOut != "" {
+		cons, err := pace.Consensus(seqs, cl.Labels)
+		if err != nil {
+			fatal(err)
+		}
+		var crecs []pace.Record
+		for label, c := range cons {
+			if c == nil {
+				continue
+			}
+			crecs = append(crecs, pace.Record{
+				ID:   fmt.Sprintf("cluster%05d", label),
+				Desc: fmt.Sprintf("reads=%d excluded=%d len=%d", c.Used, c.Excluded, len(c.Seq)),
+				Seq:  c.Seq,
+			})
+		}
+		cf, err := os.Create(*consOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pace.WriteFASTA(cf, crecs); err != nil {
+			fatal(err)
+		}
+		if err := cf.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pace: wrote %d consensus sequences to %s\n", len(crecs), *consOut)
+	}
+
+	if *spliceOut != "" {
+		events, err := pace.DetectSplicing(seqs, cl.Labels)
+		if err != nil {
+			fatal(err)
+		}
+		sf, err := os.Create(*spliceOut)
+		if err != nil {
+			fatal(err)
+		}
+		sw := bufio.NewWriter(sf)
+		fmt.Fprintln(sw, "# cluster\test_id\tkind\tconsensus_pos\tgap_len\tflank_matches")
+		for _, ev := range events {
+			kind := "skipped-in-member"
+			if !ev.SkippedInMember {
+				kind = "extra-in-member"
+			}
+			fmt.Fprintf(sw, "%d\t%s\t%s\t%d\t%d\t%d\n",
+				ev.Cluster, recs[ev.Member].ID, kind, ev.ConsensusPos, ev.GapLen, ev.FlankMatches)
+		}
+		if err := sw.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := sf.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pace: wrote %d splice events to %s\n", len(events), *spliceOut)
+	}
+
+	st := cl.Stats
+	fmt.Fprintf(os.Stderr, "pace: %d ESTs -> %d clusters\n", len(recs), cl.NumClusters)
+	fmt.Fprintf(os.Stderr, "pace: pairs generated=%d processed=%d accepted=%d skipped=%d\n",
+		st.PairsGenerated, st.PairsProcessed, st.PairsAccepted, st.PairsSkipped)
+	fmt.Fprintf(os.Stderr, "pace: phases partition=%v construct=%v sort=%v align=%v total=%v\n",
+		st.Phases.Partition, st.Phases.Construct, st.Phases.Sort, st.Phases.Align, st.Phases.Total)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pace:", err)
+	os.Exit(1)
+}

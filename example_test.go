@@ -1,0 +1,67 @@
+package pace_test
+
+import (
+	"fmt"
+	"strings"
+
+	"pace"
+)
+
+// Three ESTs: the first two are overlapping fragments of one "gene" (the
+// second in reverse complement — strands are unknown in real data), the
+// third is unrelated.
+func exampleESTs() []string {
+	gene := strings.Repeat("ACGTTGCAGGTACCGATTGACCAGTTCGGA", 10)
+	revcomp := func(s string) string {
+		m := map[byte]byte{'A': 'T', 'T': 'A', 'C': 'G', 'G': 'C'}
+		out := make([]byte, len(s))
+		for i := 0; i < len(s); i++ {
+			out[len(s)-1-i] = m[s[i]]
+		}
+		return string(out)
+	}
+	return []string{
+		gene[:180],
+		revcomp(gene[120:300]),
+		strings.Repeat("GGATCCTTAGCAACTGGACCTTAGCTTAGG", 6),
+	}
+}
+
+func ExampleCluster() {
+	cl, err := pace.Cluster(exampleESTs(), pace.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("clusters:", cl.NumClusters)
+	fmt.Println("same cluster:", cl.Labels[0] == cl.Labels[1])
+	fmt.Println("separate:", cl.Labels[0] != cl.Labels[2])
+	// Output:
+	// clusters: 2
+	// same cluster: true
+	// separate: true
+}
+
+func ExampleEvaluate() {
+	pred := []int{0, 0, 1, 1}
+	truth := []int{7, 7, 9, 9} // same partition, different label values
+	q, err := pace.Evaluate(pred, truth)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(q)
+	// Output:
+	// OQ=100.00% OV=0.00% UN=0.00% CC=100.00%
+}
+
+func ExampleTrim() {
+	raw := []string{strings.Repeat("ACGC", 20) + strings.Repeat("A", 18)}
+	trimmed, stats, err := pace.Trim(raw, pace.TrimOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("removed:", stats.CharsRemoved)
+	fmt.Println("length:", len(trimmed[0]))
+	// Output:
+	// removed: 18
+	// length: 80
+}

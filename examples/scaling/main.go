@@ -1,0 +1,44 @@
+// Scaling: reproduce the shape of the paper's Figure 6a on a laptop. The
+// engine runs on a simulated message-passing machine (one virtual processor
+// per rank, a modeled interconnect, and discrete-event scheduling), so the
+// reported times are virtual parallel run-times and the speedup curve is
+// meaningful even on a single-core host.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pace"
+)
+
+func main() {
+	bench, err := pace.Simulate(pace.SimOptions{
+		NumESTs: 600,
+		Seed:    11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("clustering %d ESTs on simulated machines:\n\n", len(bench.ESTs))
+	fmt.Println("    p   total(virt)   align(virt)   speedup   clusters")
+
+	var base float64
+	for _, p := range []int{2, 4, 8, 16, 32} {
+		opt := pace.DefaultOptions()
+		opt.Processors = p
+		opt.Simulated = true
+		cl, err := pace.Cluster(bench.ESTs, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		total := cl.Stats.Phases.Total.Seconds()
+		if base == 0 {
+			base = total
+		}
+		fmt.Printf("  %3d   %10.3fs   %10.3fs   %6.2fx   %8d\n",
+			p, total, cl.Stats.Phases.Align.Seconds(), base/total, cl.NumClusters)
+	}
+	fmt.Println("\n(speedup is relative to the p=2 machine: one master + one slave)")
+}

@@ -1,0 +1,3 @@
+module pace
+
+go 1.22

@@ -1,0 +1,193 @@
+package align
+
+import (
+	"fmt"
+
+	"pace/internal/seq"
+)
+
+// Result is the outcome of an anchored banded extension: the combined
+// statistics of left extension + anchor + right extension, the boundary
+// flags of each side (which string's end the extension reached), and the
+// overlap pattern they imply.
+type Result struct {
+	Stats
+	Pattern Pattern
+	// LeftA/LeftB report whether the left extension reached the start of
+	// a/b; RightA/RightB whether the right extension reached the end.
+	LeftA, LeftB, RightA, RightB bool
+	// AnchorLen is the maximal-common-substring length the alignment was
+	// anchored on.
+	AnchorLen int32
+}
+
+// Accept applies the acceptance rule: the alignment must realize one of the
+// four merge-evidence patterns and clear every quality threshold.
+func (r Result) Accept(sc Scoring, cr Criteria) bool {
+	return r.Pattern != PatternNone &&
+		r.Cols >= cr.MinOverlap &&
+		r.Identity() >= cr.MinIdentity &&
+		r.ScoreRatio(sc) >= cr.MinScoreRatio
+}
+
+// Extender performs anchored banded extensions (the paper's Figure 5a).
+// Instead of aligning two whole ESTs, the maximal common substring match
+// already located by the suffix tree is extended at both ends with dynamic
+// programming restricted to a diagonal band whose width reflects the number
+// of sequencing errors tolerated. An Extender's scratch buffers are reused
+// across calls; it is not safe for concurrent use — each worker owns one.
+type Extender struct {
+	sc    Scoring
+	band  int
+	width int
+
+	revA, revB []seq.Code
+
+	mPrev, mCur []cell
+	xPrev, xCur []cell
+	yPrev, yCur []cell
+}
+
+// NewExtender creates an Extender with the given scoring and band half-width
+// (the alignment explores diagonals within ±band of the anchor diagonal).
+func NewExtender(sc Scoring, band int) (*Extender, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if band < 1 {
+		return nil, fmt.Errorf("align: band must be >= 1, got %d", band)
+	}
+	w := 2*band + 1
+	e := &Extender{sc: sc, band: band, width: w}
+	e.mPrev = make([]cell, w)
+	e.mCur = make([]cell, w)
+	e.xPrev = make([]cell, w)
+	e.xCur = make([]cell, w)
+	e.yPrev = make([]cell, w)
+	e.yCur = make([]cell, w)
+	return e, nil
+}
+
+// Band returns the configured band half-width.
+func (e *Extender) Band() int { return e.band }
+
+// Extend aligns a and b by extending the exact match
+// a[posA:posA+anchorLen] == b[posB:posB+anchorLen] at both ends.
+// The caller guarantees the anchor is a genuine common substring; positions
+// are validated, anchor content is not (it comes from the suffix tree).
+func (e *Extender) Extend(a, b seq.Sequence, posA, posB, anchorLen int32) (Result, error) {
+	if anchorLen < 0 || posA < 0 || posB < 0 ||
+		int(posA+anchorLen) > len(a) || int(posB+anchorLen) > len(b) {
+		return Result{}, fmt.Errorf("align: anchor (%d,%d,+%d) out of range for lengths %d,%d",
+			posA, posB, anchorLen, len(a), len(b))
+	}
+	anchor := Stats{
+		Score:   anchorLen * e.sc.Match,
+		Cols:    anchorLen,
+		Matches: anchorLen,
+	}
+
+	right, rightA, rightB := e.bandAlign(a[posA+anchorLen:], b[posB+anchorLen:])
+
+	e.revA = reverseInto(e.revA[:0], a[:posA])
+	e.revB = reverseInto(e.revB[:0], b[:posB])
+	left, leftA, leftB := e.bandAlign(e.revA, e.revB)
+
+	res := Result{
+		Stats:     anchor.add(right.stats()).add(left.stats()),
+		LeftA:     leftA,
+		LeftB:     leftB,
+		RightA:    rightA,
+		RightB:    rightB,
+		AnchorLen: anchorLen,
+	}
+	res.Pattern = classify(leftA, leftB, rightA, rightB)
+	return res, nil
+}
+
+func reverseInto(dst, src []seq.Code) []seq.Code {
+	for i := len(src) - 1; i >= 0; i-- {
+		dst = append(dst, src[i])
+	}
+	return dst
+}
+
+// bandAlign computes the best banded alignment of a prefix of a with a
+// prefix of b such that at least one of the two is consumed entirely
+// (the other's tail dangles free past the string boundary). It returns the
+// dominant-path cell plus which inputs were exhausted at the chosen endpoint.
+func (e *Extender) bandAlign(a, b []seq.Code) (best cell, aEx, bEx bool) {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return cell{}, n == 0, m == 0
+	}
+	bd, w := e.band, e.width
+	mPrev, mCur := e.mPrev, e.mCur
+	xPrev, xCur := e.xPrev, e.xCur
+	yPrev, yCur := e.yPrev, e.yCur
+
+	best = deadCell
+	consider := func(c cell, ea, eb bool) {
+		if c.score > best.score {
+			best, aEx, bEx = c, ea, eb
+		}
+	}
+
+	// Row 0: j = k - bd.
+	for k := 0; k < w; k++ {
+		j := k - bd
+		mPrev[k], xPrev[k], yPrev[k] = deadCell, deadCell, deadCell
+		switch {
+		case j < 0 || j > m:
+			// outside
+		case j == 0:
+			mPrev[k] = cell{}
+		default:
+			yPrev[k] = better(
+				extendGap(better(mPrev[k-1], xPrev[k-1]), e.sc, true),
+				extendGap(yPrev[k-1], e.sc, false))
+			if j == m {
+				consider(yPrev[k], false, true)
+			}
+		}
+	}
+
+	for i := 1; i <= n; i++ {
+		for k := 0; k < w; k++ {
+			j := i - bd + k
+			if j < 0 || j > m {
+				mCur[k], xCur[k], yCur[k] = deadCell, deadCell, deadCell
+				continue
+			}
+			// Diagonal predecessor (i-1, j-1) sits at the same k in
+			// the previous row; the vertical predecessor (i-1, j) at
+			// k+1; the horizontal predecessor (i, j-1) at k-1.
+			if j == 0 {
+				mCur[k], yCur[k] = deadCell, deadCell
+			} else {
+				mCur[k] = extendDiag(betterOf3(mPrev[k], xPrev[k], yPrev[k]), e.sc, a[i-1], b[j-1])
+				if k > 0 {
+					yCur[k] = better(
+						extendGap(better(mCur[k-1], xCur[k-1]), e.sc, true),
+						extendGap(yCur[k-1], e.sc, false))
+				} else {
+					yCur[k] = deadCell
+				}
+			}
+			if k+1 < w {
+				xCur[k] = better(
+					extendGap(better(mPrev[k+1], yPrev[k+1]), e.sc, true),
+					extendGap(xPrev[k+1], e.sc, false))
+			} else {
+				xCur[k] = deadCell
+			}
+			if i == n || j == m {
+				consider(betterOf3(mCur[k], xCur[k], yCur[k]), i == n, j == m)
+			}
+		}
+		mPrev, mCur = mCur, mPrev
+		xPrev, xCur = xCur, xPrev
+		yPrev, yCur = yCur, yPrev
+	}
+	return best, aEx, bEx
+}

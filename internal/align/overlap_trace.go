@@ -1,0 +1,154 @@
+package align
+
+import "pace/internal/seq"
+
+// OverlapTrace is a full overlap alignment with its edit script and the
+// coordinates of the aligned region in both sequences.
+type OverlapTrace struct {
+	Stats
+	Pattern Pattern
+	// AStart/AEnd and BStart/BEnd delimit the aligned region (half-open)
+	// in a and b; the Cigar aligns exactly a[AStart:AEnd] vs
+	// b[BStart:BEnd].
+	AStart, AEnd int32
+	BStart, BEnd int32
+	Cigar        Cigar
+}
+
+// OverlapWithTrace computes the optimal free-end-gap alignment of a and b
+// with full traceback. O(n·m) time and space; used by the consensus and
+// splice-analysis layers, not the clustering hot path.
+func OverlapWithTrace(a, b seq.Sequence, sc Scoring) OverlapTrace {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return OverlapTrace{Pattern: classify(true, true, true, true)}
+	}
+	type tcell struct {
+		score int32
+		from  uint8 // 0=M, 1=X, 2=Y, 3=free start
+	}
+	idx := func(i, j int) int { return i*(m+1) + j }
+	M := make([]tcell, (n+1)*(m+1))
+	X := make([]tcell, (n+1)*(m+1))
+	Y := make([]tcell, (n+1)*(m+1))
+	for k := range M {
+		M[k].score, X[k].score, Y[k].score = negInf, negInf, negInf
+	}
+	// Free starts anywhere on the top or left boundary.
+	for j := 0; j <= m; j++ {
+		M[idx(0, j)] = tcell{score: 0, from: 3}
+	}
+	for i := 0; i <= n; i++ {
+		M[idx(i, 0)] = tcell{score: 0, from: 3}
+	}
+
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			s, _ := subst(sc, a[i-1], b[j-1])
+			pm, px, py := M[idx(i-1, j-1)].score, X[idx(i-1, j-1)].score, Y[idx(i-1, j-1)].score
+			best, from := pm, uint8(0)
+			if px > best {
+				best, from = px, 1
+			}
+			if py > best {
+				best, from = py, 2
+			}
+			if best > negInf {
+				M[idx(i, j)] = tcell{score: best + s, from: from}
+			}
+
+			openM := M[idx(i-1, j)].score
+			openY := Y[idx(i-1, j)].score
+			oBest, oFrom := openM, uint8(0)
+			if openY > oBest {
+				oBest, oFrom = openY, 2
+			}
+			oBest += sc.GapOpen + sc.GapExtend
+			ext := X[idx(i-1, j)].score + sc.GapExtend
+			if oBest >= ext {
+				X[idx(i, j)] = tcell{score: oBest, from: oFrom}
+			} else {
+				X[idx(i, j)] = tcell{score: ext, from: 1}
+			}
+
+			openM = M[idx(i, j-1)].score
+			openX := X[idx(i, j-1)].score
+			oBest, oFrom = openM, uint8(0)
+			if openX > oBest {
+				oBest, oFrom = openX, 1
+			}
+			oBest += sc.GapOpen + sc.GapExtend
+			ext = Y[idx(i, j-1)].score + sc.GapExtend
+			if oBest >= ext {
+				Y[idx(i, j)] = tcell{score: oBest, from: oFrom}
+			} else {
+				Y[idx(i, j)] = tcell{score: ext, from: 2}
+			}
+		}
+	}
+
+	// Best end anywhere on the bottom or right boundary, any layer.
+	bestScore, bi, bj, bl := negInf, 0, 0, uint8(0)
+	consider := func(i, j int, layer uint8, score int32) {
+		if score > bestScore {
+			bestScore, bi, bj, bl = score, i, j, layer
+		}
+	}
+	for j := 0; j <= m; j++ {
+		consider(n, j, 0, M[idx(n, j)].score)
+		consider(n, j, 1, X[idx(n, j)].score)
+		consider(n, j, 2, Y[idx(n, j)].score)
+	}
+	for i := 0; i <= n; i++ {
+		consider(i, m, 0, M[idx(i, m)].score)
+		consider(i, m, 1, X[idx(i, m)].score)
+		consider(i, m, 2, Y[idx(i, m)].score)
+	}
+
+	// Traceback to the free start. Free starts live only on the top/left
+	// boundary (M cells with from==3), so the walk stops there.
+	var cig Cigar
+	i, j, layer := bi, bj, bl
+	for {
+		if layer == 0 {
+			c := M[idx(i, j)]
+			if c.from == 3 {
+				break // free start
+			}
+			if a[i-1] == b[j-1] {
+				cig = cig.push(OpMatch, 1)
+			} else {
+				cig = cig.push(OpMismatch, 1)
+			}
+			i--
+			j--
+			layer = c.from
+			continue
+		}
+		if layer == 1 {
+			c := X[idx(i, j)]
+			cig = cig.push(OpDelete, 1)
+			i--
+			layer = c.from
+			continue
+		}
+		c := Y[idx(i, j)]
+		cig = cig.push(OpInsert, 1)
+		j--
+		layer = c.from
+	}
+	cig = cig.reverse()
+
+	out := OverlapTrace{
+		AStart: int32(i), AEnd: int32(bi),
+		BStart: int32(j), BEnd: int32(bj),
+		Cigar: cig,
+	}
+	out.Stats = cig.Stats(sc)
+	leftA := i == 0
+	leftB := j == 0
+	rightA := bi == n
+	rightB := bj == m
+	out.Pattern = classify(leftA, leftB, rightA, rightB)
+	return out
+}

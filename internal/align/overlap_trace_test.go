@@ -1,0 +1,98 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+
+	"pace/internal/seq"
+)
+
+func TestOverlapWithTraceMatchesOverlap(t *testing.T) {
+	sc := DefaultScoring()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		// Mix of related and unrelated pairs.
+		var a, b seq.Sequence
+		if trial%2 == 0 {
+			ov := randSeq(rng, 20+rng.Intn(40))
+			a = append(randSeq(rng, rng.Intn(30)), ov...)
+			b = append(ov.Clone(), randSeq(rng, rng.Intn(30))...)
+			for k := 0; k < 2; k++ {
+				b[rng.Intn(len(b))] ^= seq.Code(1 + rng.Intn(3))
+			}
+		} else {
+			a = randSeq(rng, 1+rng.Intn(50))
+			b = randSeq(rng, 1+rng.Intn(50))
+		}
+		want := Overlap(a, b, sc)
+		got := OverlapWithTrace(a, b, sc)
+		if got.Score != want.Score {
+			t.Fatalf("trial %d: trace score %d != overlap %d", trial, got.Score, want.Score)
+		}
+		// The cigar must validate against the aligned region.
+		if err := got.Cigar.Validate(a[got.AStart:got.AEnd], b[got.BStart:got.BEnd]); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if st := got.Cigar.Stats(sc); st.Score != got.Score {
+			t.Fatalf("trial %d: cigar stats disagree: %d vs %d", trial, st.Score, got.Score)
+		}
+	}
+}
+
+func TestOverlapWithTraceRegions(t *testing.T) {
+	sc := DefaultScoring()
+	rng := rand.New(rand.NewSource(11))
+	ov := randSeq(rng, 40)
+	a := append(randSeq(rng, 25), ov...)
+	b := append(ov.Clone(), randSeq(rng, 30)...)
+	got := OverlapWithTrace(a, b, sc)
+	if got.Pattern != ASuffixBPrefix {
+		t.Fatalf("pattern %v", got.Pattern)
+	}
+	if got.AStart != 25 || int(got.AEnd) != len(a) {
+		t.Errorf("a region [%d,%d) want [25,%d)", got.AStart, got.AEnd, len(a))
+	}
+	if got.BStart != 0 || got.BEnd != 40 {
+		t.Errorf("b region [%d,%d) want [0,40)", got.BStart, got.BEnd)
+	}
+	if got.Matches != 40 {
+		t.Errorf("matches %d", got.Matches)
+	}
+}
+
+func TestOverlapWithTraceContainment(t *testing.T) {
+	sc := DefaultScoring()
+	rng := rand.New(rand.NewSource(13))
+	inner := randSeq(rng, 30)
+	outer := append(append(randSeq(rng, 20), inner...), randSeq(rng, 20)...)
+	got := OverlapWithTrace(outer, inner, sc)
+	if got.Pattern != AContainsB {
+		t.Fatalf("pattern %v", got.Pattern)
+	}
+	if got.AStart != 20 || got.AEnd != 50 || got.BStart != 0 || got.BEnd != 30 {
+		t.Errorf("regions: a[%d,%d) b[%d,%d)", got.AStart, got.AEnd, got.BStart, got.BEnd)
+	}
+}
+
+func TestOverlapWithTraceEmpty(t *testing.T) {
+	sc := DefaultScoring()
+	got := OverlapWithTrace(nil, mustSeq(t, "ACGT"), sc)
+	if len(got.Cigar) != 0 || got.Cols != 0 {
+		t.Errorf("empty: %+v", got)
+	}
+}
+
+func TestOverlapWithTraceDisjoint(t *testing.T) {
+	sc := DefaultScoring()
+	a := mustSeq(t, "AAAAAAAAAAAAAAAA")
+	b := mustSeq(t, "CCCCCCCCCCCCCCCC")
+	got := OverlapWithTrace(a, b, sc)
+	// Best overlap of disjoint sequences is empty or trivially short;
+	// the cigar must still validate.
+	if err := got.Cigar.Validate(a[got.AStart:got.AEnd], b[got.BStart:got.BEnd]); err != nil {
+		t.Fatal(err)
+	}
+	if got.Score < 0 {
+		t.Errorf("free-end overlap score must be >= 0, got %d", got.Score)
+	}
+}

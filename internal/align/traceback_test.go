@@ -1,0 +1,129 @@
+package align
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestGlobalWithTraceMatchesGlobal(t *testing.T) {
+	sc := DefaultScoring()
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 60; trial++ {
+		a := randSeq(rng, rng.Intn(80))
+		b := randSeq(rng, rng.Intn(80))
+		want := Global(a, b, sc)
+		st, cig := GlobalWithTrace(a, b, sc)
+		if st.Score != want.Score {
+			t.Fatalf("trial %d: trace score %d != global %d", trial, st.Score, want.Score)
+		}
+		if err := cig.Validate(a, b); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got := cig.Stats(sc); got != st && got.Score != st.Score {
+			t.Fatalf("trial %d: cigar stats %+v vs %+v", trial, got, st)
+		}
+	}
+}
+
+func TestTraceKnownAlignment(t *testing.T) {
+	sc := DefaultScoring()
+	a := mustSeq(t, "ACGTACGTAC")
+	b := mustSeq(t, "ACGTAACGTAC") // one inserted A
+	st, cig := GlobalWithTrace(a, b, sc)
+	if st.Matches != 10 || st.Cols != 11 {
+		t.Errorf("stats: %+v", st)
+	}
+	aLen, bLen := cig.Spans()
+	if int(aLen) != len(a) || int(bLen) != len(b) {
+		t.Errorf("spans: %d %d", aLen, bLen)
+	}
+	s := cig.String()
+	if !strings.Contains(s, "I") {
+		t.Errorf("cigar %q should contain an insertion", s)
+	}
+}
+
+func TestCigarString(t *testing.T) {
+	c := Cigar{{OpMatch, 12}, {OpMismatch, 1}, {OpMatch, 3}, {OpInsert, 1}, {OpDelete, 2}}
+	if got := c.String(); got != "12=1X3=1I2D" {
+		t.Errorf("cigar string %q", got)
+	}
+}
+
+func TestCigarPushMerges(t *testing.T) {
+	var c Cigar
+	c = c.push(OpMatch, 3)
+	c = c.push(OpMatch, 2)
+	c = c.push(OpInsert, 1)
+	c = c.push(OpMatch, 0) // no-op
+	if len(c) != 2 || c[0].Len != 5 || c[1].Op != OpInsert {
+		t.Errorf("push/merge: %v", c)
+	}
+}
+
+func TestCigarValidateCatchesLies(t *testing.T) {
+	a := mustSeq(t, "ACGT")
+	b := mustSeq(t, "ACGA")
+	good := Cigar{{OpMatch, 3}, {OpMismatch, 1}}
+	if err := good.Validate(a, b); err != nil {
+		t.Fatal(err)
+	}
+	bad := Cigar{{OpMatch, 4}}
+	if err := bad.Validate(a, b); err == nil {
+		t.Error("claiming a mismatch as a match must fail")
+	}
+	short := Cigar{{OpMatch, 3}}
+	if err := short.Validate(a, b); err == nil {
+		t.Error("under-consuming must fail")
+	}
+	over := Cigar{{OpMatch, 3}, {OpMismatch, 1}, {OpInsert, 5}}
+	if err := over.Validate(a, b); err == nil {
+		t.Error("overrunning must fail")
+	}
+	neg := Cigar{{OpMatch, -1}}
+	if err := neg.Validate(a, b); err == nil {
+		t.Error("negative length must fail")
+	}
+}
+
+func TestRender(t *testing.T) {
+	sc := DefaultScoring()
+	a := mustSeq(t, "ACGTACGTAC")
+	b := mustSeq(t, "ACGTAACGTAC")
+	_, cig := GlobalWithTrace(a, b, sc)
+	out := cig.Render(a, b, 8)
+	if !strings.Contains(out, "|") || !strings.Contains(out, "-") {
+		t.Errorf("render missing structure:\n%s", out)
+	}
+	if !strings.Contains(out, "a: ") || !strings.Contains(out, "b: ") {
+		t.Errorf("render missing rows:\n%s", out)
+	}
+	// Wrapped output: 11 columns at width 8 → two blocks.
+	if strings.Count(out, "a: ") != 2 {
+		t.Errorf("expected 2 wrapped blocks:\n%s", out)
+	}
+}
+
+func TestTraceEmpty(t *testing.T) {
+	sc := DefaultScoring()
+	st, cig := GlobalWithTrace(nil, nil, sc)
+	if st.Cols != 0 || len(cig) != 0 {
+		t.Errorf("empty trace: %+v %v", st, cig)
+	}
+	a := mustSeq(t, "ACG")
+	st, cig = GlobalWithTrace(a, nil, sc)
+	if st.Cols != 3 || cig.String() != "3D" {
+		t.Errorf("one-sided trace: %+v %q", st, cig.String())
+	}
+	if err := cig.Validate(a, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpMatch.String() != "=" || OpMismatch.String() != "X" ||
+		OpInsert.String() != "I" || OpDelete.String() != "D" || Op(9).String() != "?" {
+		t.Error("op strings")
+	}
+}

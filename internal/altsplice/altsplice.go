@@ -1,0 +1,209 @@
+// Package altsplice detects candidate alternative-splicing events inside an
+// EST cluster — the "additional processing like detection of alternative
+// splicing" the paper names as the extension of its clustering results.
+//
+// The signal is structural: an EST sampled from an exon-skipping isoform
+// aligns to its cluster's consensus with a long internal gap (the skipped
+// exon) flanked by well-matching sequence on both sides. Detect aligns every
+// member against the consensus in its best orientation and reports internal
+// gap runs that clear the length and flank-quality thresholds.
+package altsplice
+
+import (
+	"fmt"
+
+	"pace/internal/align"
+	"pace/internal/seq"
+)
+
+// Kind distinguishes which side of the alignment misses the segment.
+type Kind uint8
+
+const (
+	// SkippedInMember: the member lacks a segment the consensus has
+	// (a deletion run) — the member came from the exon-skipping isoform.
+	SkippedInMember Kind = iota
+	// ExtraInMember: the member carries a segment the consensus lacks
+	// (an insertion run) — the consensus was assembled from the skipping
+	// isoform and this member has the full form.
+	ExtraInMember
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == SkippedInMember {
+		return "skipped-in-member"
+	}
+	return "extra-in-member"
+}
+
+// Event is one candidate splice event.
+type Event struct {
+	// Member is the EST index the event was observed on.
+	Member int
+	// Kind is the event direction.
+	Kind Kind
+	// ConsensusPos is the gap's start position on the consensus.
+	ConsensusPos int32
+	// GapLen is the length of the skipped/extra segment.
+	GapLen int32
+	// FlankMatches is the smaller of the matched-column counts on the
+	// two sides of the gap — the evidence strength.
+	FlankMatches int32
+	// Flipped reports whether the member aligned in reverse complement.
+	Flipped bool
+}
+
+// Options tunes detection.
+type Options struct {
+	// Scoring for the member-vs-consensus alignments.
+	Scoring align.Scoring
+	// JumpOpen is the flat penalty for opening a spliced-out segment in
+	// the jump-state aligner (length-independent, unlike affine gaps).
+	JumpOpen int32
+	// MinGap is the minimum skipped-segment length to report (shorter
+	// indel runs are ordinary sequencing artifacts; real exons are
+	// longer).
+	MinGap int32
+	// MinFlank is the minimum number of matched columns required on each
+	// side of the gap.
+	MinFlank int32
+	// MinIdentity is the minimum alignment identity measured outside
+	// reported gaps.
+	MinIdentity float64
+}
+
+// DefaultOptions matches the simulator's exon-length regime.
+func DefaultOptions() Options {
+	return Options{
+		Scoring:     align.DefaultScoring(),
+		JumpOpen:    -25,
+		MinGap:      50,
+		MinFlank:    30,
+		MinIdentity: 0.85,
+	}
+}
+
+// Validate checks the options.
+func (o Options) Validate() error {
+	if err := o.Scoring.Validate(); err != nil {
+		return err
+	}
+	if o.MinGap < 1 || o.MinFlank < 1 {
+		return fmt.Errorf("altsplice: MinGap and MinFlank must be positive")
+	}
+	if o.JumpOpen >= 0 {
+		return fmt.Errorf("altsplice: JumpOpen must be negative")
+	}
+	if o.MinIdentity < 0 || o.MinIdentity > 1 {
+		return fmt.Errorf("altsplice: MinIdentity out of [0,1]")
+	}
+	return nil
+}
+
+// Detect scans the cluster members against the cluster consensus and returns
+// candidate events, ordered by member.
+func Detect(ests []seq.Sequence, members []int, cons seq.Sequence, opt Options) ([]Event, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cons) == 0 {
+		return nil, fmt.Errorf("altsplice: empty consensus")
+	}
+	var events []Event
+	for _, m := range members {
+		if m < 0 || m >= len(ests) {
+			return nil, fmt.Errorf("altsplice: member %d out of range", m)
+		}
+		fwd := splicedOverlapAlign(cons, ests[m], opt.Scoring, opt.JumpOpen)
+		rc := ests[m].ReverseComplement()
+		rev := splicedOverlapAlign(cons, rc, opt.Scoring, opt.JumpOpen)
+		tr, flipped := fwd, false
+		if rev.Score > fwd.Score {
+			tr, flipped = rev, true
+		}
+		events = append(events, scan(tr, m, flipped, opt)...)
+	}
+	return events, nil
+}
+
+// scan walks one alignment's edit script for qualifying internal gap runs.
+func scan(tr align.OverlapTrace, member int, flipped bool, opt Options) []Event {
+	// Identity outside large gaps: large gaps are the candidate events
+	// themselves, so they must not disqualify the alignment.
+	var gapCols, bigGaps int32
+	for _, e := range tr.Cigar {
+		if (e.Op == align.OpInsert || e.Op == align.OpDelete) && e.Len >= opt.MinGap {
+			gapCols += e.Len
+			bigGaps++
+		}
+	}
+	effCols := tr.Cols - gapCols
+	if effCols <= 0 || float64(tr.Matches)/float64(effCols) < opt.MinIdentity {
+		return nil
+	}
+
+	var events []Event
+	consPos := tr.AStart
+	// matchedBefore tracks matched columns seen so far; for each gap we
+	// later need matched columns after it, so collect candidates first.
+	type candidate struct {
+		ev           Event
+		matchedAfter *int32
+	}
+	var pending []candidate
+	var matchedSoFar int32
+	for _, e := range tr.Cigar {
+		switch e.Op {
+		case align.OpMatch:
+			matchedSoFar += e.Len
+			for i := range pending {
+				*pending[i].matchedAfter += e.Len
+			}
+			consPos += e.Len
+		case align.OpMismatch:
+			consPos += e.Len
+		case align.OpDelete:
+			if e.Len >= opt.MinGap && matchedSoFar >= opt.MinFlank {
+				after := new(int32)
+				pending = append(pending, candidate{
+					ev: Event{
+						Member:       member,
+						Kind:         SkippedInMember,
+						ConsensusPos: consPos,
+						GapLen:       e.Len,
+						FlankMatches: matchedSoFar,
+						Flipped:      flipped,
+					},
+					matchedAfter: after,
+				})
+			}
+			consPos += e.Len
+		case align.OpInsert:
+			if e.Len >= opt.MinGap && matchedSoFar >= opt.MinFlank {
+				after := new(int32)
+				pending = append(pending, candidate{
+					ev: Event{
+						Member:       member,
+						Kind:         ExtraInMember,
+						ConsensusPos: consPos,
+						GapLen:       e.Len,
+						FlankMatches: matchedSoFar,
+						Flipped:      flipped,
+					},
+					matchedAfter: after,
+				})
+			}
+		}
+	}
+	for _, c := range pending {
+		if *c.matchedAfter < opt.MinFlank {
+			continue
+		}
+		if *c.matchedAfter < c.ev.FlankMatches {
+			c.ev.FlankMatches = *c.matchedAfter
+		}
+		events = append(events, c.ev)
+	}
+	return events
+}

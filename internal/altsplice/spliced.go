@@ -1,0 +1,190 @@
+package altsplice
+
+import (
+	"pace/internal/align"
+	"pace/internal/seq"
+)
+
+// splicedOverlapAlign computes a free-end-gap alignment of a and b with two
+// extra "jump" states modeling spliced-out segments: J consumes a run of a
+// (the consensus) and K a run of b (the member) for a flat JumpOpen penalty
+// regardless of length — the standard intron trick of spliced aligners.
+// Affine gaps would charge a skipped exon per base and the optimal alignment
+// would smear it into mismatch soup instead; the jump states make long
+// biological gaps affordable while JumpOpen keeps them away from ordinary
+// indels.
+//
+// Jump runs surface in the returned Cigar as OpDelete (J) / OpInsert (K)
+// runs, so downstream gap scanning is aligner-agnostic.
+func splicedOverlapAlign(a, b seq.Sequence, sc align.Scoring, jumpOpen int32) align.OverlapTrace {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return align.OverlapTrace{}
+	}
+	const (
+		lM = iota
+		lX
+		lY
+		lJ
+		lK
+		lFree
+	)
+	negInf := int32(-1 << 29)
+	w := m + 1
+	idx := func(i, j int) int { return i*w + j }
+	size := (n + 1) * w
+	score := make([][5]int32, size)
+	from := make([][5]uint8, size)
+	for k := range score {
+		for l := 0; l < 5; l++ {
+			score[k][l] = negInf
+		}
+	}
+	// Free starts on the top and left boundaries (M layer).
+	for j := 0; j <= m; j++ {
+		score[idx(0, j)][lM] = 0
+		from[idx(0, j)][lM] = lFree
+	}
+	for i := 0; i <= n; i++ {
+		score[idx(i, 0)][lM] = 0
+		from[idx(i, 0)][lM] = lFree
+	}
+
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			cur := idx(i, j)
+			diag := idx(i-1, j-1)
+			up := idx(i-1, j)
+			left := idx(i, j-1)
+
+			// M: substitution from any layer.
+			var sub int32
+			if a[i-1] == b[j-1] {
+				sub = sc.Match
+			} else {
+				sub = sc.Mismatch
+			}
+			best, bf := score[diag][lM], uint8(lM)
+			for _, l := range [4]uint8{lX, lY, lJ, lK} {
+				if score[diag][l] > best {
+					best, bf = score[diag][l], l
+				}
+			}
+			if best > negInf {
+				score[cur][lM] = best + sub
+				from[cur][lM] = bf
+			}
+
+			// X: short gap consuming a.
+			open, of := score[up][lM], uint8(lM)
+			if score[up][lY] > open {
+				open, of = score[up][lY], lY
+			}
+			open += sc.GapOpen + sc.GapExtend
+			ext := score[up][lX] + sc.GapExtend
+			if open >= ext {
+				score[cur][lX], from[cur][lX] = open, of
+			} else {
+				score[cur][lX], from[cur][lX] = ext, lX
+			}
+
+			// Y: short gap consuming b.
+			open, of = score[left][lM], uint8(lM)
+			if score[left][lX] > open {
+				open, of = score[left][lX], lX
+			}
+			open += sc.GapOpen + sc.GapExtend
+			ext = score[left][lY] + sc.GapExtend
+			if open >= ext {
+				score[cur][lY], from[cur][lY] = open, of
+			} else {
+				score[cur][lY], from[cur][lY] = ext, lY
+			}
+
+			// J: jump over a (consume a[i-1] for free after JumpOpen).
+			open = score[up][lM] + jumpOpen
+			ext = score[up][lJ]
+			if open >= ext {
+				score[cur][lJ], from[cur][lJ] = open, lM
+			} else {
+				score[cur][lJ], from[cur][lJ] = ext, lJ
+			}
+
+			// K: jump over b.
+			open = score[left][lM] + jumpOpen
+			ext = score[left][lK]
+			if open >= ext {
+				score[cur][lK], from[cur][lK] = open, lM
+			} else {
+				score[cur][lK], from[cur][lK] = ext, lK
+			}
+		}
+	}
+
+	// Best end on the bottom/right boundary, M layer only (an alignment
+	// must not end mid-jump; trailing skipped material is just a free end
+	// gap).
+	bestScore, bi, bj := negInf, 0, 0
+	consider := func(i, j int) {
+		if s := score[idx(i, j)][lM]; s > bestScore {
+			bestScore, bi, bj = s, i, j
+		}
+	}
+	for j := 0; j <= m; j++ {
+		consider(n, j)
+	}
+	for i := 0; i <= n; i++ {
+		consider(i, m)
+	}
+
+	// Traceback.
+	var cig align.Cigar
+	i, j, layer := bi, bj, uint8(lM)
+	push := func(op align.Op) {
+		if len(cig) > 0 && cig[len(cig)-1].Op == op {
+			cig[len(cig)-1].Len++
+			return
+		}
+		cig = append(cig, align.CigarElem{Op: op, Len: 1})
+	}
+	for {
+		f := from[idx(i, j)][layer]
+		switch layer {
+		case lM:
+			if f == lFree {
+				goto done
+			}
+			if a[i-1] == b[j-1] {
+				push(align.OpMatch)
+			} else {
+				push(align.OpMismatch)
+			}
+			i--
+			j--
+		case lX, lJ:
+			push(align.OpDelete)
+			i--
+		case lY, lK:
+			push(align.OpInsert)
+			j--
+		}
+		layer = f
+	}
+done:
+	for l, r := 0, len(cig)-1; l < r; l, r = l+1, r-1 {
+		cig[l], cig[r] = cig[r], cig[l]
+	}
+
+	out := align.OverlapTrace{
+		AStart: int32(i), AEnd: int32(bi),
+		BStart: int32(j), BEnd: int32(bj),
+		Cigar: cig,
+	}
+	// Stats from the script under the base scoring (jump runs appear as
+	// ordinary deletions/insertions there; Score is therefore the edit-
+	// script score, not the jump-model score — callers use counts, not
+	// Score).
+	out.Stats = cig.Stats(sc)
+	out.Stats.Score = bestScore
+	return out
+}

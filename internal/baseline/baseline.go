@@ -1,0 +1,204 @@
+// Package baseline implements the comparator architectures the paper
+// measures PaCE against.
+//
+// AllPairs stands in for the CAP3/Phrap/TIGR-Assembler class of tools
+// (paper Table 1): it materializes every candidate pair up front — the
+// memory-intensive phase that made those tools un-runnable at 81,414 ESTs in
+// 512 MB — and then aligns the pairs in arbitrary order with full (unbanded,
+// unanchored) overlap dynamic programming, the time-intensive phase.
+//
+// ArbitraryOrder isolates one design decision of PaCE: it uses the identical
+// suffix-tree pair generator and anchored banded alignment, but processes
+// the pairs in arbitrary instead of decreasing maximal-common-substring
+// order, which degrades the effectiveness of the cluster-aware pair skipping
+// (Figure 7's point).
+package baseline
+
+import (
+	"math/rand"
+	"time"
+
+	"pace/internal/align"
+	"pace/internal/pairgen"
+	"pace/internal/seq"
+	"pace/internal/suffix"
+	"pace/internal/unionfind"
+)
+
+// Options configures the baselines; zero values take the listed defaults.
+type Options struct {
+	Window   int            // bucket width for the pair generator (default 6)
+	Psi      int            // promising-pair threshold (default 20)
+	Scoring  align.Scoring  // alignment scores (default align.DefaultScoring)
+	Criteria align.Criteria // acceptance rule (default align.DefaultCriteria)
+	Band     int            // band half-width for ArbitraryOrder (default 12)
+	Seed     int64          // shuffle seed
+	// MemoryBudgetPairs aborts AllPairs when the materialized pair list
+	// exceeds this count (0 = unlimited) — modeling Table 1's 'X' entries
+	// where 512 MB was insufficient.
+	MemoryBudgetPairs int64
+}
+
+func (o *Options) fill() {
+	if o.Window == 0 {
+		o.Window = 6
+	}
+	if o.Psi == 0 {
+		o.Psi = 20
+	}
+	if o.Scoring == (align.Scoring{}) {
+		o.Scoring = align.DefaultScoring()
+	}
+	if o.Criteria == (align.Criteria{}) {
+		o.Criteria = align.DefaultCriteria()
+	}
+	if o.Band == 0 {
+		o.Band = 12
+	}
+}
+
+// Result is a baseline run's outcome.
+type Result struct {
+	// Labels is the per-EST cluster labeling (nil if the run aborted).
+	Labels []int32
+	// NumClusters is the cluster count.
+	NumClusters int
+	// PairsMaterialized is the peak size of the up-front pair list.
+	PairsMaterialized int64
+	// PairBytes is the memory the materialized list occupies (20 bytes a
+	// pair, as on the wire) — the Table 1 memory axis.
+	PairBytes int64
+	// PairsProcessed / PairsAccepted mirror the engine counters.
+	PairsProcessed int64
+	PairsAccepted  int64
+	// Elapsed is the wall-clock run time.
+	Elapsed time.Duration
+	// OutOfMemory marks a run that exceeded MemoryBudgetPairs
+	// (Table 1's 'X').
+	OutOfMemory bool
+}
+
+// generateAll drains the suffix-tree pair generator into one list — the
+// batch architecture's memory-intensive phase.
+func generateAll(set *seq.SetS, opts Options) ([]pairgen.Pair, bool, error) {
+	hi := seq.StringID(set.NumStrings())
+	owner := suffix.Assign(suffix.Histogram(set, opts.Window, 0, hi), 1)
+	byBucket := suffix.CollectOwned(set, opts.Window, owner, 0, 0, hi)
+	forest, err := suffix.BuildForest(set, byBucket, opts.Window)
+	if err != nil {
+		return nil, false, err
+	}
+	gen, err := pairgen.New(set, forest, opts.Psi)
+	if err != nil {
+		return nil, false, err
+	}
+	var all []pairgen.Pair
+	for {
+		n := len(all)
+		all = gen.Next(all, 4096)
+		if len(all) == n {
+			return all, false, nil
+		}
+		if opts.MemoryBudgetPairs > 0 && int64(len(all)) > opts.MemoryBudgetPairs {
+			return all, true, nil
+		}
+	}
+}
+
+// AllPairs is the batch comparator: materialize all pairs, then align each
+// surviving pair with full overlap dynamic programming.
+func AllPairs(ests []seq.Sequence, opts Options) (*Result, error) {
+	opts.fill()
+	start := time.Now()
+	set, err := seq.NewSetS(ests)
+	if err != nil {
+		return nil, err
+	}
+	pairs, oom, err := generateAll(set, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		PairsMaterialized: int64(len(pairs)),
+		PairBytes:         20 * int64(len(pairs)),
+	}
+	if oom {
+		res.OutOfMemory = true
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	rng.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+
+	uf := unionfind.New(set.NumESTs())
+	for _, p := range pairs {
+		i, j := p.ESTs()
+		if uf.Same(int32(i), int32(j)) {
+			continue
+		}
+		ov := align.Overlap(set.Str(p.S1), set.Str(p.S2), opts.Scoring)
+		res.PairsProcessed++
+		if ov.Pattern != align.PatternNone &&
+			ov.Cols >= opts.Criteria.MinOverlap &&
+			ov.Identity() >= opts.Criteria.MinIdentity &&
+			ov.ScoreRatio(opts.Scoring) >= opts.Criteria.MinScoreRatio {
+			res.PairsAccepted++
+			uf.Union(int32(i), int32(j))
+		}
+	}
+	res.Labels = uf.Labels()
+	res.NumClusters = uf.Count()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// ArbitraryOrder is the pair-order ablation: PaCE's generator and anchored
+// banded aligner, but pairs shuffled before processing.
+func ArbitraryOrder(ests []seq.Sequence, opts Options) (*Result, error) {
+	opts.fill()
+	start := time.Now()
+	set, err := seq.NewSetS(ests)
+	if err != nil {
+		return nil, err
+	}
+	pairs, oom, err := generateAll(set, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		PairsMaterialized: int64(len(pairs)),
+		PairBytes:         20 * int64(len(pairs)),
+	}
+	if oom {
+		res.OutOfMemory = true
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	rng.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+
+	ext, err := align.NewExtender(opts.Scoring, opts.Band)
+	if err != nil {
+		return nil, err
+	}
+	uf := unionfind.New(set.NumESTs())
+	for _, p := range pairs {
+		i, j := p.ESTs()
+		if uf.Same(int32(i), int32(j)) {
+			continue
+		}
+		r, err := ext.Extend(set.Str(p.S1), set.Str(p.S2), p.Pos1, p.Pos2, p.MatchLen)
+		if err != nil {
+			return nil, err
+		}
+		res.PairsProcessed++
+		if r.Accept(opts.Scoring, opts.Criteria) {
+			res.PairsAccepted++
+			uf.Union(int32(i), int32(j))
+		}
+	}
+	res.Labels = uf.Labels()
+	res.NumClusters = uf.Count()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,136 @@
+package baseline
+
+import (
+	"testing"
+
+	"pace/internal/cluster"
+	"pace/internal/metrics"
+	"pace/internal/simulate"
+)
+
+func benchSet(t testing.TB, n, genes int, seed int64) *simulate.Benchmark {
+	t.Helper()
+	cfg := simulate.DefaultConfig(n)
+	cfg.NumGenes = genes
+	cfg.Seed = seed
+	cfg.MeanESTLen = 400
+	cfg.SDESTLen = 40
+	cfg.MinESTLen = 200
+	cfg.ExonLen = [2]int{150, 180}
+	cfg.ExonsPerGene = [2]int{3, 3}
+	b, err := simulate.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestAllPairsClustersCorrectly(t *testing.T) {
+	b := benchSet(t, 60, 4, 1)
+	res, err := AllPairs(b.ESTs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OutOfMemory {
+		t.Fatal("unexpected OOM")
+	}
+	q, err := metrics.Compare(res.Labels, b.Truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.OQ < 0.85 {
+		t.Errorf("AllPairs quality: %v", q)
+	}
+	if res.PairsMaterialized == 0 || res.PairBytes != 20*res.PairsMaterialized {
+		t.Errorf("memory accounting: %+v", res)
+	}
+}
+
+func TestAllPairsMemoryBudget(t *testing.T) {
+	b := benchSet(t, 80, 2, 2) // deep coverage → many pairs
+	res, err := AllPairs(b.ESTs, Options{MemoryBudgetPairs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OutOfMemory {
+		t.Fatal("budget of 10 pairs must abort")
+	}
+	if res.Labels != nil {
+		t.Error("aborted run must not report labels")
+	}
+}
+
+func TestArbitraryOrderClustersCorrectly(t *testing.T) {
+	b := benchSet(t, 60, 4, 3)
+	res, err := ArbitraryOrder(b.ESTs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := metrics.Compare(res.Labels, b.Truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.OQ < 0.85 {
+		t.Errorf("ArbitraryOrder quality: %v", q)
+	}
+}
+
+// The paper's central claims, in miniature: (1) PaCE's on-demand engine
+// never materializes the full pair list the batch baseline needs; (2) the
+// decreasing-MCS order processes no more (and typically fewer) alignments
+// than arbitrary order at equivalent quality.
+func TestPaceBeatsBaselinesOnWork(t *testing.T) {
+	b := benchSet(t, 120, 4, 4)
+	opts := Options{Seed: 7}
+
+	arb, err := ArbitraryOrder(b.ESTs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ccfg := cluster.DefaultConfig(1)
+	ccfg.Window, ccfg.Psi = 6, 20
+	pace, err := cluster.Run(b.ESTs, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if pace.Stats.PairsProcessed > arb.PairsProcessed*3/2 {
+		t.Errorf("greedy order did much worse than arbitrary: %d vs %d",
+			pace.Stats.PairsProcessed, arb.PairsProcessed)
+	}
+	qArb, _ := metrics.Compare(arb.Labels, b.Truth)
+	qPace, _ := metrics.Compare(pace.Labels, b.Truth)
+	if qPace.OQ < qArb.OQ-0.05 {
+		t.Errorf("pace quality %v below arbitrary %v", qPace, qArb)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	b := benchSet(t, 40, 3, 5)
+	r1, err := ArbitraryOrder(b.ESTs, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ArbitraryOrder(b.ESTs, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.PairsProcessed != r2.PairsProcessed || r1.NumClusters != r2.NumClusters {
+		t.Error("same seed must reproduce the run")
+	}
+	for i := range r1.Labels {
+		if r1.Labels[i] != r2.Labels[i] {
+			t.Fatalf("labels differ at %d", i)
+		}
+	}
+}
+
+func BenchmarkAllPairs60(b *testing.B) {
+	bm := benchSet(b, 60, 4, 1)
+	for i := 0; i < b.N; i++ {
+		if _, err := AllPairs(bm.ESTs, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

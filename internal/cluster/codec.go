@@ -1,0 +1,238 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pace/internal/pairgen"
+	"pace/internal/seq"
+)
+
+// Wire protocol between master and slaves. Messages are packed with a small
+// hand-rolled little-endian codec: the paper's implementation moves flat C
+// structs over MPI, and flat buffers keep the simulated byte counts honest.
+
+// Message tags.
+const (
+	tagReport = 1 // slave → master: results + fresh pairs + status
+	tagWork   = 2 // master → slave: work batch + pair request (or stop)
+	tagSuffix = 3 // slave → slave: suffix redistribution triples
+)
+
+// Suffix redistribution payload: flat (bucket, string id, position) uint32
+// triples, little-endian — what each slave ships to every bucket owner.
+
+func encodeU32s(vals []uint32) []byte {
+	b := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(b[4*i:], v)
+	}
+	return b
+}
+
+func decodeU32s(b []byte) ([]uint32, error) {
+	if len(b)%4 != 0 {
+		return nil, fmt.Errorf("cluster: u32 buffer length %d not a multiple of 4", len(b))
+	}
+	out := make([]uint32, len(b)/4)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(b[4*i:])
+	}
+	return out, nil
+}
+
+// alignResult is a slave's verdict on one dispatched or self-generated pair.
+type alignResult struct {
+	estI, estJ seq.ESTID
+	accepted   bool
+}
+
+// report is the slave → master message: R results and P pairs plus status
+// flags (paper §3.3).
+type report struct {
+	results []alignResult
+	pairs   []pairgen.Pair
+	// passive: the slave's generator is exhausted and its PAIRBUF empty.
+	passive bool
+	// hasNextWork: the slave still holds a NEXTWORK batch whose results
+	// will arrive with the following report.
+	hasNextWork bool
+}
+
+// work is the master → slave message: W pairs to align and the number E of
+// fresh pairs to include in the next report. stop ends the slave loop.
+type work struct {
+	pairs []pairgen.Pair
+	e     int32
+	stop  bool
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], v)
+	return append(b, tmp[:]...)
+}
+
+func appendPair(b []byte, p pairgen.Pair) []byte {
+	b = appendU32(b, uint32(p.S1))
+	b = appendU32(b, uint32(p.S2))
+	b = appendU32(b, uint32(p.Pos1))
+	b = appendU32(b, uint32(p.Pos2))
+	return appendU32(b, uint32(p.MatchLen))
+}
+
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+4 > len(r.b) {
+		r.err = fmt.Errorf("cluster: truncated message at offset %d", r.off)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) pair() pairgen.Pair {
+	return pairgen.Pair{
+		S1:       seq.StringID(r.u32()),
+		S2:       seq.StringID(r.u32()),
+		Pos1:     int32(r.u32()),
+		Pos2:     int32(r.u32()),
+		MatchLen: int32(r.u32()),
+	}
+}
+
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("cluster: %d trailing bytes in message", len(r.b)-r.off)
+	}
+	return nil
+}
+
+func encodeReport(rep report) []byte {
+	b := make([]byte, 0, 12+9*len(rep.results)+20*len(rep.pairs))
+	var flags uint32
+	if rep.passive {
+		flags |= 1
+	}
+	if rep.hasNextWork {
+		flags |= 2
+	}
+	b = appendU32(b, flags)
+	b = appendU32(b, uint32(len(rep.results)))
+	for _, res := range rep.results {
+		b = appendU32(b, uint32(res.estI))
+		b = appendU32(b, uint32(res.estJ))
+		acc := uint32(0)
+		if res.accepted {
+			acc = 1
+		}
+		b = appendU32(b, acc)
+	}
+	b = appendU32(b, uint32(len(rep.pairs)))
+	for _, p := range rep.pairs {
+		b = appendPair(b, p)
+	}
+	return b
+}
+
+func decodeReport(b []byte) (report, error) {
+	r := reader{b: b}
+	flags := r.u32()
+	rep := report{passive: flags&1 != 0, hasNextWork: flags&2 != 0}
+	nRes := r.u32()
+	if r.err == nil && int(nRes) > len(b)/12 {
+		return report{}, fmt.Errorf("cluster: result count %d exceeds message size", nRes)
+	}
+	for i := uint32(0); i < nRes && r.err == nil; i++ {
+		rep.results = append(rep.results, alignResult{
+			estI:     seq.ESTID(r.u32()),
+			estJ:     seq.ESTID(r.u32()),
+			accepted: r.u32() != 0,
+		})
+	}
+	nPairs := r.u32()
+	if r.err == nil && int(nPairs) > len(b)/20 {
+		return report{}, fmt.Errorf("cluster: pair count %d exceeds message size", nPairs)
+	}
+	for i := uint32(0); i < nPairs && r.err == nil; i++ {
+		rep.pairs = append(rep.pairs, r.pair())
+	}
+	if err := r.done(); err != nil {
+		return report{}, err
+	}
+	return rep, nil
+}
+
+func encodeWork(w work) []byte {
+	b := make([]byte, 0, 12+20*len(w.pairs))
+	var flags uint32
+	if w.stop {
+		flags |= 1
+	}
+	b = appendU32(b, flags)
+	b = appendU32(b, uint32(w.e))
+	b = appendU32(b, uint32(len(w.pairs)))
+	for _, p := range w.pairs {
+		b = appendPair(b, p)
+	}
+	return b
+}
+
+func decodeWork(b []byte) (work, error) {
+	r := reader{b: b}
+	flags := r.u32()
+	w := work{stop: flags&1 != 0, e: int32(r.u32())}
+	nPairs := r.u32()
+	if r.err == nil && int(nPairs) > len(b)/20 {
+		return work{}, fmt.Errorf("cluster: pair count %d exceeds message size", nPairs)
+	}
+	for i := uint32(0); i < nPairs && r.err == nil; i++ {
+		w.pairs = append(w.pairs, r.pair())
+	}
+	if err := r.done(); err != nil {
+		return work{}, err
+	}
+	return w, nil
+}
+
+// phaseReport carries a rank's timing/counter contribution to the master at
+// shutdown (gathered once, outside the hot path).
+type phaseReport struct {
+	partitionNs, constructNs, sortNs, alignNs, totalNs int64
+	generated, processed, accepted                     int64
+}
+
+func encodePhase(p phaseReport) []byte {
+	vals := []int64{p.partitionNs, p.constructNs, p.sortNs, p.alignNs, p.totalNs,
+		p.generated, p.processed, p.accepted}
+	b := make([]byte, 0, 8*len(vals))
+	for _, v := range vals {
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], uint64(v))
+		b = append(b, tmp[:]...)
+	}
+	return b
+}
+
+func decodePhase(b []byte) (phaseReport, error) {
+	if len(b) != 64 {
+		return phaseReport{}, fmt.Errorf("cluster: phase report has %d bytes, want 64", len(b))
+	}
+	v := func(i int) int64 { return int64(binary.LittleEndian.Uint64(b[8*i:])) }
+	return phaseReport{
+		partitionNs: v(0), constructNs: v(1), sortNs: v(2), alignNs: v(3), totalNs: v(4),
+		generated: v(5), processed: v(6), accepted: v(7),
+	}, nil
+}

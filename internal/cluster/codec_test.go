@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pace/internal/pairgen"
+	"pace/internal/seq"
+)
+
+func TestReportRoundTrip(t *testing.T) {
+	rep := report{
+		results: []alignResult{
+			{estI: 1, estJ: 9, accepted: true},
+			{estI: 3, estJ: 4, accepted: false},
+		},
+		pairs: []pairgen.Pair{
+			{S1: seq.Forward(0), S2: seq.Reverse(7), Pos1: 12, Pos2: 0, MatchLen: 31},
+		},
+		passive:     true,
+		hasNextWork: false,
+	}
+	got, err := decodeReport(encodeReport(rep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.passive != rep.passive || got.hasNextWork != rep.hasNextWork {
+		t.Errorf("flags: %+v", got)
+	}
+	if len(got.results) != 2 || got.results[0] != rep.results[0] || got.results[1] != rep.results[1] {
+		t.Errorf("results: %+v", got.results)
+	}
+	if len(got.pairs) != 1 || got.pairs[0] != rep.pairs[0] {
+		t.Errorf("pairs: %+v", got.pairs)
+	}
+}
+
+func TestReportRoundTripEmpty(t *testing.T) {
+	got, err := decodeReport(encodeReport(report{hasNextWork: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.results) != 0 || len(got.pairs) != 0 || !got.hasNextWork || got.passive {
+		t.Errorf("empty report: %+v", got)
+	}
+}
+
+func TestWorkRoundTrip(t *testing.T) {
+	w := work{
+		pairs: []pairgen.Pair{
+			{S1: seq.Forward(2), S2: seq.Forward(5), Pos1: 1, Pos2: 2, MatchLen: 25},
+			{S1: seq.Forward(0), S2: seq.Reverse(1), Pos1: 0, Pos2: 9, MatchLen: 20},
+		},
+		e: 44,
+	}
+	got, err := decodeWork(encodeWork(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.e != 44 || got.stop || len(got.pairs) != 2 {
+		t.Fatalf("work: %+v", got)
+	}
+	for i := range w.pairs {
+		if got.pairs[i] != w.pairs[i] {
+			t.Errorf("pair %d: %+v", i, got.pairs[i])
+		}
+	}
+	stop, err := decodeWork(encodeWork(work{stop: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stop.stop {
+		t.Error("stop flag lost")
+	}
+}
+
+func TestDecodeRejectsTruncated(t *testing.T) {
+	b := encodeReport(report{results: []alignResult{{estI: 1, estJ: 2}}})
+	if _, err := decodeReport(b[:len(b)-2]); err == nil {
+		t.Error("truncated report accepted")
+	}
+	wb := encodeWork(work{pairs: []pairgen.Pair{{MatchLen: 3}}})
+	if _, err := decodeWork(wb[:5]); err == nil {
+		t.Error("truncated work accepted")
+	}
+}
+
+func TestDecodeRejectsTrailingGarbage(t *testing.T) {
+	b := append(encodeWork(work{e: 1}), 0xFF)
+	if _, err := decodeWork(b); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+}
+
+func TestDecodeRejectsAbsurdCounts(t *testing.T) {
+	// A corrupt count field must not cause a huge allocation.
+	b := encodeReport(report{})
+	b[4] = 0xFF
+	b[5] = 0xFF
+	b[6] = 0xFF
+	b[7] = 0x7F
+	if _, err := decodeReport(b); err == nil {
+		t.Error("absurd result count accepted")
+	}
+}
+
+func TestPhaseRoundTrip(t *testing.T) {
+	p := phaseReport{
+		partitionNs: 1, constructNs: 2, sortNs: 3, alignNs: 4, totalNs: 5,
+		generated: 6, processed: 7, accepted: 8,
+	}
+	got, err := decodePhase(encodePhase(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Errorf("phase: %+v", got)
+	}
+	if _, err := decodePhase(make([]byte, 10)); err == nil {
+		t.Error("short phase report accepted")
+	}
+}
+
+// Property: any report round-trips exactly (testing/quick drives the field
+// values; sizes are folded into small ranges to keep messages bounded).
+func TestReportRoundTripQuick(t *testing.T) {
+	f := func(resRaw []uint32, pairRaw []uint32, passive, hasNext bool) bool {
+		rep := report{passive: passive, hasNextWork: hasNext}
+		for i := 0; i+1 < len(resRaw) && i < 40; i += 2 {
+			rep.results = append(rep.results, alignResult{
+				estI:     seq.ESTID(resRaw[i] % (1 << 30)),
+				estJ:     seq.ESTID(resRaw[i+1] % (1 << 30)),
+				accepted: resRaw[i]%2 == 0,
+			})
+		}
+		for i := 0; i+4 < len(pairRaw) && i < 50; i += 5 {
+			rep.pairs = append(rep.pairs, pairgen.Pair{
+				S1:       seq.StringID(pairRaw[i] % (1 << 30)),
+				S2:       seq.StringID(pairRaw[i+1] % (1 << 30)),
+				Pos1:     int32(pairRaw[i+2] % (1 << 20)),
+				Pos2:     int32(pairRaw[i+3] % (1 << 20)),
+				MatchLen: int32(pairRaw[i+4] % (1 << 12)),
+			})
+		}
+		got, err := decodeReport(encodeReport(rep))
+		if err != nil {
+			return false
+		}
+		if got.passive != rep.passive || got.hasNextWork != rep.hasNextWork ||
+			len(got.results) != len(rep.results) || len(got.pairs) != len(rep.pairs) {
+			return false
+		}
+		for i := range rep.results {
+			if got.results[i] != rep.results[i] {
+				return false
+			}
+		}
+		for i := range rep.pairs {
+			if got.pairs[i] != rep.pairs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: decoding arbitrary bytes never panics and never fabricates a
+// huge allocation; it either errors or returns a bounded report.
+func TestDecodeArbitraryBytesSafe(t *testing.T) {
+	f := func(data []byte) bool {
+		rep, err := decodeReport(data)
+		if err == nil && (len(rep.results) > len(data) || len(rep.pairs) > len(data)) {
+			return false
+		}
+		w, err := decodeWork(data)
+		if err == nil && len(w.pairs) > len(data) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,158 @@
+// Package cluster is the PaCE clustering engine (paper §3.3): a master rank
+// maintains the EST clusters in a union-find structure and a bounded work
+// buffer of promising pairs awaiting alignment; slave ranks build their
+// share of the distributed generalized suffix tree, generate promising pairs
+// on demand in decreasing order of maximal common substring length, and
+// compute anchored banded alignments on the batches the master dispatches.
+// Flow control follows the paper: the master asks each slave for
+// E = min(α·δ·batchsize, nfree/p) new pairs per interaction, parks slaves on
+// a wait queue when no work is available, and slaves hide latency by keeping
+// a NEXTWORK batch in hand and by generating pairs while waiting for the
+// master's reply.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"pace/internal/align"
+	"pace/internal/mp"
+)
+
+// Config parameterizes a clustering run.
+type Config struct {
+	// Window is the bucket-prefix width w for GST construction
+	// (paper: 8). Must not exceed Psi.
+	Window int
+	// Psi is the promising-pair threshold ψ: the minimum maximal-common-
+	// substring length for a pair to be generated.
+	Psi int
+	// BatchSize is the number of pairs dispatched to a slave per
+	// interaction (paper: 40–60 optimal).
+	BatchSize int
+	// WorkBufCap bounds the master's WORKBUF queue.
+	WorkBufCap int
+	// PairBufCap bounds a slave's PAIRBUF of generated-but-unreported
+	// pairs; 0 derives 4×BatchSize.
+	PairBufCap int
+	// GenChunk is how many pairs a slave generates per probe of the
+	// master's reply while overlapping generation with waiting.
+	GenChunk int
+
+	// Scoring and Criteria govern pairwise alignment and acceptance;
+	// Band is the banded-extension half-width.
+	Scoring  align.Scoring
+	Criteria align.Criteria
+	Band     int
+
+	// SkipSameCluster enables the paper's pruning: a pair whose ESTs
+	// already share a cluster is neither queued nor aligned. Disabling it
+	// is an ablation knob.
+	SkipSameCluster bool
+
+	// MP configures the message-passing machine (rank count, real vs
+	// simulated execution, network model). MP.Procs == 1 selects the
+	// sequential in-process engine.
+	MP mp.Config
+
+	// InitialLabels optionally seeds the cluster structure with a prior
+	// partition over a prefix of the ESTs (incremental re-clustering,
+	// the paper's future-work item): ESTs sharing a non-negative label
+	// start merged, so pairs inside old clusters are skipped rather than
+	// re-aligned. Entries < 0 are unconstrained.
+	InitialLabels []int32
+}
+
+// DefaultConfig mirrors the paper's operating point on p ranks.
+func DefaultConfig(p int) Config {
+	return Config{
+		Window:          8,
+		Psi:             20,
+		BatchSize:       60,
+		WorkBufCap:      1 << 14,
+		GenChunk:        32,
+		Scoring:         align.DefaultScoring(),
+		Criteria:        align.DefaultCriteria(),
+		Band:            12,
+		SkipSameCluster: true,
+		MP:              mp.Config{Procs: p, Mode: mp.ModeReal},
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Window < 1 || c.Window > 12 {
+		return fmt.Errorf("cluster: Window %d out of [1,12]", c.Window)
+	}
+	if c.Psi < c.Window {
+		return fmt.Errorf("cluster: Psi %d < Window %d would lose pairs with short anchors", c.Psi, c.Window)
+	}
+	if c.BatchSize < 1 {
+		return fmt.Errorf("cluster: BatchSize must be >= 1")
+	}
+	if c.WorkBufCap < c.BatchSize {
+		return fmt.Errorf("cluster: WorkBufCap %d < BatchSize %d", c.WorkBufCap, c.BatchSize)
+	}
+	if c.GenChunk < 1 {
+		return fmt.Errorf("cluster: GenChunk must be >= 1")
+	}
+	if c.Band < 1 {
+		return fmt.Errorf("cluster: Band must be >= 1")
+	}
+	if err := c.Scoring.Validate(); err != nil {
+		return err
+	}
+	if c.MP.Procs < 1 {
+		return fmt.Errorf("cluster: MP.Procs must be >= 1")
+	}
+	return nil
+}
+
+// pairBufCap resolves the PAIRBUF capacity.
+func (c Config) pairBufCap() int {
+	if c.PairBufCap > 0 {
+		return c.PairBufCap
+	}
+	return 4 * c.BatchSize
+}
+
+// PhaseTimes is the per-component breakdown of the paper's Table 3. Each
+// entry is the maximum over ranks of the time that rank spent in the phase.
+type PhaseTimes struct {
+	Partition time.Duration // bucketing histogram + assignment + collection
+	Construct time.Duration // GST subtree construction
+	Sort      time.Duration // ordering nodes by decreasing string-depth
+	Align     time.Duration // pairwise alignment compute
+	Total     time.Duration // end-to-end (max final rank clock)
+}
+
+// Stats aggregates a run's counters (the series of Figure 7 among them).
+type Stats struct {
+	// PairsGenerated counts canonical promising pairs produced by the
+	// generators.
+	PairsGenerated int64
+	// PairsProcessed counts alignments actually computed.
+	PairsProcessed int64
+	// PairsAccepted counts alignments passing the merge criteria.
+	PairsAccepted int64
+	// PairsSkipped counts pairs pruned because their ESTs already shared
+	// a cluster (at enqueue or dispatch time).
+	PairsSkipped int64
+	// Merges counts union operations that actually joined two clusters.
+	Merges int64
+	// MasterBusy is the wall-clock time the master spent processing
+	// messages (the paper reports it stays under 2% of the total).
+	MasterBusy time.Duration
+	// Phases is the per-phase breakdown.
+	Phases PhaseTimes
+}
+
+// Result is the outcome of a clustering run.
+type Result struct {
+	// Labels assigns each EST a dense cluster label.
+	Labels []int32
+	// NumClusters is the number of distinct clusters.
+	NumClusters int
+	// Stats carries counters and timings.
+	Stats Stats
+}

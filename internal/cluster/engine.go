@@ -1,0 +1,593 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"pace/internal/align"
+	"pace/internal/mp"
+	"pace/internal/pairgen"
+	"pace/internal/seq"
+	"pace/internal/suffix"
+	"pace/internal/unionfind"
+)
+
+// Run clusters the given ESTs and returns the resulting partition with run
+// statistics. With MP.Procs == 1 the whole pipeline runs sequentially in
+// process; otherwise rank 0 acts as the master and ranks 1..p-1 as slaves on
+// the configured message-passing machine.
+func Run(ests []seq.Sequence, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	set, err := seq.NewSetS(ests)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MP.Procs == 1 {
+		return runSequential(set, cfg)
+	}
+	return runParallel(set, cfg)
+}
+
+// seedClusters merges ESTs that share a non-negative initial label. Labels
+// may cover only a prefix of the ESTs (old batch before newly arrived ones).
+func seedClusters(uf *unionfind.UF, labels []int32) error {
+	if len(labels) > uf.Len() {
+		return fmt.Errorf("cluster: %d initial labels for %d ESTs", len(labels), uf.Len())
+	}
+	first := make(map[int32]int32)
+	for i, l := range labels {
+		if l < 0 {
+			continue
+		}
+		if f, ok := first[l]; ok {
+			uf.Union(f, int32(i))
+		} else {
+			first[l] = int32(i)
+		}
+	}
+	return nil
+}
+
+// alignPairs runs the anchored banded extension on each pair and returns the
+// per-pair verdicts.
+func alignPairs(set *seq.SetS, ext *align.Extender, cfg Config, pairs []pairgen.Pair) ([]alignResult, error) {
+	out := make([]alignResult, 0, len(pairs))
+	for _, p := range pairs {
+		res, err := ext.Extend(set.Str(p.S1), set.Str(p.S2), p.Pos1, p.Pos2, p.MatchLen)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: aligning pair %+v: %w", p, err)
+		}
+		i, j := p.ESTs()
+		out = append(out, alignResult{
+			estI:     i,
+			estJ:     j,
+			accepted: res.Accept(cfg.Scoring, cfg.Criteria),
+		})
+	}
+	return out, nil
+}
+
+// runSequential is the single-process engine: generate batches in decreasing
+// order, skip same-cluster pairs, align, merge.
+func runSequential(set *seq.SetS, cfg Config) (*Result, error) {
+	res := &Result{}
+	st := &res.Stats
+	n2 := seq.StringID(set.NumStrings())
+
+	t0 := time.Now()
+	hist := suffix.Histogram(set, cfg.Window, 0, n2)
+	owner := suffix.Assign(hist, 1)
+	byBucket := suffix.CollectOwned(set, cfg.Window, owner, 0, 0, n2)
+	st.Phases.Partition = time.Since(t0)
+
+	t1 := time.Now()
+	forest, err := suffix.BuildForest(set, byBucket, cfg.Window)
+	if err != nil {
+		return nil, err
+	}
+	st.Phases.Construct = time.Since(t1)
+
+	t2 := time.Now()
+	gen, err := pairgen.New(set, forest, cfg.Psi)
+	if err != nil {
+		return nil, err
+	}
+	st.Phases.Sort = time.Since(t2)
+
+	ext, err := align.NewExtender(cfg.Scoring, cfg.Band)
+	if err != nil {
+		return nil, err
+	}
+	uf := unionfind.New(set.NumESTs())
+	if err := seedClusters(uf, cfg.InitialLabels); err != nil {
+		return nil, err
+	}
+	buf := make([]pairgen.Pair, 0, cfg.BatchSize)
+	for {
+		buf = gen.Next(buf[:0], cfg.BatchSize)
+		if len(buf) == 0 {
+			break
+		}
+		for _, p := range buf {
+			i, j := p.ESTs()
+			if cfg.SkipSameCluster && uf.Same(int32(i), int32(j)) {
+				st.PairsSkipped++
+				continue
+			}
+			tA := time.Now()
+			r, err := ext.Extend(set.Str(p.S1), set.Str(p.S2), p.Pos1, p.Pos2, p.MatchLen)
+			st.Phases.Align += time.Since(tA)
+			if err != nil {
+				return nil, err
+			}
+			st.PairsProcessed++
+			if r.Accept(cfg.Scoring, cfg.Criteria) {
+				st.PairsAccepted++
+				if uf.Union(int32(i), int32(j)) {
+					st.Merges++
+				}
+			}
+		}
+	}
+	st.PairsGenerated = gen.Stats().Generated
+	st.Phases.Total = time.Since(t0)
+	res.Labels = uf.Labels()
+	res.NumClusters = uf.Count()
+	return res, nil
+}
+
+// runParallel launches the master–slave machine.
+func runParallel(set *seq.SetS, cfg Config) (*Result, error) {
+	var result *Result
+	err := mp.Run(cfg.MP, func(c *mp.Comm) error {
+		if c.Rank() == 0 {
+			r, err := runMaster(set, cfg, c)
+			result = r
+			return err
+		}
+		return runSlave(set, cfg, c)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return result, nil
+}
+
+// shareRange splits the 2n strings over the p-1 slaves for histogram
+// computation; slave index si in [0, slaves).
+func shareRange(si, slaves, total int) (seq.StringID, seq.StringID) {
+	lo := si * total / slaves
+	hi := (si + 1) * total / slaves
+	return seq.StringID(lo), seq.StringID(hi)
+}
+
+// prologue is the partitioning phase run by every rank: per-share histogram,
+// global summation (O(log p) allreduce), and the deterministic bucket-to-
+// slave assignment.
+func prologue(set *seq.SetS, cfg Config, c *mp.Comm) ([]int32, error) {
+	slaves := c.Size() - 1
+	var hist []int64
+	if c.Rank() == 0 {
+		hist = make([]int64, suffix.NumBuckets(cfg.Window))
+	} else {
+		lo, hi := shareRange(c.Rank()-1, slaves, set.NumStrings())
+		hist = suffix.Histogram(set, cfg.Window, lo, hi)
+	}
+	global, err := c.AllreduceSumInt64(hist)
+	if err != nil {
+		return nil, err
+	}
+	return suffix.Assign(global, slaves), nil
+}
+
+// masterState tracks one slave's protocol position.
+type masterState struct {
+	generatorDone bool // last report said passive
+	hasNextWork   bool // slave holds a batch whose results are pending
+	idle          bool // parked with nothing to do; candidate for stop
+}
+
+func runMaster(set *seq.SetS, cfg Config, c *mp.Comm) (*Result, error) {
+	tStart := c.Elapsed()
+	if _, err := prologue(set, cfg, c); err != nil {
+		return nil, err
+	}
+	tPart := c.Elapsed() - tStart
+
+	res := &Result{}
+	st := &res.Stats
+	uf := unionfind.New(set.NumESTs())
+	if err := seedClusters(uf, cfg.InitialLabels); err != nil {
+		return nil, err
+	}
+	slaves := c.Size() - 1
+	states := make([]masterState, c.Size())
+
+	var workbuf []pairgen.Pair
+	head := 0
+	buffered := func() int { return len(workbuf) - head }
+	compact := func() {
+		if head > 0 && head >= len(workbuf)/2 {
+			workbuf = append(workbuf[:0], workbuf[head:]...)
+			head = 0
+		}
+	}
+
+	// popBatch extracts up to BatchSize pairs whose ESTs are still in
+	// different clusters (clusters may have merged since enqueue).
+	popBatch := func() []pairgen.Pair {
+		var out []pairgen.Pair
+		for head < len(workbuf) && len(out) < cfg.BatchSize {
+			p := workbuf[head]
+			head++
+			i, j := p.ESTs()
+			if cfg.SkipSameCluster && uf.Same(int32(i), int32(j)) {
+				st.PairsSkipped++
+				continue
+			}
+			out = append(out, p)
+		}
+		compact()
+		return out
+	}
+
+	activeSlaves := func() int {
+		a := 0
+		for r := 1; r <= slaves; r++ {
+			if !states[r].generatorDone {
+				a++
+			}
+		}
+		return a
+	}
+
+	reportsPending := slaves // every slave sends an unsolicited first report
+	for {
+		m, err := c.Recv(mp.AnySource, tagReport)
+		if err != nil {
+			return nil, err
+		}
+		busy := time.Now()
+		reportsPending--
+		rep, err := decodeReport(m.Data)
+		if err != nil {
+			return nil, err
+		}
+		s := m.From
+		states[s].generatorDone = rep.passive
+		states[s].hasNextWork = rep.hasNextWork
+
+		for _, r := range rep.results {
+			if r.accepted {
+				if uf.Union(int32(r.estI), int32(r.estJ)) {
+					st.Merges++
+				}
+			}
+		}
+		added := 0
+		for _, p := range rep.pairs {
+			i, j := p.ESTs()
+			if cfg.SkipSameCluster && uf.Same(int32(i), int32(j)) {
+				st.PairsSkipped++
+				continue
+			}
+			workbuf = append(workbuf, p)
+			added++
+		}
+
+		// Reply: W pairs from WORKBUF plus the next pair request E.
+		batch := popBatch()
+		e := 0
+		if !states[s].generatorDone {
+			alpha := 1.0
+			if added > 0 {
+				alpha = float64(len(rep.pairs)) / float64(added)
+			} else if len(rep.pairs) > 0 {
+				alpha = float64(len(rep.pairs))
+			}
+			delta := float64(slaves) / float64(max(1, activeSlaves()))
+			nfree := cfg.WorkBufCap - buffered()
+			if nfree < 0 {
+				nfree = 0
+			}
+			e = min(int(alpha*delta*float64(cfg.BatchSize)), nfree/slaves)
+			if e < 1 && nfree > 0 {
+				// Never starve an active generator entirely, or it
+				// could park with pairs still unreported.
+				e = 1
+			}
+		}
+
+		switch {
+		case len(batch) > 0 || e > 0:
+			st.MasterBusy += time.Since(busy)
+			if err := c.Send(s, tagWork, encodeWork(work{pairs: batch, e: int32(e)})); err != nil {
+				return nil, err
+			}
+			busy = time.Now()
+			reportsPending++
+		case rep.hasNextWork:
+			// The slave holds a batch whose results we still need:
+			// flush with an empty reply so it reports them.
+			st.MasterBusy += time.Since(busy)
+			if err := c.Send(s, tagWork, encodeWork(work{})); err != nil {
+				return nil, err
+			}
+			busy = time.Now()
+			reportsPending++
+		default:
+			// Park the slave on the wait queue.
+			states[s].idle = true
+		}
+
+		// Surplus work re-activates parked slaves.
+		for r := 1; r <= slaves && buffered() > 0; r++ {
+			if !states[r].idle {
+				continue
+			}
+			batch := popBatch()
+			if len(batch) == 0 {
+				break
+			}
+			st.MasterBusy += time.Since(busy)
+			if err := c.Send(r, tagWork, encodeWork(work{pairs: batch})); err != nil {
+				return nil, err
+			}
+			busy = time.Now()
+			states[r].idle = false
+			reportsPending++
+		}
+
+		st.MasterBusy += time.Since(busy)
+
+		if reportsPending == 0 && buffered() == 0 {
+			allIdle := true
+			for r := 1; r <= slaves; r++ {
+				if !states[r].idle {
+					allIdle = false
+					break
+				}
+			}
+			if allIdle {
+				break
+			}
+		}
+	}
+
+	for r := 1; r <= slaves; r++ {
+		if err := c.Send(r, tagWork, encodeWork(work{stop: true})); err != nil {
+			return nil, err
+		}
+	}
+
+	// Collect per-rank phase reports and reduce to the Table 3 rows.
+	total := c.Elapsed() - tStart
+	mine := encodePhase(phaseReport{partitionNs: int64(tPart), totalNs: int64(total)})
+	gathered, err := c.GatherBytes(0, mine)
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range gathered {
+		pr, err := decodePhase(b)
+		if err != nil {
+			return nil, err
+		}
+		st.Phases.Partition = maxDur(st.Phases.Partition, time.Duration(pr.partitionNs))
+		st.Phases.Construct = maxDur(st.Phases.Construct, time.Duration(pr.constructNs))
+		st.Phases.Sort = maxDur(st.Phases.Sort, time.Duration(pr.sortNs))
+		st.Phases.Align = maxDur(st.Phases.Align, time.Duration(pr.alignNs))
+		st.Phases.Total = maxDur(st.Phases.Total, time.Duration(pr.totalNs))
+		st.PairsGenerated += pr.generated
+		st.PairsProcessed += pr.processed
+		st.PairsAccepted += pr.accepted
+	}
+
+	res.Labels = uf.Labels()
+	res.NumClusters = uf.Count()
+	return res, nil
+}
+
+// exchangeSuffixes is the redistribution step of §3.1: each slave scans its
+// own share of the strings, groups every suffix by its bucket's owner, and
+// ships the (bucket, string, position) triples to that owner. Each slave
+// ends up holding exactly the suffixes of its buckets while having scanned
+// only 1/(p-1) of the input.
+func exchangeSuffixes(set *seq.SetS, cfg Config, c *mp.Comm, owner []int32) (map[int][]suffix.SuffixRef, error) {
+	slaves := c.Size() - 1
+	me := c.Rank() - 1
+	lo, hi := shareRange(me, slaves, set.NumStrings())
+	perDest := make([][]uint32, slaves)
+	for id := lo; id < hi; id++ {
+		suffix.BucketEach(set.Str(id), cfg.Window, func(b int, pos int32) {
+			o := owner[b]
+			if o >= 0 {
+				perDest[o] = append(perDest[o], uint32(b), uint32(id), uint32(pos))
+			}
+		})
+	}
+	byBucket := make(map[int][]suffix.SuffixRef)
+	absorb := func(flat []uint32) {
+		for i := 0; i+2 < len(flat); i += 3 {
+			b := int(flat[i])
+			byBucket[b] = append(byBucket[b], suffix.SuffixRef{
+				SID: seq.StringID(flat[i+1]),
+				Pos: int32(flat[i+2]),
+			})
+		}
+	}
+	for s := 0; s < slaves; s++ {
+		if s == me {
+			continue
+		}
+		if err := c.Send(s+1, tagSuffix, encodeU32s(perDest[s])); err != nil {
+			return nil, err
+		}
+	}
+	// Absorb in fixed source order so bucket contents are deterministic.
+	for s := 0; s < slaves; s++ {
+		if s == me {
+			absorb(perDest[s])
+			continue
+		}
+		m, err := c.Recv(s+1, tagSuffix)
+		if err != nil {
+			return nil, err
+		}
+		flat, err := decodeU32s(m.Data)
+		if err != nil {
+			return nil, err
+		}
+		absorb(flat)
+	}
+	return byBucket, nil
+}
+
+func runSlave(set *seq.SetS, cfg Config, c *mp.Comm) error {
+	tStart := c.Elapsed()
+	owner, err := prologue(set, cfg, c)
+	if err != nil {
+		return err
+	}
+	byBucket, err := exchangeSuffixes(set, cfg, c, owner)
+	if err != nil {
+		return err
+	}
+	tPart := c.Elapsed() - tStart
+
+	t1 := c.Elapsed()
+	var forest []*suffix.Tree
+	if len(byBucket) > 0 {
+		forest, err = suffix.BuildForest(set, byBucket, cfg.Window)
+		if err != nil {
+			return err
+		}
+	}
+	tConstruct := c.Elapsed() - t1
+
+	t2 := c.Elapsed()
+	gen, err := pairgen.New(set, forest, cfg.Psi)
+	if err != nil {
+		return err
+	}
+	tSort := c.Elapsed() - t2
+
+	ext, err := align.NewExtender(cfg.Scoring, cfg.Band)
+	if err != nil {
+		return err
+	}
+
+	var alignTime time.Duration
+	var processed, accepted int64
+	alignBatch := func(pairs []pairgen.Pair) ([]alignResult, error) {
+		tA := c.Elapsed()
+		out, err := alignPairs(set, ext, cfg, pairs)
+		alignTime += c.Elapsed() - tA
+		processed += int64(len(pairs))
+		for _, r := range out {
+			if r.accepted {
+				accepted++
+			}
+		}
+		return out, err
+	}
+
+	// Bootstrap: three initial batches — align the first, report its
+	// results together with the third, keep the second as NEXTWORK.
+	b1 := gen.Next(nil, cfg.BatchSize)
+	b2 := gen.Next(nil, cfg.BatchSize)
+	pairbuf := gen.Next(nil, cfg.BatchSize)
+	results, err := alignBatch(b1)
+	if err != nil {
+		return err
+	}
+	next := b2
+	first := report{
+		results:     results,
+		pairs:       pairbuf,
+		passive:     !gen.Remaining(),
+		hasNextWork: len(next) > 0,
+	}
+	pairbuf = nil
+	if err := c.Send(0, tagReport, encodeReport(first)); err != nil {
+		return err
+	}
+
+	bufCap := cfg.pairBufCap()
+	for {
+		results, err = alignBatch(next)
+		if err != nil {
+			return err
+		}
+		next = nil
+
+		// Overlap waiting with pair generation (paper: the slave is
+		// never idle while the master prepares its reply).
+		for {
+			ok, err := c.Probe(0, tagWork)
+			if err != nil {
+				return err
+			}
+			if ok {
+				break
+			}
+			if !gen.Remaining() || len(pairbuf) >= bufCap {
+				break
+			}
+			chunk := min(cfg.GenChunk, bufCap-len(pairbuf))
+			pairbuf = gen.Next(pairbuf, chunk)
+		}
+		m, err := c.Recv(0, tagWork)
+		if err != nil {
+			return err
+		}
+		w, err := decodeWork(m.Data)
+		if err != nil {
+			return err
+		}
+		if w.stop {
+			break
+		}
+
+		// Top PAIRBUF up to the requested E.
+		for len(pairbuf) < int(w.e) && gen.Remaining() {
+			pairbuf = gen.Next(pairbuf, int(w.e)-len(pairbuf))
+		}
+		p := min(int(w.e), len(pairbuf))
+		outPairs := pairbuf[:p:p]
+		pairbuf = pairbuf[p:]
+		next = w.pairs
+
+		rep := report{
+			results:     results,
+			pairs:       outPairs,
+			passive:     !gen.Remaining() && len(pairbuf) == 0,
+			hasNextWork: len(next) > 0,
+		}
+		if err := c.Send(0, tagReport, encodeReport(rep)); err != nil {
+			return err
+		}
+	}
+
+	total := c.Elapsed() - tStart
+	mine := encodePhase(phaseReport{
+		partitionNs: int64(tPart),
+		constructNs: int64(tConstruct),
+		sortNs:      int64(tSort),
+		alignNs:     int64(alignTime),
+		totalNs:     int64(total),
+		generated:   gen.Stats().Generated,
+		processed:   processed,
+		accepted:    accepted,
+	})
+	_, err = c.GatherBytes(0, mine)
+	return err
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,236 @@
+// Package consensus derives a consensus sequence for each EST cluster — the
+// downstream step the paper positions clustering as a preprocessor for
+// (CAP3-style assembly).
+//
+// The algorithm is a greedy scaffold assembler: the longest member seeds a
+// scaffold; remaining members are repeatedly overlap-aligned against the
+// current scaffold (in both orientations, since EST strands are unknown) and
+// incorporated when they align well enough, voting base-by-base in scaffold
+// coordinates and extending the scaffold where they overhang its ends.
+// Passes repeat until no member can be added, so chains of reads that never
+// touch the seed directly still assemble. The final consensus is the
+// per-position majority.
+package consensus
+
+import (
+	"fmt"
+
+	"pace/internal/align"
+	"pace/internal/seq"
+)
+
+// Options configures consensus construction.
+type Options struct {
+	// Scoring for the scaffold alignments.
+	Scoring align.Scoring
+	// MinIdentity excludes members whose best alignment to the scaffold
+	// falls below this identity.
+	MinIdentity float64
+	// MinOverlap excludes members aligning over fewer columns than this.
+	MinOverlap int32
+}
+
+// DefaultOptions returns permissive assembly-style settings.
+func DefaultOptions() Options {
+	return Options{
+		Scoring:     align.DefaultScoring(),
+		MinIdentity: 0.85,
+		MinOverlap:  30,
+	}
+}
+
+// Result is one cluster's consensus.
+type Result struct {
+	// Seq is the consensus sequence.
+	Seq seq.Sequence
+	// Coverage[i] is the number of reads supporting consensus position i.
+	Coverage []int32
+	// Used and Excluded count members that did/did not contribute.
+	Used, Excluded int
+	// SeedMember is the index (into the members slice passed to Build) of
+	// the seed read.
+	SeedMember int
+	// Flipped[k] reports whether member k contributed in reverse-
+	// complement orientation.
+	Flipped []bool
+}
+
+// builder holds the growing scaffold and its vote columns.
+type builder struct {
+	opt      Options
+	scaffold seq.Sequence
+	votes    [][seq.AlphabetSize + 1]int32 // [4] is the gap vote
+}
+
+// voteBase records one base observation at scaffold position p.
+func (b *builder) voteBase(p int32, c seq.Code) { b.votes[p][c]++ }
+
+// voteGap records a gap observation at scaffold position p.
+func (b *builder) voteGap(p int32) { b.votes[p][seq.AlphabetSize]++ }
+
+// Build assembles the consensus of the given cluster members.
+func Build(ests []seq.Sequence, members []int, opt Options) (*Result, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("consensus: empty cluster")
+	}
+	if err := opt.Scoring.Validate(); err != nil {
+		return nil, err
+	}
+	for _, m := range members {
+		if m < 0 || m >= len(ests) {
+			return nil, fmt.Errorf("consensus: member %d out of range", m)
+		}
+	}
+
+	// Seed: the longest member starts the scaffold.
+	seedK := 0
+	for k, m := range members {
+		if len(ests[m]) > len(ests[members[seedK]]) {
+			seedK = k
+		}
+	}
+	b := &builder{opt: opt}
+	b.scaffold = ests[members[seedK]].Clone()
+	b.votes = make([][seq.AlphabetSize + 1]int32, len(b.scaffold))
+	for i, c := range b.scaffold {
+		b.voteBase(int32(i), c)
+	}
+
+	res := &Result{SeedMember: seedK, Flipped: make([]bool, len(members)), Used: 1}
+	used := make([]bool, len(members))
+	used[seedK] = true
+
+	// Greedy passes: keep sweeping until a full pass adds nobody, so
+	// chained members reachable only through earlier incorporations still
+	// join.
+	for {
+		progress := false
+		for k, m := range members {
+			if used[k] {
+				continue
+			}
+			flipped, ok := b.incorporate(ests[m])
+			if !ok {
+				continue
+			}
+			used[k] = true
+			res.Flipped[k] = flipped
+			res.Used++
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+	res.Excluded = len(members) - res.Used
+
+	// Majority call per scaffold position.
+	res.Seq = make(seq.Sequence, 0, len(b.scaffold))
+	res.Coverage = make([]int32, 0, len(b.scaffold))
+	for _, v := range b.votes {
+		bestBase, bestVotes := seq.Code(0), v[0]
+		var total int32
+		for c := seq.Code(0); c < seq.AlphabetSize; c++ {
+			total += v[c]
+			if v[c] > bestVotes {
+				bestBase, bestVotes = c, v[c]
+			}
+		}
+		if total == 0 || v[seq.AlphabetSize] >= total {
+			continue // uncovered or majority-gap position
+		}
+		res.Seq = append(res.Seq, bestBase)
+		res.Coverage = append(res.Coverage, total)
+	}
+	return res, nil
+}
+
+// incorporate aligns m against the scaffold and, when it passes the
+// thresholds, votes its bases in and extends the scaffold at both overhangs.
+func (b *builder) incorporate(m seq.Sequence) (flipped, ok bool) {
+	fwd := align.OverlapWithTrace(b.scaffold, m, b.opt.Scoring)
+	rc := m.ReverseComplement()
+	rev := align.OverlapWithTrace(b.scaffold, rc, b.opt.Scoring)
+	tr, ms := fwd, m
+	if rev.Score > fwd.Score {
+		tr, ms, flipped = rev, rc, true
+	}
+	if tr.Identity() < b.opt.MinIdentity || tr.Cols < b.opt.MinOverlap || tr.Pattern == align.PatternNone {
+		return false, false
+	}
+
+	ai, bj := tr.AStart, tr.BStart
+	for _, e := range tr.Cigar {
+		switch e.Op {
+		case align.OpMatch, align.OpMismatch:
+			for k := int32(0); k < e.Len; k++ {
+				b.voteBase(ai+k, ms[bj+k])
+			}
+			ai += e.Len
+			bj += e.Len
+		case align.OpDelete:
+			for k := int32(0); k < e.Len; k++ {
+				b.voteGap(ai + k)
+			}
+			ai += e.Len
+		case align.OpInsert:
+			bj += e.Len
+		}
+	}
+
+	// Right overhang first (so left extension does not shift tr.AEnd).
+	if int(tr.AEnd) == len(b.scaffold) && int(tr.BEnd) < len(ms) {
+		ext := ms[tr.BEnd:]
+		b.scaffold = append(b.scaffold, ext...)
+		for i, c := range ext {
+			b.votes = append(b.votes, [seq.AlphabetSize + 1]int32{})
+			b.voteBase(int32(len(b.votes)-1), c)
+			_ = i
+		}
+	}
+	// Left overhang.
+	if tr.AStart == 0 && tr.BStart > 0 {
+		ext := ms[:tr.BStart]
+		b.scaffold = append(ext.Clone(), b.scaffold...)
+		grown := make([][seq.AlphabetSize + 1]int32, len(ext)+len(b.votes))
+		copy(grown[len(ext):], b.votes)
+		b.votes = grown
+		for i, c := range ext {
+			b.voteBase(int32(i), c)
+		}
+	}
+	return flipped, true
+}
+
+// BuildAll assembles a consensus for every cluster of a labeling, returned
+// by dense label.
+func BuildAll(ests []seq.Sequence, labels []int32, opt Options) ([]*Result, error) {
+	if len(labels) != len(ests) {
+		return nil, fmt.Errorf("consensus: %d labels for %d ESTs", len(labels), len(ests))
+	}
+	max := int32(-1)
+	for _, l := range labels {
+		if l < 0 {
+			return nil, fmt.Errorf("consensus: negative label")
+		}
+		if l > max {
+			max = l
+		}
+	}
+	groups := make([][]int, max+1)
+	for i, l := range labels {
+		groups[l] = append(groups[l], i)
+	}
+	out := make([]*Result, len(groups))
+	for l, members := range groups {
+		if len(members) == 0 {
+			continue
+		}
+		r, err := Build(ests, members, opt)
+		if err != nil {
+			return nil, fmt.Errorf("consensus: cluster %d: %w", l, err)
+		}
+		out[l] = r
+	}
+	return out, nil
+}

@@ -1,0 +1,226 @@
+package consensus
+
+import (
+	"math/rand"
+	"testing"
+
+	"pace/internal/align"
+	"pace/internal/seq"
+	"pace/internal/simulate"
+)
+
+func randSeq(rng *rand.Rand, n int) seq.Sequence {
+	s := make(seq.Sequence, n)
+	for i := range s {
+		s[i] = seq.Code(rng.Intn(4))
+	}
+	return s
+}
+
+// tiledReads cuts overlapping windows from a transcript; read k covers
+// [k*step, k*step+readLen).
+func tiledReads(tr seq.Sequence, readLen, step int) []seq.Sequence {
+	var out []seq.Sequence
+	for off := 0; off+readLen <= len(tr); off += step {
+		out = append(out, tr[off:off+readLen].Clone())
+	}
+	return out
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, nil, DefaultOptions()); err == nil {
+		t.Error("empty cluster accepted")
+	}
+	if _, err := Build([]seq.Sequence{{seq.A}}, []int{3}, DefaultOptions()); err == nil {
+		t.Error("out-of-range member accepted")
+	}
+	opt := DefaultOptions()
+	opt.Scoring.Match = 0
+	if _, err := Build([]seq.Sequence{{seq.A}}, []int{0}, opt); err == nil {
+		t.Error("invalid scoring accepted")
+	}
+}
+
+func TestSingleMember(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	e := randSeq(rng, 80)
+	res, err := Build([]seq.Sequence{e}, []int{0}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Seq.Equal(e) {
+		t.Error("single-member consensus must equal the read")
+	}
+	if res.Used != 1 || res.Excluded != 0 {
+		t.Errorf("counts: %+v", res)
+	}
+	for _, c := range res.Coverage {
+		if c != 1 {
+			t.Fatal("coverage must be 1 everywhere")
+		}
+	}
+}
+
+func TestErrorFreeTilingReconstructsTranscript(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	transcript := randSeq(rng, 500)
+	reads := tiledReads(transcript, 150, 50)
+	members := make([]int, len(reads))
+	for i := range members {
+		members[i] = i
+	}
+	res, err := Build(reads, members, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reads cover the whole transcript; consensus must reproduce it.
+	if !res.Seq.Equal(transcript) {
+		st := align.Global(res.Seq, transcript, align.DefaultScoring())
+		t.Fatalf("consensus != transcript (len %d vs %d, identity %.3f)",
+			len(res.Seq), len(transcript), st.Identity())
+	}
+	if res.Used != len(reads) {
+		t.Errorf("used %d of %d", res.Used, len(reads))
+	}
+}
+
+func TestMixedOrientations(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	transcript := randSeq(rng, 400)
+	reads := tiledReads(transcript, 150, 50)
+	for i := 1; i < len(reads); i += 2 {
+		reads[i] = reads[i].ReverseComplement()
+	}
+	members := make([]int, len(reads))
+	for i := range members {
+		members[i] = i
+	}
+	res, err := Build(reads, members, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := align.Global(res.Seq, transcript, align.DefaultScoring())
+	rcSt := align.Global(res.Seq, transcript.ReverseComplement(), align.DefaultScoring())
+	if st.Identity() < 0.99 && rcSt.Identity() < 0.99 {
+		t.Fatalf("mixed-strand consensus identity %.3f / %.3f", st.Identity(), rcSt.Identity())
+	}
+	flips := 0
+	for _, f := range res.Flipped {
+		if f {
+			flips++
+		}
+	}
+	if flips == 0 {
+		t.Error("no members flipped despite reverse-complemented reads")
+	}
+}
+
+func TestErrorsVotedOut(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	transcript := randSeq(rng, 400)
+	var reads []seq.Sequence
+	// 5x coverage with 2% errors.
+	for rep := 0; rep < 5; rep++ {
+		for _, r := range tiledReads(transcript, 160, 80) {
+			reads = append(reads, simulate.Mutate(r, 0.02, rng))
+		}
+	}
+	members := make([]int, len(reads))
+	for i := range members {
+		members[i] = i
+	}
+	res, err := Build(reads, members, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := align.Global(res.Seq, transcript, align.DefaultScoring())
+	if st.Identity() < 0.98 {
+		t.Fatalf("deep-coverage consensus identity %.3f", st.Identity())
+	}
+}
+
+func TestJunkMemberExcluded(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	transcript := randSeq(rng, 300)
+	reads := tiledReads(transcript, 150, 75)
+	junkIdx := len(reads)
+	reads = append(reads, randSeq(rng, 150)) // unrelated
+	members := make([]int, len(reads))
+	for i := range members {
+		members[i] = i
+	}
+	res, err := Build(reads, members, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Excluded != 1 {
+		t.Errorf("excluded %d want 1 (junk member %d)", res.Excluded, junkIdx)
+	}
+}
+
+func TestOverhangsExtendConsensus(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	transcript := randSeq(rng, 300)
+	// One read covers the middle; flanking reads overlap it by 40+ bases
+	// and extend the scaffold in both directions.
+	reads := []seq.Sequence{
+		transcript[100:220].Clone(),
+		transcript[0:140].Clone(),
+		transcript[180:300].Clone(),
+	}
+	res, err := Build(reads, []int{0, 1, 2}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Seq.Equal(transcript) {
+		t.Fatalf("overhang consensus len %d want %d", len(res.Seq), len(transcript))
+	}
+}
+
+func TestBuildAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	t1 := randSeq(rng, 250)
+	t2 := randSeq(rng, 250)
+	ests := []seq.Sequence{
+		t1[:150].Clone(), t1[100:].Clone(),
+		t2[:150].Clone(), t2[100:].Clone(),
+	}
+	labels := []int32{0, 0, 1, 1}
+	out, err := BuildAll(ests, labels, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0] == nil || out[1] == nil {
+		t.Fatalf("results: %v", out)
+	}
+	if !out[0].Seq.Equal(t1) || !out[1].Seq.Equal(t2) {
+		t.Error("per-cluster consensus wrong")
+	}
+	if _, err := BuildAll(ests, []int32{0}, DefaultOptions()); err == nil {
+		t.Error("label length mismatch accepted")
+	}
+	if _, err := BuildAll(ests, []int32{0, 0, 1, -1}, DefaultOptions()); err == nil {
+		t.Error("negative label accepted")
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	transcript := randSeq(rng, 1200)
+	var reads []seq.Sequence
+	for rep := 0; rep < 3; rep++ {
+		for _, r := range tiledReads(transcript, 500, 250) {
+			reads = append(reads, simulate.Mutate(r, 0.02, rng))
+		}
+	}
+	members := make([]int, len(reads))
+	for i := range members {
+		members[i] = i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(reads, members, DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"tiny", "small", "medium"} {
+		sc, ok := ScaleByName(name)
+		if !ok || sc.Name != name {
+			t.Errorf("scale %q not resolvable", name)
+		}
+	}
+	if _, ok := ScaleByName("galactic"); ok {
+		t.Error("unknown scale resolved")
+	}
+}
+
+func TestDataset(t *testing.T) {
+	b, err := Dataset(100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.ESTs) != 100 {
+		t.Fatalf("dataset size %d", len(b.ESTs))
+	}
+}
+
+// Table 1's claim: the batch baseline materializes a pair list that grows
+// much faster than linearly with n, while PaCE's in-flight window stays
+// constant.
+func TestTable1Shape(t *testing.T) {
+	sc := Tiny
+	sc.QualitySizes = []int{120, 480}
+	rows, err := Table1(sc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	growth := float64(rows[1].BaselinePairs) / float64(rows[0].BaselinePairs)
+	if growth < 3.5 {
+		t.Errorf("baseline pair list grew only %.1fx for 4x data", growth)
+	}
+	if rows[0].PacePeakPairs != rows[1].PacePeakPairs {
+		t.Errorf("PaCE pair window should not grow with n: %d vs %d",
+			rows[0].PacePeakPairs, rows[1].PacePeakPairs)
+	}
+	if rows[1].BaselinePairs*20 != rows[1].BaselineBytes {
+		t.Error("byte accounting")
+	}
+}
+
+func TestTable1MemoryCeiling(t *testing.T) {
+	sc := Tiny
+	sc.QualitySizes = []int{480}
+	sc.BaselineBudgetPairs = 1000
+	rows, err := Table1(sc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows[0].OutOfMemory {
+		t.Error("tiny budget must reproduce the 'X' entry")
+	}
+}
+
+// Table 2's claim: our quality is within a few points of the batch
+// baseline's, and under-prediction exceeds over-prediction for both.
+func TestTable2Shape(t *testing.T) {
+	sc := Tiny
+	sc.QualitySizes = []int{240}
+	rows, err := Table2(sc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if !r.BaselineRan {
+		t.Fatal("baseline should fit at tiny scale")
+	}
+	if r.Ours.OQ < r.Baseline.OQ-0.05 {
+		t.Errorf("ours %v far below baseline %v", r.Ours, r.Baseline)
+	}
+	if r.Ours.OQ < 0.5 {
+		t.Errorf("implausibly low quality: %v", r.Ours)
+	}
+}
+
+// Table 3 / Fig 6a's claim: each component's virtual time decreases as
+// processors are added.
+func TestTable3Shape(t *testing.T) {
+	sc := Tiny
+	sc.Procs = []int{2, 8}
+	rows, err := Table3(sc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, big := rows[0].Phases, rows[1].Phases
+	if big.Total >= small.Total {
+		t.Errorf("no total speedup: p=2 %v, p=8 %v", small.Total, big.Total)
+	}
+	if big.Construct >= small.Construct {
+		t.Errorf("no construction speedup: %v vs %v", small.Construct, big.Construct)
+	}
+}
+
+func TestFig6bShape(t *testing.T) {
+	sc := Tiny
+	sc.Fig6Sizes = []int{120, 480}
+	pts, err := Fig6b(sc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[1].Time <= pts[0].Time {
+		t.Errorf("run-time must grow with n: %v then %v", pts[0].Time, pts[1].Time)
+	}
+}
+
+// Figure 7's claim: generated >> processed >= accepted, with the
+// generated/processed gap widening as n grows (deeper redundancy).
+func TestFig7Shape(t *testing.T) {
+	sc := Tiny
+	sc.QualitySizes = []int{120, 480}
+	rows, err := Fig7(sc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Generated <= r.Processed || r.Processed < r.Accepted {
+			t.Errorf("ordering violated at n=%d: %+v", r.N, r)
+		}
+	}
+	gap0 := float64(rows[0].Generated) / float64(rows[0].Processed)
+	gap1 := float64(rows[1].Generated) / float64(rows[1].Processed)
+	if gap1 <= gap0 {
+		t.Errorf("generated/processed gap should widen: %.1f then %.1f", gap0, gap1)
+	}
+}
+
+func TestFig8Runs(t *testing.T) {
+	sc := Tiny
+	sc.BatchSizes = []int{4, 60}
+	rows, err := Fig8(sc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Time <= 0 || rows[1].Time <= 0 {
+		t.Fatalf("fig8 rows: %+v", rows)
+	}
+}
+
+func TestAblationsShape(t *testing.T) {
+	rows, err := Ablations(Tiny.ComponentN, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("variants: %d", len(rows))
+	}
+	pace, noskip := rows[0], rows[1]
+	if pace.PairsProcessed >= noskip.PairsProcessed {
+		t.Errorf("skipping saved nothing: %d vs %d", pace.PairsProcessed, noskip.PairsProcessed)
+	}
+	for _, r := range rows {
+		if r.Quality.OQ < 0.5 {
+			t.Errorf("variant %q quality collapsed: %v", r.Variant, r.Quality)
+		}
+	}
+}
+
+func TestTrimStudyShape(t *testing.T) {
+	rows, err := TrimStudy(100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	raw, trimmed := rows[0], rows[1]
+	if raw.PairsGenerated <= trimmed.PairsGenerated {
+		t.Errorf("tails should inflate pair generation: %d vs %d",
+			raw.PairsGenerated, trimmed.PairsGenerated)
+	}
+	if trimmed.Quality.OQ < 0.5 {
+		t.Errorf("trimmed quality collapsed: %v", trimmed.Quality)
+	}
+}

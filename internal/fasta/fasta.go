@@ -1,0 +1,223 @@
+// Package fasta reads and writes FASTA-formatted DNA sequence files, the
+// interchange format used by EST repositories such as dbEST. The reader is
+// streaming (suitable for multi-million-record files), tolerates Windows line
+// endings and blank lines, and can either reject or repair non-ACGT
+// characters.
+package fasta
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+
+	"pace/internal/seq"
+)
+
+// Record is one FASTA entry.
+type Record struct {
+	// ID is the first whitespace-delimited token after '>'.
+	ID string
+	// Desc is the remainder of the header line, if any.
+	Desc string
+	// Seq is the parsed sequence.
+	Seq seq.Sequence
+}
+
+// Options controls parsing behaviour.
+type Options struct {
+	// AllowAmbiguous replaces non-ACGT sequence characters with Filler
+	// instead of failing. dbEST records routinely contain N runs.
+	AllowAmbiguous bool
+	// Filler is the replacement code used when AllowAmbiguous is set.
+	Filler seq.Code
+	// SkipEmpty drops records with empty sequences instead of failing.
+	SkipEmpty bool
+}
+
+// Reader streams records from a FASTA file.
+type Reader struct {
+	s       *bufio.Scanner
+	opts    Options
+	line    int
+	pending string // header line read ahead, "" if none
+	done    bool
+}
+
+// NewReader wraps r. The options value may be the zero value for strict
+// parsing.
+func NewReader(r io.Reader, opts Options) *Reader {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &Reader{s: s, opts: opts}
+}
+
+func trimLine(b []byte) string {
+	return string(bytes.TrimRight(b, "\r"))
+}
+
+// Next returns the next record, or io.EOF when the input is exhausted.
+func (r *Reader) Next() (*Record, error) {
+	header := r.pending
+	r.pending = ""
+	for header == "" {
+		if r.done {
+			return nil, io.EOF
+		}
+		if !r.s.Scan() {
+			r.done = true
+			if err := r.s.Err(); err != nil {
+				return nil, err
+			}
+			return nil, io.EOF
+		}
+		r.line++
+		line := trimLine(r.s.Bytes())
+		if line == "" || strings.HasPrefix(line, ";") {
+			continue
+		}
+		if !strings.HasPrefix(line, ">") {
+			return nil, fmt.Errorf("fasta: line %d: expected header, got %q", r.line, line)
+		}
+		header = line
+	}
+
+	rec := &Record{}
+	fields := strings.SplitN(strings.TrimSpace(header[1:]), " ", 2)
+	rec.ID = fields[0]
+	if len(fields) == 2 {
+		rec.Desc = strings.TrimSpace(fields[1])
+	}
+	if rec.ID == "" {
+		return nil, fmt.Errorf("fasta: line %d: empty record id", r.line)
+	}
+
+	var raw strings.Builder
+	for {
+		if !r.s.Scan() {
+			r.done = true
+			if err := r.s.Err(); err != nil {
+				return nil, err
+			}
+			break
+		}
+		r.line++
+		line := trimLine(r.s.Bytes())
+		if line == "" || strings.HasPrefix(line, ";") {
+			continue
+		}
+		if strings.HasPrefix(line, ">") {
+			r.pending = line
+			break
+		}
+		raw.WriteString(strings.TrimSpace(line))
+	}
+
+	var err error
+	if r.opts.AllowAmbiguous {
+		rec.Seq, _ = seq.ParseLossy(raw.String(), r.opts.Filler)
+	} else {
+		rec.Seq, err = seq.Parse(raw.String())
+		if err != nil {
+			return nil, fmt.Errorf("fasta: record %q: %w", rec.ID, err)
+		}
+	}
+	if len(rec.Seq) == 0 && !r.opts.SkipEmpty {
+		return nil, fmt.Errorf("fasta: record %q has empty sequence", rec.ID)
+	}
+	if len(rec.Seq) == 0 {
+		return r.Next()
+	}
+	return rec, nil
+}
+
+// ReadAll consumes the reader and returns every record.
+func (r *Reader) ReadAll() ([]*Record, error) {
+	var out []*Record
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// ReadAll parses all records from r with the given options.
+func ReadAll(r io.Reader, opts Options) ([]*Record, error) {
+	return NewReader(r, opts).ReadAll()
+}
+
+// Sequences extracts just the sequences from records, in order.
+func Sequences(recs []*Record) []seq.Sequence {
+	out := make([]seq.Sequence, len(recs))
+	for i, r := range recs {
+		out[i] = r.Seq
+	}
+	return out
+}
+
+// Writer emits FASTA records with fixed line wrapping.
+type Writer struct {
+	w    *bufio.Writer
+	wrap int
+}
+
+// NewWriter creates a Writer wrapping lines at wrap characters
+// (60 if wrap <= 0).
+func NewWriter(w io.Writer, wrap int) *Writer {
+	if wrap <= 0 {
+		wrap = 60
+	}
+	return &Writer{w: bufio.NewWriter(w), wrap: wrap}
+}
+
+// Write emits one record.
+func (w *Writer) Write(rec *Record) error {
+	if rec.ID == "" {
+		return fmt.Errorf("fasta: cannot write record with empty id")
+	}
+	if _, err := w.w.WriteString(">" + rec.ID); err != nil {
+		return err
+	}
+	if rec.Desc != "" {
+		if _, err := w.w.WriteString(" " + rec.Desc); err != nil {
+			return err
+		}
+	}
+	if err := w.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	s := rec.Seq.String()
+	for i := 0; i < len(s); i += w.wrap {
+		end := i + w.wrap
+		if end > len(s) {
+			end = len(s)
+		}
+		if _, err := w.w.WriteString(s[i:end]); err != nil {
+			return err
+		}
+		if err := w.w.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// WriteAll writes all records and flushes.
+func WriteAll(w io.Writer, recs []*Record, wrap int) error {
+	fw := NewWriter(w, wrap)
+	for _, r := range recs {
+		if err := fw.Write(r); err != nil {
+			return err
+		}
+	}
+	return fw.Flush()
+}

@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRandIndex(t *testing.T) {
+	q, _ := Compare([]int32{0, 0, 1, 1}, []int32{0, 0, 1, 1})
+	if q.RandIndex() != 1 {
+		t.Errorf("identical partitions: %f", q.RandIndex())
+	}
+	q = FromCounts(Counts{TP: 1, TN: 1, FP: 1, FN: 1})
+	if q.RandIndex() != 0.5 {
+		t.Errorf("half agreement: %f", q.RandIndex())
+	}
+	if FromCounts(Counts{}).RandIndex() != 1 {
+		t.Error("empty counts")
+	}
+}
+
+func TestAdjustedRandIdentical(t *testing.T) {
+	q, _ := Compare([]int32{0, 0, 1, 1, 2}, []int32{5, 5, 7, 7, 9})
+	if math.Abs(q.AdjustedRand()-1) > 1e-12 {
+		t.Errorf("identical partitions ARI: %f", q.AdjustedRand())
+	}
+}
+
+func TestAdjustedRandSingletonsVsSingletons(t *testing.T) {
+	pred := []int32{0, 1, 2, 3}
+	q, _ := Compare(pred, pred)
+	if q.AdjustedRand() != 1 {
+		t.Errorf("all-singleton self-comparison ARI: %f", q.AdjustedRand())
+	}
+}
+
+func TestAdjustedRandIndependentNearZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 2000
+	pred := make([]int32, n)
+	truth := make([]int32, n)
+	for i := range pred {
+		pred[i] = int32(rng.Intn(10))
+		truth[i] = int32(rng.Intn(10))
+	}
+	q, _ := Compare(pred, truth)
+	if ari := q.AdjustedRand(); math.Abs(ari) > 0.02 {
+		t.Errorf("independent partitions ARI should be ≈0, got %f", ari)
+	}
+}
+
+func TestAdjustedRandBelowRand(t *testing.T) {
+	// ARI penalizes chance agreement: for a partly-wrong clustering it
+	// must sit below the raw Rand index.
+	pred := []int32{0, 0, 0, 1, 1, 1, 2, 2}
+	truth := []int32{0, 0, 1, 1, 2, 2, 2, 0}
+	q, _ := Compare(pred, truth)
+	if q.AdjustedRand() >= q.RandIndex() {
+		t.Errorf("ARI %f >= RI %f", q.AdjustedRand(), q.RandIndex())
+	}
+}
+
+func TestPurity(t *testing.T) {
+	pred := []int32{0, 0, 0, 1, 1}
+	truth := []int32{7, 7, 8, 9, 9}
+	p, err := Purity(pred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cluster 0: dominant truth 7 (2 of 3); cluster 1: dominant 9 (2 of 2).
+	if math.Abs(p-0.8) > 1e-12 {
+		t.Errorf("purity %f want 0.8", p)
+	}
+	if _, err := Purity([]int32{0}, []int32{0, 1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if p, _ := Purity(nil, nil); p != 1 {
+		t.Error("empty purity")
+	}
+}
+
+func TestPurityPerfect(t *testing.T) {
+	pred := []int32{0, 0, 1, 1}
+	truth := []int32{3, 3, 4, 4}
+	if p, _ := Purity(pred, truth); p != 1 {
+		t.Errorf("perfect purity: %f", p)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]int32{0, 0, 0, 1, 1, 2, 3, 4})
+	if s.N != 8 || s.NumClusters != 5 || s.Largest != 3 || s.Singletons != 3 {
+		t.Errorf("summary: %+v", s)
+	}
+	if math.Abs(s.MeanSize-1.6) > 1e-12 {
+		t.Errorf("mean: %f", s.MeanSize)
+	}
+	if s.String() == "" {
+		t.Error("empty summary string")
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.NumClusters != 0 {
+		t.Errorf("empty summary: %+v", empty)
+	}
+}

@@ -1,0 +1,224 @@
+package mp
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestScatterBytes(t *testing.T) {
+	const p = 5
+	for root := 0; root < p; root += 2 {
+		root := root
+		bothModes(t, p, fmt.Sprintf("scatter_r%d", root), func(c *Comm) error {
+			var parts [][]byte
+			if c.Rank() == root {
+				parts = make([][]byte, p)
+				for i := range parts {
+					parts[i] = []byte{byte(i), byte(i * 2)}
+				}
+			}
+			got, err := c.ScatterBytes(root, parts)
+			if err != nil {
+				return err
+			}
+			want := []byte{byte(c.Rank()), byte(c.Rank() * 2)}
+			if !bytes.Equal(got, want) {
+				return fmt.Errorf("rank %d got %v want %v", c.Rank(), got, want)
+			}
+			return nil
+		})
+	}
+}
+
+func TestScatterValidatesParts(t *testing.T) {
+	err := Run(Config{Procs: 1, Mode: ModeReal}, func(c *Comm) error {
+		if _, err := c.ScatterBytes(0, [][]byte{{1}, {2}}); err == nil {
+			return fmt.Errorf("wrong part count accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgatherBytes(t *testing.T) {
+	const p = 6
+	bothModes(t, p, "allgather", func(c *Comm) error {
+		// Ragged contributions, including an empty one.
+		data := bytes.Repeat([]byte{byte(c.Rank())}, c.Rank())
+		out, err := c.AllgatherBytes(data)
+		if err != nil {
+			return err
+		}
+		for r := 0; r < p; r++ {
+			want := bytes.Repeat([]byte{byte(r)}, r)
+			if !bytes.Equal(out[r], want) {
+				return fmt.Errorf("rank %d sees %v for rank %d", c.Rank(), out[r], r)
+			}
+		}
+		return nil
+	})
+}
+
+func TestCommStatsCounting(t *testing.T) {
+	bothModes(t, 2, "stats", func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 1, make([]byte, 100)); err != nil {
+				return err
+			}
+			if err := c.Send(1, 1, make([]byte, 50)); err != nil {
+				return err
+			}
+			st := c.Stats()
+			if st.MsgsSent != 2 || st.BytesSent != 150 {
+				return fmt.Errorf("sender stats: %+v", st)
+			}
+			return nil
+		}
+		for i := 0; i < 2; i++ {
+			if _, err := c.Recv(0, 1); err != nil {
+				return err
+			}
+		}
+		st := c.Stats()
+		if st.MsgsRecv != 2 || st.BytesRecv != 150 {
+			return fmt.Errorf("receiver stats: %+v", st)
+		}
+		return nil
+	})
+}
+
+// Cross-mode equivalence: a randomized deterministic message pattern must
+// deliver identical data in real and simulated modes.
+func TestCrossModeEquivalence(t *testing.T) {
+	const p = 4
+	const rounds = 30
+	type key struct{ round, from, to int }
+
+	runPattern := func(cfg Config) (map[key]byte, error) {
+		got := make([]map[key]byte, p)
+		for i := range got {
+			got[i] = map[key]byte{}
+		}
+		err := Run(cfg, func(c *Comm) error {
+			rng := rand.New(rand.NewSource(99)) // same schedule on all ranks
+			for round := 0; round < rounds; round++ {
+				from := rng.Intn(p)
+				to := rng.Intn(p - 1)
+				if to >= from {
+					to++
+				}
+				payload := byte(round*7 + from)
+				if c.Rank() == from {
+					if err := c.Send(to, 5, []byte{payload}); err != nil {
+						return err
+					}
+				}
+				if c.Rank() == to {
+					m, err := c.Recv(from, 5)
+					if err != nil {
+						return err
+					}
+					got[c.Rank()][key{round, from, to}] = m.Data[0]
+				}
+			}
+			return nil
+		})
+		merged := map[key]byte{}
+		for _, m := range got {
+			for k, v := range m {
+				merged[k] = v
+			}
+		}
+		return merged, err
+	}
+
+	real, err := runPattern(Config{Procs: p, Mode: ModeReal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := runPattern(simTestConfig(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(real) != len(sim) || len(real) != rounds {
+		t.Fatalf("delivery counts: real=%d sim=%d want %d", len(real), len(sim), rounds)
+	}
+	for k, v := range real {
+		if sim[k] != v {
+			t.Fatalf("payload mismatch at %+v: real=%d sim=%d", k, v, sim[k])
+		}
+	}
+}
+
+// In simulated mode, bigger messages must take longer to deliver.
+func TestSimBandwidthModel(t *testing.T) {
+	recvTime := func(size int) time.Duration {
+		cfg := simTestConfig(2)
+		times, err := RunTimed(cfg, func(c *Comm) error {
+			if c.Rank() == 0 {
+				return c.Send(1, 1, make([]byte, size))
+			}
+			_, err := c.Recv(0, 1)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return times[1]
+	}
+	small, big := recvTime(10), recvTime(1_000_000)
+	if big <= small {
+		t.Errorf("bandwidth model inactive: %v vs %v", small, big)
+	}
+	want := 100*time.Microsecond + 10*time.Millisecond // latency + 1MB * 10ns
+	if big != want {
+		t.Errorf("1MB delivery %v want %v", big, want)
+	}
+}
+
+// In simulated mode a dissemination barrier needs ceil(log2 p) rounds, so no
+// rank can leave before round-count × latency of virtual time has passed.
+func TestSimBarrierLatencyModel(t *testing.T) {
+	const p = 8
+	cfg := simTestConfig(p) // latency 100µs
+	times, err := RunTimed(cfg, func(c *Comm) error {
+		return c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds := 0
+	for m := 1; m < p; m <<= 1 {
+		rounds++
+	}
+	minTime := time.Duration(rounds) * cfg.Latency
+	for r, tm := range times {
+		if tm < minTime {
+			t.Errorf("rank %d finished at %v, below the %d-round latency floor %v",
+				r, tm, rounds, minTime)
+		}
+	}
+}
+
+// Allreduce must cost at least the reduce+bcast tree depth in latency.
+func TestSimAllreduceLatencyModel(t *testing.T) {
+	const p = 16
+	cfg := simTestConfig(p)
+	times, err := RunTimed(cfg, func(c *Comm) error {
+		_, err := c.AllreduceSumInt64([]int64{1})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 0 participates in 4 reduce rounds and starts the bcast: its
+	// clock alone must exceed 4 latencies; the last bcast leaf more.
+	if MaxTime(times) < 5*cfg.Latency {
+		t.Errorf("allreduce completed in %v, implausibly fast for p=16", MaxTime(times))
+	}
+}

@@ -1,0 +1,469 @@
+// Package mp is a message-passing runtime — the substrate standing in for
+// the MPI / IBM SP environment the paper's software ran on. It provides
+// ranks, tagged point-to-point messaging with any-source receives and
+// probing, and O(log p) tree collectives (the paper's "parallel summation
+// algorithm in O(log p) communication steps").
+//
+// Two execution modes share one API:
+//
+//   - ModeReal: every rank is a goroutine and messages move through in-memory
+//     mailboxes; elapsed time is wall-clock. This exercises genuine
+//     concurrency on multicore hosts.
+//
+//   - ModeSim: a conservative discrete-event simulation of a distributed-
+//     memory machine. Ranks execute one at a time under a global scheduler
+//     that always advances the rank with the minimum virtual clock;
+//     communication costs follow a latency + bytes/bandwidth model, and
+//     compute sections are charged by measuring their actual execution time
+//     (optionally scaled). This reproduces parallel run-time *shape*
+//     (speedups, component breakdowns) faithfully even on a single-core
+//     host, which is how the paper's 8–128-processor curves are regenerated
+//     here.
+package mp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// AnySource matches messages from any rank (the paper's master receives
+// result/pair messages from whichever slave finishes first).
+const AnySource = -1
+
+// Mode selects the execution model.
+type Mode int
+
+const (
+	// ModeReal runs ranks concurrently with wall-clock timing.
+	ModeReal Mode = iota
+	// ModeSim runs a discrete-event simulation with virtual time.
+	ModeSim
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// Procs is the number of ranks p.
+	Procs int
+	// Mode selects real or simulated execution.
+	Mode Mode
+
+	// Latency is the per-message delivery latency (ModeSim).
+	Latency time.Duration
+	// ByteTime is the per-byte transfer time, i.e. 1/bandwidth (ModeSim).
+	ByteTime time.Duration
+	// SendOverhead is the CPU cost charged to a sender per message
+	// (ModeSim).
+	SendOverhead time.Duration
+	// ComputeScale multiplies measured compute time (ModeSim); 0 means 1.
+	ComputeScale float64
+	// MeasureCompute charges wall-clock compute time between communication
+	// calls to the virtual clock (ModeSim). Disable for deterministic
+	// tests that charge time explicitly via ChargeCompute.
+	MeasureCompute bool
+}
+
+// DefaultSimConfig models a modest cluster interconnect: 50µs latency,
+// ~100 MB/s effective bandwidth.
+func DefaultSimConfig(p int) Config {
+	return Config{
+		Procs:          p,
+		Mode:           ModeSim,
+		Latency:        50 * time.Microsecond,
+		ByteTime:       10 * time.Nanosecond,
+		SendOverhead:   5 * time.Microsecond,
+		ComputeScale:   1,
+		MeasureCompute: true,
+	}
+}
+
+// Msg is one delivered message.
+type Msg struct {
+	From, To int
+	Tag      int
+	Data     []byte
+}
+
+// ErrDeadlock is returned from communication calls when the simulated
+// machine has no runnable rank and no deliverable message.
+var ErrDeadlock = errors.New("mp: deadlock: all ranks blocked")
+
+// transport is the mode-specific engine under a Comm.
+type transport interface {
+	begin(rank int) error
+	send(from, to, tag int, data []byte) error
+	recv(rank, from, tag int) (Msg, error)
+	probe(rank, from, tag int) (bool, error)
+	elapsed(rank int) time.Duration
+	charge(rank int, d time.Duration)
+	finish(rank int)
+	stats(rank int) CommStats
+}
+
+// CommStats counts a rank's point-to-point traffic (collectives included,
+// since they are built from point-to-point sends).
+type CommStats struct {
+	MsgsSent  int64
+	BytesSent int64
+	MsgsRecv  int64
+	BytesRecv int64
+}
+
+// add records one message.
+func (s *CommStats) addSent(n int) {
+	s.MsgsSent++
+	s.BytesSent += int64(n)
+}
+
+func (s *CommStats) addRecv(n int) {
+	s.MsgsRecv++
+	s.BytesRecv += int64(n)
+}
+
+// Comm is a rank's endpoint, analogous to an MPI communicator + rank.
+type Comm struct {
+	rank int
+	size int
+	tr   transport
+}
+
+// Rank returns this endpoint's rank in [0, Size()).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.size }
+
+// Send delivers data to rank `to` with the given tag. It is buffered
+// ("eager" in MPI terms): it never blocks on the receiver.
+func (c *Comm) Send(to, tag int, data []byte) error {
+	if to < 0 || to >= c.size {
+		return fmt.Errorf("mp: send to invalid rank %d", to)
+	}
+	return c.tr.send(c.rank, to, tag, data)
+}
+
+// Recv blocks until a message with the given tag arrives from rank `from`
+// (or from anyone if from == AnySource). Tags match exactly.
+func (c *Comm) Recv(from, tag int) (Msg, error) {
+	if from != AnySource && (from < 0 || from >= c.size) {
+		return Msg{}, fmt.Errorf("mp: recv from invalid rank %d", from)
+	}
+	return c.tr.recv(c.rank, from, tag)
+}
+
+// Probe reports whether a matching message is already available; it never
+// blocks. In ModeSim the answer is exact with respect to virtual time.
+func (c *Comm) Probe(from, tag int) (bool, error) {
+	if from != AnySource && (from < 0 || from >= c.size) {
+		return false, fmt.Errorf("mp: probe of invalid rank %d", from)
+	}
+	return c.tr.probe(c.rank, from, tag)
+}
+
+// Elapsed returns this rank's clock: wall time in ModeReal, virtual time in
+// ModeSim.
+func (c *Comm) Elapsed() time.Duration { return c.tr.elapsed(c.rank) }
+
+// ChargeCompute adds d of artificial compute time to this rank's virtual
+// clock (no-op in ModeReal). It exists for deterministic simulation tests
+// and for modeling work not actually executed.
+func (c *Comm) ChargeCompute(d time.Duration) { c.tr.charge(c.rank, d) }
+
+// Stats returns this rank's point-to-point traffic counters so far.
+func (c *Comm) Stats() CommStats { return c.tr.stats(c.rank) }
+
+// Collective tags live in their own space so they can never match
+// application receives.
+const (
+	tagBcast   = 1 << 28
+	tagReduce  = 1<<28 + 1
+	tagBarrier = 1<<28 + 2
+	tagGather  = 1<<28 + 3
+	tagScatter = 1<<28 + 4
+)
+
+// Bcast distributes root's buffer to all ranks along a binomial tree and
+// returns each rank's copy.
+func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
+	if c.size == 1 {
+		return data, nil
+	}
+	vrank := (c.rank - root + c.size) % c.size
+	mask := 1
+	for mask < c.size {
+		if vrank&mask != 0 {
+			src := (c.rank - mask + c.size) % c.size
+			m, err := c.Recv(src, tagBcast)
+			if err != nil {
+				return nil, err
+			}
+			data = m.Data
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if vrank+mask < c.size {
+			dst := (c.rank + mask) % c.size
+			if err := c.Send(dst, tagBcast, data); err != nil {
+				return nil, err
+			}
+		}
+		mask >>= 1
+	}
+	return data, nil
+}
+
+// ReduceSumInt64 sums each position of vals across ranks along a binomial
+// tree; the total lands on root (other ranks get nil).
+func (c *Comm) ReduceSumInt64(root int, vals []int64) ([]int64, error) {
+	acc := make([]int64, len(vals))
+	copy(acc, vals)
+	vrank := (c.rank - root + c.size) % c.size
+	for mask := 1; mask < c.size; mask <<= 1 {
+		if vrank&mask == 0 {
+			srcV := vrank | mask
+			if srcV < c.size {
+				src := (srcV + root) % c.size
+				m, err := c.Recv(src, tagReduce)
+				if err != nil {
+					return nil, err
+				}
+				part, err := DecodeInt64s(m.Data)
+				if err != nil {
+					return nil, err
+				}
+				if len(part) != len(acc) {
+					return nil, fmt.Errorf("mp: reduce length mismatch %d vs %d", len(part), len(acc))
+				}
+				for i := range acc {
+					acc[i] += part[i]
+				}
+			}
+		} else {
+			dst := ((vrank ^ mask) + root) % c.size
+			if err := c.Send(dst, tagReduce, EncodeInt64s(acc)); err != nil {
+				return nil, err
+			}
+			return nil, nil
+		}
+	}
+	return acc, nil
+}
+
+// AllreduceSumInt64 is ReduceSumInt64 to rank 0 followed by a Bcast —
+// 2·O(log p) communication steps.
+func (c *Comm) AllreduceSumInt64(vals []int64) ([]int64, error) {
+	acc, err := c.ReduceSumInt64(0, vals)
+	if err != nil {
+		return nil, err
+	}
+	var buf []byte
+	if c.rank == 0 {
+		buf = EncodeInt64s(acc)
+	}
+	buf, err = c.Bcast(0, buf)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeInt64s(buf)
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() error {
+	// Dissemination barrier: ceil(log2 p) rounds.
+	for mask := 1; mask < c.size; mask <<= 1 {
+		dst := (c.rank + mask) % c.size
+		src := (c.rank - mask + c.size) % c.size
+		if err := c.Send(dst, tagBarrier, nil); err != nil {
+			return err
+		}
+		if _, err := c.Recv(src, tagBarrier); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GatherBytes collects each rank's buffer at root; the result at root is
+// indexed by rank (nil elsewhere).
+func (c *Comm) GatherBytes(root int, data []byte) ([][]byte, error) {
+	if c.rank != root {
+		return nil, c.Send(root, tagGather, data)
+	}
+	out := make([][]byte, c.size)
+	out[root] = data
+	// Receive from each specific source: per-source FIFO matching keeps
+	// back-to-back gathers from interleaving (an any-source receive could
+	// pick up a fast rank's *next* gather contribution).
+	for src := 0; src < c.size; src++ {
+		if src == root {
+			continue
+		}
+		m, err := c.Recv(src, tagGather)
+		if err != nil {
+			return nil, err
+		}
+		out[src] = m.Data
+	}
+	return out, nil
+}
+
+// ScatterBytes distributes parts[i] from root to rank i (parts is read at
+// root only; every rank returns its own slice).
+func (c *Comm) ScatterBytes(root int, parts [][]byte) ([]byte, error) {
+	if c.rank == root {
+		if len(parts) != c.size {
+			return nil, fmt.Errorf("mp: scatter needs %d parts, got %d", c.size, len(parts))
+		}
+		for r := 0; r < c.size; r++ {
+			if r == root {
+				continue
+			}
+			if err := c.Send(r, tagScatter, parts[r]); err != nil {
+				return nil, err
+			}
+		}
+		return parts[root], nil
+	}
+	m, err := c.Recv(root, tagScatter)
+	if err != nil {
+		return nil, err
+	}
+	return m.Data, nil
+}
+
+// AllgatherBytes collects every rank's buffer at every rank (gather to rank
+// 0, then broadcast of the concatenation with a length header).
+func (c *Comm) AllgatherBytes(data []byte) ([][]byte, error) {
+	parts, err := c.GatherBytes(0, data)
+	if err != nil {
+		return nil, err
+	}
+	var packed []byte
+	if c.rank == 0 {
+		lens := make([]int64, c.size)
+		for i, p := range parts {
+			lens[i] = int64(len(p))
+		}
+		packed = EncodeInt64s(lens)
+		for _, p := range parts {
+			packed = append(packed, p...)
+		}
+	}
+	packed, err = c.Bcast(0, packed)
+	if err != nil {
+		return nil, err
+	}
+	if len(packed) < 8*c.size {
+		return nil, fmt.Errorf("mp: allgather header truncated")
+	}
+	lens, err := DecodeInt64s(packed[:8*c.size])
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, c.size)
+	off := 8 * c.size
+	for i, l := range lens {
+		if off+int(l) > len(packed) {
+			return nil, fmt.Errorf("mp: allgather payload truncated at rank %d", i)
+		}
+		out[i] = packed[off : off+int(l)]
+		off += int(l)
+	}
+	return out, nil
+}
+
+// EncodeInt64s packs a vector little-endian.
+func EncodeInt64s(vals []int64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[8*i:], uint64(v))
+	}
+	return out
+}
+
+// DecodeInt64s unpacks a vector packed by EncodeInt64s.
+func DecodeInt64s(b []byte) ([]int64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("mp: int64 buffer length %d not a multiple of 8", len(b))
+	}
+	out := make([]int64, len(b)/8)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out, nil
+}
+
+// Run executes body on every rank under the configured mode and returns the
+// first error any rank produced. It blocks until all ranks finish.
+func Run(cfg Config, body func(c *Comm) error) error {
+	if cfg.Procs < 1 {
+		return fmt.Errorf("mp: Procs must be >= 1, got %d", cfg.Procs)
+	}
+	var tr transport
+	switch cfg.Mode {
+	case ModeReal:
+		tr = newRealTransport(cfg.Procs)
+	case ModeSim:
+		tr = newSimTransport(cfg)
+	default:
+		return fmt.Errorf("mp: unknown mode %d", cfg.Mode)
+	}
+
+	errs := make([]error, cfg.Procs)
+	var wg sync.WaitGroup
+	for r := 0; r < cfg.Procs; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := &Comm{rank: rank, size: cfg.Procs, tr: tr}
+			defer func() {
+				if rec := recover(); rec != nil {
+					errs[rank] = fmt.Errorf("mp: rank %d panicked: %v", rank, rec)
+				}
+				tr.finish(rank)
+			}()
+			if err := tr.begin(rank); err != nil {
+				errs[rank] = err
+				return
+			}
+			errs[rank] = body(c)
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunTimed is Run plus the final per-rank clocks (virtual in ModeSim),
+// whose maximum is the modeled parallel run-time.
+func RunTimed(cfg Config, body func(c *Comm) error) ([]time.Duration, error) {
+	if cfg.Procs < 1 {
+		return nil, fmt.Errorf("mp: Procs must be >= 1, got %d", cfg.Procs)
+	}
+	times := make([]time.Duration, cfg.Procs)
+	err := Run(cfg, func(c *Comm) error {
+		defer func() { times[c.Rank()] = c.Elapsed() }()
+		return body(c)
+	})
+	return times, err
+}
+
+// MaxTime returns the maximum of a set of per-rank clocks.
+func MaxTime(ts []time.Duration) time.Duration {
+	var m time.Duration
+	for _, t := range ts {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}

@@ -1,0 +1,93 @@
+package mp
+
+import (
+	"sync"
+	"time"
+)
+
+// realTransport runs ranks truly concurrently: one mailbox per rank guarded
+// by a mutex/cond pair. Matching is FIFO in arrival order, which preserves
+// the MPI non-overtaking guarantee per (source, tag).
+type realTransport struct {
+	start time.Time
+	boxes []*realBox
+
+	statsMu sync.Mutex
+	traffic []CommStats
+}
+
+type realBox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	msgs []Msg
+}
+
+func newRealTransport(p int) *realTransport {
+	t := &realTransport{start: time.Now(), boxes: make([]*realBox, p), traffic: make([]CommStats, p)}
+	for i := range t.boxes {
+		b := &realBox{}
+		b.cond = sync.NewCond(&b.mu)
+		t.boxes[i] = b
+	}
+	return t
+}
+
+func (t *realTransport) begin(int) error { return nil }
+
+func matches(m Msg, from, tag int) bool {
+	return m.Tag == tag && (from == AnySource || m.From == from)
+}
+
+func (t *realTransport) send(from, to, tag int, data []byte) error {
+	b := t.boxes[to]
+	b.mu.Lock()
+	b.msgs = append(b.msgs, Msg{From: from, To: to, Tag: tag, Data: data})
+	b.mu.Unlock()
+	b.cond.Broadcast()
+	t.statsMu.Lock()
+	t.traffic[from].addSent(len(data))
+	t.statsMu.Unlock()
+	return nil
+}
+
+func (t *realTransport) recv(rank, from, tag int) (Msg, error) {
+	b := t.boxes[rank]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		for i, m := range b.msgs {
+			if matches(m, from, tag) {
+				b.msgs = append(b.msgs[:i], b.msgs[i+1:]...)
+				t.statsMu.Lock()
+				t.traffic[rank].addRecv(len(m.Data))
+				t.statsMu.Unlock()
+				return m, nil
+			}
+		}
+		b.cond.Wait()
+	}
+}
+
+func (t *realTransport) probe(rank, from, tag int) (bool, error) {
+	b := t.boxes[rank]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, m := range b.msgs {
+		if matches(m, from, tag) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func (t *realTransport) elapsed(int) time.Duration { return time.Since(t.start) }
+
+func (t *realTransport) charge(int, time.Duration) {}
+
+func (t *realTransport) finish(int) {}
+
+func (t *realTransport) stats(rank int) CommStats {
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	return t.traffic[rank]
+}

@@ -1,0 +1,295 @@
+package mp
+
+import (
+	"sync"
+	"time"
+)
+
+// simTransport is a conservative discrete-event simulation of a
+// distributed-memory message-passing machine.
+//
+// Exactly one rank executes at any moment. Ranks park in an "arena" at every
+// communication call; the scheduler always releases the parked rank whose
+// operation has the minimum virtual timestamp (receives become eligible only
+// once a matching message exists, with timestamp max(rank clock, message
+// delivery time)). Because the releasing rule is min-clock-first, a Probe at
+// virtual time T is exact: no rank with a smaller clock remains that could
+// still produce a message delivered at or before T.
+//
+// Compute sections between communication calls run for real and their wall
+// time (scaled by ComputeScale) is charged to the rank's virtual clock —
+// meaningful even on a single-core host precisely because only one rank ever
+// runs at a time.
+type simTransport struct {
+	cfg  Config
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	ranks   []*simRank
+	running int // rank currently computing, or -1
+	dead    error
+}
+
+const (
+	phaseComputing = iota
+	phaseArena
+	phaseDone
+)
+
+type simMsg struct {
+	Msg
+	deliver time.Duration
+}
+
+type simRank struct {
+	clock     time.Duration
+	phase     int
+	resumedAt time.Time
+
+	// Arena operation descriptor.
+	isRecv   bool
+	waitFrom int
+	waitTag  int
+	chosen   bool
+
+	mailbox []simMsg
+	traffic CommStats
+}
+
+func newSimTransport(cfg Config) *simTransport {
+	if cfg.ComputeScale == 0 {
+		cfg.ComputeScale = 1
+	}
+	t := &simTransport{cfg: cfg, running: -1}
+	t.cond = sync.NewCond(&t.mu)
+	t.ranks = make([]*simRank, cfg.Procs)
+	for i := range t.ranks {
+		t.ranks[i] = &simRank{phase: phaseArena}
+	}
+	return t
+}
+
+// stopClock charges the elapsed compute time of a currently-computing rank.
+func (t *simTransport) stopClock(rk *simRank) {
+	if rk.phase == phaseComputing && t.cfg.MeasureCompute {
+		d := time.Since(rk.resumedAt)
+		rk.clock += time.Duration(float64(d) * t.cfg.ComputeScale)
+	}
+}
+
+// firstMatch returns the first matching message in arrival order (per-source
+// FIFO, the MPI non-overtaking guarantee).
+func firstMatch(rk *simRank) (int, *simMsg) {
+	for i := range rk.mailbox {
+		m := &rk.mailbox[i]
+		if m.Tag == rk.waitTag && (rk.waitFrom == AnySource || m.From == rk.waitFrom) {
+			return i, m
+		}
+	}
+	return -1, nil
+}
+
+// keyOf computes a parked rank's scheduling timestamp.
+func (t *simTransport) keyOf(rk *simRank) (time.Duration, bool) {
+	if !rk.isRecv {
+		return rk.clock, true
+	}
+	if _, m := firstMatch(rk); m != nil {
+		key := rk.clock
+		if m.deliver > key {
+			key = m.deliver
+		}
+		return key, true
+	}
+	return 0, false
+}
+
+// schedule releases the eligible parked rank with the minimum timestamp.
+// Caller holds mu. A no-op while some rank is computing.
+func (t *simTransport) schedule() {
+	if t.running != -1 || t.dead != nil {
+		return
+	}
+	best := -1
+	var bestKey time.Duration
+	arena := 0
+	for i, rk := range t.ranks {
+		if rk.phase != phaseArena {
+			continue
+		}
+		arena++
+		if rk.chosen {
+			return // someone is already released and about to run
+		}
+		key, ok := t.keyOf(rk)
+		if !ok {
+			continue
+		}
+		if best == -1 || key < bestKey {
+			best, bestKey = i, key
+		}
+	}
+	if best == -1 {
+		if arena > 0 {
+			t.dead = ErrDeadlock
+			t.cond.Broadcast()
+		}
+		return
+	}
+	t.ranks[best].chosen = true
+	t.cond.Broadcast()
+}
+
+// enter parks rank r in the arena with the given operation descriptor and
+// blocks until the scheduler releases it. On return the caller holds mu and
+// may execute its operation.
+func (t *simTransport) enter(r int, isRecv bool, from, tag int) error {
+	t.mu.Lock()
+	if t.dead != nil {
+		t.mu.Unlock()
+		return t.dead
+	}
+	rk := t.ranks[r]
+	t.stopClock(rk)
+	rk.phase = phaseArena
+	rk.isRecv = isRecv
+	rk.waitFrom, rk.waitTag = from, tag
+	rk.chosen = false
+	if t.running == r {
+		t.running = -1
+	}
+	t.schedule()
+	for !rk.chosen && t.dead == nil {
+		t.cond.Wait()
+	}
+	if t.dead != nil {
+		t.mu.Unlock()
+		return t.dead
+	}
+	return nil
+}
+
+// leave resumes compute for rank r after its operation; releases mu.
+func (t *simTransport) leave(r int) {
+	rk := t.ranks[r]
+	rk.phase = phaseComputing
+	rk.chosen = false
+	t.running = r
+	rk.resumedAt = time.Now()
+	t.mu.Unlock()
+}
+
+// begin gates the start of a rank's body so that ranks execute one at a
+// time from virtual time zero.
+func (t *simTransport) begin(r int) error {
+	t.mu.Lock()
+	rk := t.ranks[r]
+	rk.isRecv = false
+	rk.chosen = false
+	rk.phase = phaseArena
+	t.schedule()
+	for !rk.chosen && t.dead == nil {
+		t.cond.Wait()
+	}
+	if t.dead != nil {
+		t.mu.Unlock()
+		return t.dead
+	}
+	t.leave(r)
+	return nil
+}
+
+func (t *simTransport) send(from, to, tag int, data []byte) error {
+	if err := t.enter(from, false, 0, 0); err != nil {
+		return err
+	}
+	rk := t.ranks[from]
+	deliver := rk.clock + t.cfg.Latency + time.Duration(len(data))*t.cfg.ByteTime
+	t.ranks[to].mailbox = append(t.ranks[to].mailbox, simMsg{
+		Msg:     Msg{From: from, To: to, Tag: tag, Data: data},
+		deliver: deliver,
+	})
+	rk.clock += t.cfg.SendOverhead
+	rk.traffic.addSent(len(data))
+	t.leave(from)
+	return nil
+}
+
+func (t *simTransport) recv(rank, from, tag int) (Msg, error) {
+	if err := t.enter(rank, true, from, tag); err != nil {
+		return Msg{}, err
+	}
+	rk := t.ranks[rank]
+	i, m := firstMatch(rk)
+	if m == nil {
+		// Cannot happen: eligibility implies a match and all other
+		// ranks are parked between scheduling and wake-up.
+		t.mu.Unlock()
+		panic("mp: released receiver has no matching message")
+	}
+	msg := m.Msg
+	if m.deliver > rk.clock {
+		rk.clock = m.deliver
+	}
+	rk.mailbox = append(rk.mailbox[:i], rk.mailbox[i+1:]...)
+	rk.traffic.addRecv(len(msg.Data))
+	t.leave(rank)
+	return msg, nil
+}
+
+func (t *simTransport) probe(rank, from, tag int) (bool, error) {
+	if err := t.enter(rank, false, 0, 0); err != nil {
+		return false, err
+	}
+	rk := t.ranks[rank]
+	saveFrom, saveTag := rk.waitFrom, rk.waitTag
+	rk.waitFrom, rk.waitTag = from, tag
+	_, m := firstMatch(rk)
+	rk.waitFrom, rk.waitTag = saveFrom, saveTag
+	ok := m != nil && m.deliver <= rk.clock
+	// Charge a minimum cost so that probe loops always advance virtual
+	// time (otherwise a polling rank would stay at the minimum clock and
+	// starve the rest of the machine).
+	cost := t.cfg.SendOverhead
+	if cost <= 0 {
+		cost = 100 * time.Nanosecond
+	}
+	rk.clock += cost
+	t.leave(rank)
+	return ok, nil
+}
+
+func (t *simTransport) elapsed(rank int) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rk := t.ranks[rank]
+	d := rk.clock
+	if rk.phase == phaseComputing && t.cfg.MeasureCompute {
+		d += time.Duration(float64(time.Since(rk.resumedAt)) * t.cfg.ComputeScale)
+	}
+	return d
+}
+
+func (t *simTransport) charge(rank int, d time.Duration) {
+	t.mu.Lock()
+	t.ranks[rank].clock += d
+	t.mu.Unlock()
+}
+
+func (t *simTransport) stats(rank int) CommStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ranks[rank].traffic
+}
+
+func (t *simTransport) finish(rank int) {
+	t.mu.Lock()
+	rk := t.ranks[rank]
+	t.stopClock(rk)
+	rk.phase = phaseDone
+	if t.running == rank {
+		t.running = -1
+	}
+	t.schedule()
+	t.mu.Unlock()
+}

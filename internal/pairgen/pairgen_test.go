@@ -1,0 +1,431 @@
+package pairgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"pace/internal/seq"
+	"pace/internal/suffix"
+)
+
+// buildForest builds the complete forest (single worker) for a set.
+func buildForest(t testing.TB, set *seq.SetS, w int) []*suffix.Tree {
+	t.Helper()
+	hi := seq.StringID(set.NumStrings())
+	owner := suffix.Assign(suffix.Histogram(set, w, 0, hi), 1)
+	m := suffix.CollectOwned(set, w, owner, 0, 0, hi)
+	forest, err := suffix.BuildForest(set, m, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return forest
+}
+
+func mustSet(t testing.TB, strs ...string) *seq.SetS {
+	t.Helper()
+	ests := make([]seq.Sequence, len(strs))
+	for i, s := range strs {
+		var err error
+		ests[i], err = seq.Parse(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	set, err := seq.NewSetS(ests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+func randomESTs(rng *rand.Rand, n, minLen, maxLen int) []seq.Sequence {
+	out := make([]seq.Sequence, n)
+	for i := range out {
+		l := minLen + rng.Intn(maxLen-minLen+1)
+		s := make(seq.Sequence, l)
+		for j := range s {
+			s[j] = seq.Code(rng.Intn(4))
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// lcsLen computes the longest common substring length by DP — the
+// brute-force oracle for promising pairs.
+func lcsLen(a, b seq.Sequence) int32 {
+	prev := make([]int32, len(b)+1)
+	cur := make([]int32, len(b)+1)
+	var best int32
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1] + 1
+				if cur[j] > best {
+					best = cur[j]
+				}
+			} else {
+				cur[j] = 0
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return best
+}
+
+// drain pulls every pair with the given batch size.
+func min32(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func drain(g *Generator, batch int) []Pair {
+	var all []Pair
+	for {
+		n := len(all)
+		all = g.Next(all, batch)
+		if len(all) == n {
+			return all
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	set := mustSet(t, "ACGTACGT")
+	if _, err := New(set, nil, 0); err == nil {
+		t.Error("psi=0 must fail")
+	}
+}
+
+func TestEmptyForest(t *testing.T) {
+	set := mustSet(t, "ACGTACGT")
+	g, err := New(set, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pairs := drain(g, 10); len(pairs) != 0 {
+		t.Errorf("empty forest produced %d pairs", len(pairs))
+	}
+	if g.Remaining() {
+		t.Error("exhausted generator claims more")
+	}
+}
+
+func TestSimpleOverlapPair(t *testing.T) {
+	// Two ESTs sharing a 12-char block; psi=8 must pair them.
+	set := mustSet(t,
+		"AACCGGTTACGTACGTAAAA",
+		"CCCCACGTACGTACGTGGGG")
+	w := 4
+	g, err := New(set, buildForest(t, set, w), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := drain(g, 4)
+	if len(pairs) == 0 {
+		t.Fatal("no pairs generated")
+	}
+	seen := map[[2]seq.StringID]bool{}
+	for _, p := range pairs {
+		seen[[2]seq.StringID{p.S1, p.S2}] = true
+		if e1, e2 := p.ESTs(); e1 != 0 || e2 != 1 {
+			t.Errorf("unexpected EST pair %d,%d", e1, e2)
+		}
+	}
+	if !seen[[2]seq.StringID{seq.Forward(0), seq.Forward(1)}] {
+		t.Errorf("forward/forward pair missing: %v", seen)
+	}
+}
+
+func TestReverseComplementPairDetected(t *testing.T) {
+	// EST 1 overlaps the reverse complement of EST 0.
+	rng := rand.New(rand.NewSource(3))
+	e0 := randomESTs(rng, 1, 60, 60)[0]
+	e1 := e0[10:50].ReverseComplement()
+	ests := []seq.Sequence{e0, e1}
+	set, err := seq.NewSetS(ests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(set, buildForest(t, set, 6), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := drain(g, 16)
+	found := false
+	for _, p := range pairs {
+		if p.S1 == seq.Forward(0) && p.S2 == seq.Reverse(1) {
+			found = true
+		}
+		if p.S1.IsReverse() {
+			t.Errorf("canonical pair with reversed S1: %+v", p)
+		}
+	}
+	if !found {
+		t.Errorf("rc overlap not detected: %+v", pairs)
+	}
+}
+
+// Anchors reported by the generator must be genuine maximal common
+// substrings (Lemma 1).
+func TestAnchorsAreMaximalCommonSubstrings(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	ests := randomESTs(rng, 8, 40, 90)
+	// Plant overlaps so pairs exist.
+	ests[1] = append(ests[0][20:].Clone(), ests[1][:30]...)
+	ests[3] = ests[2][5:min32(60, len(ests[2]))].ReverseComplement()
+	set, err := seq.NewSetS(ests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psi := int32(12)
+	g, err := New(set, buildForest(t, set, 6), int(psi))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := drain(g, 7)
+	if len(pairs) == 0 {
+		t.Fatal("expected pairs")
+	}
+	for _, p := range pairs {
+		s1, s2 := set.Str(p.S1), set.Str(p.S2)
+		if p.MatchLen < psi {
+			t.Fatalf("pair below threshold: %+v", p)
+		}
+		if !s1[p.Pos1 : p.Pos1+p.MatchLen].Equal(s2[p.Pos2 : p.Pos2+p.MatchLen]) {
+			t.Fatalf("anchor is not a common substring: %+v", p)
+		}
+		leftMax := p.Pos1 == 0 || p.Pos2 == 0 || s1[p.Pos1-1] != s2[p.Pos2-1]
+		r1, r2 := p.Pos1+p.MatchLen, p.Pos2+p.MatchLen
+		rightMax := int(r1) == len(s1) || int(r2) == len(s2) || s1[r1] != s2[r2]
+		if !leftMax || !rightMax {
+			t.Fatalf("anchor not maximal (left=%v right=%v): %+v", leftMax, rightMax, p)
+		}
+	}
+}
+
+// Completeness & soundness (Lemmas 1+3): the set of distinct canonical
+// string pairs generated equals the brute-force set of pairs with longest
+// common substring >= psi.
+func TestAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 8; trial++ {
+		n := 4 + rng.Intn(5)
+		ests := randomESTs(rng, n, 30, 70)
+		// Plant structure: overlaps, containments, rc overlaps.
+		if n >= 2 {
+			ests[1] = append(ests[0][10:].Clone(), ests[1][:20]...)
+		}
+		if n >= 4 {
+			ests[3] = ests[2][5:min32(40, len(ests[2]))].ReverseComplement()
+		}
+		set, err := seq.NewSetS(ests)
+		if err != nil {
+			t.Fatal(err)
+		}
+		psi := 14
+		g, err := New(set, buildForest(t, set, 6), psi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[[2]seq.StringID]bool{}
+		for _, p := range drain(g, 13) {
+			got[[2]seq.StringID{p.S1, p.S2}] = true
+		}
+		want := map[[2]seq.StringID]bool{}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				ff := lcsLen(set.Str(seq.Forward(seq.ESTID(i))), set.Str(seq.Forward(seq.ESTID(j))))
+				if ff >= int32(psi) {
+					want[[2]seq.StringID{seq.Forward(seq.ESTID(i)), seq.Forward(seq.ESTID(j))}] = true
+				}
+				fr := lcsLen(set.Str(seq.Forward(seq.ESTID(i))), set.Str(seq.Reverse(seq.ESTID(j))))
+				if fr >= int32(psi) {
+					want[[2]seq.StringID{seq.Forward(seq.ESTID(i)), seq.Reverse(seq.ESTID(j))}] = true
+				}
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d distinct pairs want %d\n got: %v\nwant: %v",
+				trial, len(got), len(want), got, want)
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("trial %d: missing pair %v", trial, k)
+			}
+		}
+	}
+}
+
+// Pairs must come out in non-increasing order of maximal common substring
+// length (the greedy processing order).
+func TestDecreasingMatchLen(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	ests := randomESTs(rng, 12, 50, 100)
+	for i := 1; i < 6; i++ {
+		cut := 10 + rng.Intn(20)
+		ests[i] = append(ests[0][cut:].Clone(), ests[i][:cut]...)
+	}
+	set, err := seq.NewSetS(ests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(set, buildForest(t, set, 6), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := drain(g, 3)
+	if len(pairs) < 2 {
+		t.Skip("not enough pairs to check ordering")
+	}
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i].MatchLen > pairs[i-1].MatchLen {
+			t.Fatalf("order violated at %d: %d after %d", i, pairs[i].MatchLen, pairs[i-1].MatchLen)
+		}
+	}
+}
+
+// The same (pair, anchor) tuple must never be emitted twice, and a pair is
+// emitted at most once per distinct maximal common substring (Corollary 2).
+func TestNoDuplicateEmissions(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	ests := randomESTs(rng, 10, 40, 80)
+	ests[1] = append(ests[0][15:].Clone(), ests[1][:25]...)
+	set, err := seq.NewSetS(ests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(set, buildForest(t, set, 5), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[Pair]bool{}
+	for _, p := range drain(g, 9) {
+		if seen[p] {
+			t.Fatalf("duplicate emission: %+v", p)
+		}
+		seen[p] = true
+	}
+}
+
+// Batch size must not change the emitted sequence.
+func TestBatchingInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	ests := randomESTs(rng, 10, 50, 90)
+	ests[2] = append(ests[5][10:].Clone(), ests[2][:30]...)
+	ests[7] = ests[4][5:min32(50, len(ests[4]))].ReverseComplement()
+	set, err := seq.NewSetS(ests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forest := buildForest(t, set, 6)
+	g1, _ := New(set, forest, 12)
+	g2, _ := New(set, forest, 12)
+	a := drain(g1, 1)
+	b := drain(g2, 1000)
+	if len(a) != len(b) {
+		t.Fatalf("batching changed count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("batching changed order at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSelfPairsDiscarded(t *testing.T) {
+	// A palindromic-ish EST overlaps its own reverse complement; such
+	// pairs must be discarded, not emitted.
+	set := mustSet(t, "ACGTACGTACGTACGTACGT", "GGGGGGGGCCCCCCCCGGGG")
+	g, err := New(set, buildForest(t, set, 4), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range drain(g, 8) {
+		e1, e2 := p.ESTs()
+		if e1 == e2 {
+			t.Fatalf("self pair emitted: %+v", p)
+		}
+	}
+	if g.Stats().DiscardedSelf == 0 {
+		t.Error("expected self-pair discards for a self-overlapping EST")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	ests := randomESTs(rng, 6, 40, 60)
+	ests[1] = ests[0][5:min32(45, len(ests[0]))].Clone()
+	set, err := seq.NewSetS(ests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(set, buildForest(t, set, 5), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := drain(g, 50)
+	st := g.Stats()
+	if st.Generated != int64(len(pairs)) {
+		t.Errorf("Generated %d != emitted %d", st.Generated, len(pairs))
+	}
+	if st.NodesProcessed == 0 || st.Entries == 0 {
+		t.Errorf("stats not counting: %+v", st)
+	}
+	// Each canonical emission has a mirrored discard elsewhere
+	// (orientation rule), so discards should be of similar magnitude.
+	if st.DiscardedOrientation == 0 && st.Generated > 0 {
+		t.Error("expected orientation discards")
+	}
+}
+
+// lset storage must stay linear: entries == number of deep leaves.
+func TestEntriesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	ests := randomESTs(rng, 10, 50, 80)
+	set, err := seq.NewSetS(ests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := 5
+	psi := 5 // every suffix-bearing node is deep
+	forest := buildForest(t, set, w)
+	g, err := New(set, forest, psi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(g, 1000)
+	var leaves int64
+	for _, tr := range forest {
+		leaves += int64(tr.NumLeaves())
+	}
+	if g.Stats().Entries != leaves {
+		t.Errorf("entries %d != deep leaves %d", g.Stats().Entries, leaves)
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	base := randomESTs(rng, 1, 2000, 2000)[0]
+	ests := make([]seq.Sequence, 60)
+	for i := range ests {
+		start := rng.Intn(1400)
+		ests[i] = base[start : start+500].Clone()
+	}
+	set, err := seq.NewSetS(ests)
+	if err != nil {
+		b.Fatal(err)
+	}
+	forest := buildForest(b, set, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := New(set, forest, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		drain(g, 64)
+	}
+}

@@ -1,0 +1,260 @@
+package seq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCodeOf(t *testing.T) {
+	cases := []struct {
+		b    byte
+		want Code
+		ok   bool
+	}{
+		{'A', A, true}, {'C', C, true}, {'G', G, true}, {'T', T, true},
+		{'a', A, true}, {'c', C, true}, {'g', G, true}, {'t', T, true},
+		{'N', 0, false}, {'x', 0, false}, {' ', 0, false}, {0, 0, false},
+	}
+	for _, tc := range cases {
+		got, ok := CodeOf(tc.b)
+		if ok != tc.ok || (ok && got != tc.want) {
+			t.Errorf("CodeOf(%q) = %v,%v want %v,%v", tc.b, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestByteOfRoundTrip(t *testing.T) {
+	for c := Code(0); c < AlphabetSize; c++ {
+		got, ok := CodeOf(ByteOf(c))
+		if !ok || got != c {
+			t.Errorf("round trip failed for code %d", c)
+		}
+	}
+}
+
+func TestComplementInvolution(t *testing.T) {
+	for c := Code(0); c < AlphabetSize; c++ {
+		if Complement(Complement(c)) != c {
+			t.Errorf("complement not an involution at %d", c)
+		}
+	}
+	if Complement(A) != T || Complement(C) != G {
+		t.Error("A must pair with T and C with G")
+	}
+}
+
+func TestParseValid(t *testing.T) {
+	s, err := Parse("ACGTacgt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.String() != "ACGTACGT" {
+		t.Errorf("got %q", s.String())
+	}
+}
+
+func TestParseInvalid(t *testing.T) {
+	if _, err := Parse("ACGNT"); err == nil {
+		t.Error("want error for N")
+	}
+	if _, err := Parse("AC GT"); err == nil {
+		t.Error("want error for space")
+	}
+}
+
+func TestParseLossy(t *testing.T) {
+	s, n := ParseLossy("ANNGT", A)
+	if n != 2 {
+		t.Errorf("replaced = %d, want 2", n)
+	}
+	if s.String() != "AAAGT" {
+		t.Errorf("got %q", s.String())
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	s, err := Parse("")
+	if err != nil || len(s) != 0 {
+		t.Errorf("Parse(\"\") = %v, %v", s, err)
+	}
+}
+
+func TestReverseComplementKnown(t *testing.T) {
+	s, _ := Parse("AACGT")
+	if got := s.ReverseComplement().String(); got != "ACGTT" {
+		t.Errorf("rc(AACGT) = %q, want ACGTT", got)
+	}
+}
+
+func TestReverseComplementInvolutionProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		s := make(Sequence, len(raw))
+		for i, b := range raw {
+			s[i] = Code(b % AlphabetSize)
+		}
+		return s.ReverseComplement().ReverseComplement().Equal(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReverseComplementPairingProperty(t *testing.T) {
+	// rc(s)[i] must be the complement of s[len-1-i] for every i.
+	f := func(raw []byte) bool {
+		s := make(Sequence, len(raw))
+		for i, b := range raw {
+			s[i] = Code(b % AlphabetSize)
+		}
+		r := s.ReverseComplement()
+		for i := range s {
+			if r[i] != Complement(s[len(s)-1-i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClone(t *testing.T) {
+	s, _ := Parse("ACGT")
+	c := s.Clone()
+	c[0] = T
+	if s[0] != A {
+		t.Error("Clone must not share backing storage")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, _ := Parse("ACGT")
+	b, _ := Parse("ACGT")
+	c, _ := Parse("ACGA")
+	d, _ := Parse("ACG")
+	if !a.Equal(b) || a.Equal(c) || a.Equal(d) {
+		t.Error("Equal misbehaves")
+	}
+}
+
+func TestStringIDMapping(t *testing.T) {
+	for e := ESTID(0); e < 100; e++ {
+		f, r := Forward(e), Reverse(e)
+		if f.EST() != e || r.EST() != e {
+			t.Fatalf("EST mapping broken at %d", e)
+		}
+		if f.IsReverse() || !r.IsReverse() {
+			t.Fatalf("orientation broken at %d", e)
+		}
+		if f.Mate() != r || r.Mate() != f {
+			t.Fatalf("Mate broken at %d", e)
+		}
+	}
+}
+
+func TestNewSetSEmpty(t *testing.T) {
+	if _, err := NewSetS(nil); err != ErrEmptySet {
+		t.Errorf("want ErrEmptySet, got %v", err)
+	}
+	if _, err := NewSetS([]Sequence{{}}); err == nil {
+		t.Error("want error for empty EST")
+	}
+}
+
+func TestSetSBasics(t *testing.T) {
+	e0, _ := Parse("ACGTT")
+	e1, _ := Parse("GGC")
+	s, err := NewSetS([]Sequence{e0, e1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumESTs() != 2 || s.NumStrings() != 4 {
+		t.Fatalf("counts wrong: %d %d", s.NumESTs(), s.NumStrings())
+	}
+	if s.TotalChars() != 8 {
+		t.Errorf("N = %d, want 8", s.TotalChars())
+	}
+	if s.AvgLen() != 4 {
+		t.Errorf("l = %f, want 4", s.AvgLen())
+	}
+	if !s.Str(Forward(0)).Equal(e0) {
+		t.Error("forward string mismatch")
+	}
+	if got := s.Str(Reverse(0)).String(); got != "AACGT" {
+		t.Errorf("rc string = %q, want AACGT", got)
+	}
+	if !s.EST(1).Equal(e1) {
+		t.Error("EST accessor mismatch")
+	}
+}
+
+func TestSetSLeftChar(t *testing.T) {
+	e0, _ := Parse("ACGT")
+	s, _ := NewSetS([]Sequence{e0})
+	if s.LeftChar(Forward(0), 0) != Lambda {
+		t.Error("pos 0 must have left char λ")
+	}
+	if s.LeftChar(Forward(0), 1) != A {
+		t.Error("pos 1 left char must be A")
+	}
+	if s.LeftChar(Forward(0), 3) != G {
+		t.Error("pos 3 left char must be G")
+	}
+}
+
+func TestSetSSuffix(t *testing.T) {
+	e0, _ := Parse("ACGT")
+	s, _ := NewSetS([]Sequence{e0})
+	if got := s.Suffix(Forward(0), 2).String(); got != "GT" {
+		t.Errorf("suffix = %q, want GT", got)
+	}
+}
+
+// A suffix of the reverse complement corresponds to a reverse-complemented
+// prefix of the forward string; verify the set invariant on random data.
+func TestSetSOrientationConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(20)
+		e := make(Sequence, n)
+		for i := range e {
+			e[i] = Code(rng.Intn(AlphabetSize))
+		}
+		s, err := NewSetS([]Sequence{e})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !s.Str(Reverse(0)).Equal(e.ReverseComplement()) {
+			t.Fatal("reverse string is not the reverse complement")
+		}
+	}
+}
+
+func BenchmarkReverseComplement(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	s := make(Sequence, 600)
+	for i := range s {
+		s[i] = Code(rng.Intn(4))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.ReverseComplement()
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	raw := make([]byte, 600)
+	for i := range raw {
+		raw[i] = codeToByte[rng.Intn(4)]
+	}
+	str := string(raw)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(str); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package suffix implements the paper's §3.1: construction of a distributed
+// Generalized Suffix Tree (GST) over the 2n strings of a SetS.
+//
+// Suffixes are partitioned into |Σ|^w buckets by their first w characters;
+// each bucket's suffixes form an independent subtree of the conceptual GST
+// (the top portion of the GST, with string-depth < w, is never materialized).
+// Buckets are assigned to workers by a load-balancing heuristic, and each
+// subtree is built by recursive character-wise bucketing, then stored in a
+// space-efficient depth-first-search array in which every node carries only
+// its string-depth, a pointer to the rightmost leaf of its subtree, and a
+// representative suffix (leaves: the suffix itself).
+package suffix
+
+import (
+	"fmt"
+	"sort"
+
+	"pace/internal/seq"
+)
+
+// MaxWindow bounds the bucket-prefix width: 4^12 = 16M buckets is already far
+// beyond what load balancing needs.
+const MaxWindow = 12
+
+// SuffixRef identifies one suffix: string id and start position.
+type SuffixRef struct {
+	SID seq.StringID
+	Pos int32
+}
+
+// NumBuckets returns 4^w.
+func NumBuckets(w int) int { return 1 << (2 * w) }
+
+// ValidateWindow checks the bucket width.
+func ValidateWindow(w int) error {
+	if w < 1 || w > MaxWindow {
+		return fmt.Errorf("suffix: window %d out of [1,%d]", w, MaxWindow)
+	}
+	return nil
+}
+
+// BucketEach calls fn(bucket, pos) for every suffix of s that is at least w
+// characters long, where bucket encodes the suffix's first w characters in
+// base 4 (most significant character first). It uses a rolling encoding, so
+// the scan is O(len(s)).
+func BucketEach(s seq.Sequence, w int, fn func(bucket int, pos int32)) {
+	if len(s) < w {
+		return
+	}
+	mask := NumBuckets(w) - 1
+	id := 0
+	for i := 0; i < len(s); i++ {
+		id = (id<<2 | int(s[i])) & mask
+		if i >= w-1 {
+			fn(id, int32(i-w+1))
+		}
+	}
+}
+
+// Histogram counts, for the strings ids in [lo,hi), how many suffixes fall in
+// each bucket. It is the per-processor contribution that the parallel layer
+// sums with an allreduce.
+func Histogram(set *seq.SetS, w int, lo, hi seq.StringID) []int64 {
+	hist := make([]int64, NumBuckets(w))
+	for id := lo; id < hi; id++ {
+		BucketEach(set.Str(id), w, func(b int, _ int32) { hist[b]++ })
+	}
+	return hist
+}
+
+// Assign maps each non-empty bucket to one of p workers such that worker
+// loads (total suffixes) are near-balanced: buckets are taken in decreasing
+// size order and each goes to the currently least-loaded worker (LPT).
+// Empty buckets map to -1.
+func Assign(hist []int64, p int) []int32 {
+	if p < 1 {
+		p = 1
+	}
+	type bkt struct {
+		id   int
+		size int64
+	}
+	var nonEmpty []bkt
+	for id, size := range hist {
+		if size > 0 {
+			nonEmpty = append(nonEmpty, bkt{id, size})
+		}
+	}
+	sort.Slice(nonEmpty, func(i, j int) bool {
+		if nonEmpty[i].size != nonEmpty[j].size {
+			return nonEmpty[i].size > nonEmpty[j].size
+		}
+		return nonEmpty[i].id < nonEmpty[j].id
+	})
+	owner := make([]int32, len(hist))
+	for i := range owner {
+		owner[i] = -1
+	}
+	loads := make([]int64, p)
+	for _, b := range nonEmpty {
+		best := 0
+		for w := 1; w < p; w++ {
+			if loads[w] < loads[best] {
+				best = w
+			}
+		}
+		owner[b.id] = int32(best)
+		loads[best] += b.size
+	}
+	return owner
+}
+
+// Loads returns the per-worker suffix totals implied by an assignment.
+func Loads(hist []int64, owner []int32, p int) []int64 {
+	loads := make([]int64, p)
+	for b, o := range owner {
+		if o >= 0 {
+			loads[o] += hist[b]
+		}
+	}
+	return loads
+}
+
+// CollectOwned scans the strings in [lo,hi) and gathers the suffixes whose
+// bucket is owned by worker me, grouped by bucket id. In the parallel engine
+// this grouping is what each rank sends to bucket owners; sequentially it is
+// called once per worker with the full string range.
+func CollectOwned(set *seq.SetS, w int, owner []int32, me int32, lo, hi seq.StringID) map[int][]SuffixRef {
+	out := make(map[int][]SuffixRef)
+	for id := lo; id < hi; id++ {
+		BucketEach(set.Str(id), w, func(b int, pos int32) {
+			if owner[b] == me {
+				out[b] = append(out[b], SuffixRef{SID: id, Pos: pos})
+			}
+		})
+	}
+	return out
+}
+
+// SortedBucketIDs returns the map's bucket ids in ascending order, for
+// deterministic iteration.
+func SortedBucketIDs(m map[int][]SuffixRef) []int {
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}

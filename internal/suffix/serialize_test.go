@@ -1,0 +1,134 @@
+package suffix
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"pace/internal/seq"
+)
+
+func buildTestForest(t testing.TB, seed int64) ([]*Tree, *seq.SetS) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	set := randomSet(t, rng, 10, 30, 70)
+	w := 4
+	hi := seq.StringID(set.NumStrings())
+	owner := Assign(Histogram(set, w, 0, hi), 1)
+	m := CollectOwned(set, w, owner, 0, 0, hi)
+	forest, err := BuildForest(set, m, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return forest, set
+}
+
+func TestTreeRoundTrip(t *testing.T) {
+	forest, set := buildTestForest(t, 1)
+	for _, tr := range forest[:3] {
+		var buf bytes.Buffer
+		if err := WriteTree(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadTree(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Bucket != tr.Bucket || len(got.Nodes) != len(tr.Nodes) {
+			t.Fatalf("shape: %d/%d vs %d/%d", got.Bucket, len(got.Nodes), tr.Bucket, len(tr.Nodes))
+		}
+		for i := range tr.Nodes {
+			if got.Nodes[i] != tr.Nodes[i] {
+				t.Fatalf("node %d differs", i)
+			}
+		}
+		if err := got.Verify(set); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestForestRoundTrip(t *testing.T) {
+	forest, set := buildTestForest(t, 2)
+	var buf bytes.Buffer
+	if err := WriteForest(&buf, forest); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadForest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(forest) {
+		t.Fatalf("forest size %d want %d", len(got), len(forest))
+	}
+	for k := range forest {
+		if got[k].Bucket != forest[k].Bucket || len(got[k].Nodes) != len(forest[k].Nodes) {
+			t.Fatalf("tree %d shape differs", k)
+		}
+		if err := got[k].Verify(set); err != nil {
+			t.Fatalf("tree %d: %v", k, err)
+		}
+	}
+}
+
+func TestReadTreeRejectsCorruption(t *testing.T) {
+	forest, _ := buildTestForest(t, 3)
+	var buf bytes.Buffer
+	if err := WriteTree(&buf, forest[0]); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	bad := append([]byte(nil), data...)
+	bad[0] ^= 0xFF // magic
+	if _, err := ReadTree(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+
+	bad = append([]byte(nil), data...)
+	bad[4] = 99 // version
+	if _, err := ReadTree(bytes.NewReader(bad)); err == nil {
+		t.Error("bad version accepted")
+	}
+
+	if _, err := ReadTree(bytes.NewReader(data[:len(data)-4])); err == nil {
+		t.Error("truncated stream accepted")
+	}
+
+	// Corrupt an RML to an out-of-range value.
+	bad = append([]byte(nil), data...)
+	bad[20+4] = 0xFF
+	bad[20+5] = 0xFF
+	bad[20+6] = 0xFF
+	bad[20+7] = 0x7F
+	if _, err := ReadTree(bytes.NewReader(bad)); err == nil {
+		t.Error("invalid RML accepted")
+	}
+}
+
+func TestStats(t *testing.T) {
+	forest, set := buildTestForest(t, 4)
+	st := Stats(forest)
+	if st.Trees != len(forest) {
+		t.Errorf("trees %d", st.Trees)
+	}
+	if st.Nodes != st.Leaves+st.InternalNodes {
+		t.Errorf("node split: %d != %d + %d", st.Nodes, st.Leaves, st.InternalNodes)
+	}
+	// Leaves == total suffixes of length >= w.
+	var want int64
+	for id := 0; id < set.NumStrings(); id++ {
+		if l := len(set.Str(seq.StringID(id))); l >= 4 {
+			want += int64(l - 4 + 1)
+		}
+	}
+	if st.Leaves != want {
+		t.Errorf("leaves %d want %d", st.Leaves, want)
+	}
+	if st.Bytes != 16*st.Nodes {
+		t.Errorf("bytes accounting")
+	}
+	if st.MaxDepth < 30 {
+		t.Errorf("max depth %d implausible for strings up to 70", st.MaxDepth)
+	}
+}

@@ -1,0 +1,193 @@
+// Package trim implements EST preprocessing: poly(A)/poly(T) tail trimming
+// and low-complexity (DUST-style) assessment.
+//
+// mRNAs carry 3' poly(A) tails, and oligo-dT-primed cDNA fragments inherit
+// them; after strand flips the tails surface as leading poly(T) or trailing
+// poly(A) runs on reads. Untrimmed tails are poison for a suffix-tree
+// clusterer: every tailed EST shares long A^k maximal common substrings with
+// every other tailed EST, so the A-bucket subtree balloons and the pair
+// generator emits a quadratic flood of spurious promising pairs that the
+// aligner must reject one by one. Production EST pipelines therefore trim
+// tails first; this package provides that step for ours.
+package trim
+
+import (
+	"fmt"
+
+	"pace/internal/seq"
+)
+
+// Options controls tail trimming.
+type Options struct {
+	// MinRun is the minimum homopolymer run length that counts as a tail.
+	MinRun int
+	// MaxMiss is the number of interrupting non-run characters tolerated
+	// inside a tail (sequencing errors inside poly(A) stretches).
+	MaxMiss int
+	// MinRemain guards against trimming a read away entirely: trimming
+	// stops once the remaining sequence would fall below this length.
+	MinRemain int
+}
+
+// DefaultOptions matches common EST pipeline settings.
+func DefaultOptions() Options {
+	return Options{MinRun: 10, MaxMiss: 2, MinRemain: 50}
+}
+
+// Validate checks the options.
+func (o Options) Validate() error {
+	if o.MinRun < 2 {
+		return fmt.Errorf("trim: MinRun must be >= 2, got %d", o.MinRun)
+	}
+	if o.MaxMiss < 0 {
+		return fmt.Errorf("trim: MaxMiss must be >= 0")
+	}
+	if o.MinRemain < 0 {
+		return fmt.Errorf("trim: MinRemain must be >= 0")
+	}
+	return nil
+}
+
+// trailingRun returns how many characters to cut from the end of s to remove
+// a homopolymer tail of character c, tolerating maxMiss interruptions.
+// The cut never splits an interruption: it always ends on a run character.
+func trailingRun(s seq.Sequence, c seq.Code, minRun, maxMiss int) int {
+	run, miss, cut := 0, 0, 0
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == c {
+			run++
+			if run >= minRun {
+				cut = len(s) - i
+			}
+		} else {
+			miss++
+			if miss > maxMiss {
+				break
+			}
+		}
+	}
+	return cut
+}
+
+// leadingRun mirrors trailingRun at the front of s.
+func leadingRun(s seq.Sequence, c seq.Code, minRun, maxMiss int) int {
+	run, miss, cut := 0, 0, 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == c {
+			run++
+			if run >= minRun {
+				cut = i + 1
+			}
+		} else {
+			miss++
+			if miss > maxMiss {
+				break
+			}
+		}
+	}
+	return cut
+}
+
+// Tails trims poly(A)/poly(T) tails from both ends of s and returns the
+// trimmed subsequence (sharing storage with s) plus how many characters were
+// removed at each end. Both A and T runs are handled at both ends because
+// the strand of a deposited EST is unknown.
+func Tails(s seq.Sequence, o Options) (trimmed seq.Sequence, cutFront, cutBack int) {
+	if err := o.Validate(); err != nil {
+		// Invalid options are a programming error; trimming nothing is
+		// the safe degradation for library misuse at runtime.
+		return s, 0, 0
+	}
+	out := s
+	for _, c := range []seq.Code{seq.A, seq.T} {
+		if cut := trailingRun(out, c, o.MinRun, o.MaxMiss); cut > 0 {
+			if len(out)-cut < o.MinRemain {
+				cut = len(out) - o.MinRemain
+			}
+			if cut > 0 {
+				out = out[:len(out)-cut]
+				cutBack += cut
+			}
+		}
+		if cut := leadingRun(out, c, o.MinRun, o.MaxMiss); cut > 0 {
+			if len(out)-cut < o.MinRemain {
+				cut = len(out) - o.MinRemain
+			}
+			if cut > 0 {
+				out = out[cut:]
+				cutFront += cut
+			}
+		}
+	}
+	return out, cutFront, cutBack
+}
+
+// Stats summarizes a batch trimming pass.
+type Stats struct {
+	// Reads is the number of sequences processed.
+	Reads int
+	// Trimmed is how many had at least one character removed.
+	Trimmed int
+	// CharsRemoved is the total characters cut.
+	CharsRemoved int64
+}
+
+// Batch trims every sequence and returns the trimmed set plus statistics.
+// Sequences share storage with their inputs.
+func Batch(ests []seq.Sequence, o Options) ([]seq.Sequence, Stats) {
+	out := make([]seq.Sequence, len(ests))
+	var st Stats
+	st.Reads = len(ests)
+	for i, e := range ests {
+		t, f, b := Tails(e, o)
+		out[i] = t
+		if f+b > 0 {
+			st.Trimmed++
+			st.CharsRemoved += int64(f + b)
+		}
+	}
+	return out, st
+}
+
+// DustScore computes a DUST-style low-complexity score for s: the triplet-
+// repetitiveness sum S = Σ c_t(c_t−1)/2 normalized by (w−3) where c_t are
+// trinucleotide counts. Perfectly diverse sequence scores near 0.5;
+// homopolymers score ~(w−3)/2 before normalization (≈ large).
+func DustScore(s seq.Sequence) float64 {
+	if len(s) < 4 {
+		return 0
+	}
+	counts := make(map[uint16]int, len(s))
+	for i := 0; i+3 <= len(s); i++ {
+		t := uint16(s[i])<<4 | uint16(s[i+1])<<2 | uint16(s[i+2])
+		counts[t]++
+	}
+	var sum float64
+	for _, c := range counts {
+		sum += float64(c*(c-1)) / 2
+	}
+	return sum / float64(len(s)-3)
+}
+
+// LowComplexityFraction slides a window over s and returns the fraction of
+// windows whose DustScore exceeds the threshold. Typical parameters:
+// window 64, threshold 2.
+func LowComplexityFraction(s seq.Sequence, window int, threshold float64) float64 {
+	if window < 8 {
+		window = 8
+	}
+	if len(s) < window {
+		if DustScore(s) > threshold {
+			return 1
+		}
+		return 0
+	}
+	hits, total := 0, 0
+	for i := 0; i+window <= len(s); i += window / 2 {
+		total++
+		if DustScore(s[i:i+window]) > threshold {
+			hits++
+		}
+	}
+	return float64(hits) / float64(total)
+}

@@ -1,0 +1,97 @@
+// Package unionfind implements the disjoint-set (union-find) structure from
+// Tarjan's analysis, used by the master processor to maintain the EST
+// clusters (the paper's CLUSTERS buffer). Find and Union run in amortized
+// inverse-Ackermann time via path compression and union by rank.
+package unionfind
+
+// UF is a disjoint-set forest over the integers [0, n).
+type UF struct {
+	parent []int32
+	rank   []uint8
+	count  int // number of disjoint sets
+}
+
+// New creates n singleton sets.
+func New(n int) *UF {
+	u := &UF{
+		parent: make([]int32, n),
+		rank:   make([]uint8, n),
+		count:  n,
+	}
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+	}
+	return u
+}
+
+// Len returns the number of elements.
+func (u *UF) Len() int { return len(u.parent) }
+
+// Count returns the current number of disjoint sets.
+func (u *UF) Count() int { return u.count }
+
+// Find returns the representative of x's set, compressing the path.
+func (u *UF) Find(x int32) int32 {
+	root := x
+	for u.parent[root] != root {
+		root = u.parent[root]
+	}
+	for u.parent[x] != root {
+		u.parent[x], x = root, u.parent[x]
+	}
+	return root
+}
+
+// Same reports whether x and y are in the same set.
+func (u *UF) Same(x, y int32) bool { return u.Find(x) == u.Find(y) }
+
+// Union merges the sets of x and y and reports whether a merge happened
+// (false when they were already in the same set).
+func (u *UF) Union(x, y int32) bool {
+	rx, ry := u.Find(x), u.Find(y)
+	if rx == ry {
+		return false
+	}
+	switch {
+	case u.rank[rx] < u.rank[ry]:
+		u.parent[rx] = ry
+	case u.rank[rx] > u.rank[ry]:
+		u.parent[ry] = rx
+	default:
+		u.parent[ry] = rx
+		u.rank[rx]++
+	}
+	u.count--
+	return true
+}
+
+// Clusters materializes the current partition as a map from representative to
+// members. Member order within a cluster is ascending.
+func (u *UF) Clusters() map[int32][]int32 {
+	out := make(map[int32][]int32)
+	for i := range u.parent {
+		r := u.Find(int32(i))
+		out[r] = append(out[r], int32(i))
+	}
+	return out
+}
+
+// Labels returns, for each element, a dense cluster label in [0, Count()).
+// Labels are assigned in order of first appearance, so the output is
+// deterministic for a given structure state.
+func (u *UF) Labels() []int32 {
+	labels := make([]int32, len(u.parent))
+	next := int32(0)
+	seen := make(map[int32]int32, u.count)
+	for i := range u.parent {
+		r := u.Find(int32(i))
+		l, ok := seen[r]
+		if !ok {
+			l = next
+			seen[r] = l
+			next++
+		}
+		labels[i] = l
+	}
+	return labels
+}

@@ -1,0 +1,164 @@
+package unionfind
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingletons(t *testing.T) {
+	u := New(5)
+	if u.Count() != 5 || u.Len() != 5 {
+		t.Fatalf("counts: %d %d", u.Count(), u.Len())
+	}
+	for i := int32(0); i < 5; i++ {
+		if u.Find(i) != i {
+			t.Errorf("Find(%d) = %d", i, u.Find(i))
+		}
+	}
+}
+
+func TestUnionBasics(t *testing.T) {
+	u := New(4)
+	if !u.Union(0, 1) {
+		t.Error("first union must merge")
+	}
+	if u.Union(1, 0) {
+		t.Error("repeat union must not merge")
+	}
+	if !u.Same(0, 1) || u.Same(0, 2) {
+		t.Error("Same wrong")
+	}
+	if u.Count() != 3 {
+		t.Errorf("count = %d, want 3", u.Count())
+	}
+	u.Union(2, 3)
+	u.Union(0, 3)
+	if u.Count() != 1 {
+		t.Errorf("count = %d, want 1", u.Count())
+	}
+	if !u.Same(1, 2) {
+		t.Error("transitivity broken")
+	}
+}
+
+func TestClusters(t *testing.T) {
+	u := New(5)
+	u.Union(0, 2)
+	u.Union(3, 4)
+	cl := u.Clusters()
+	if len(cl) != 3 {
+		t.Fatalf("got %d clusters", len(cl))
+	}
+	total := 0
+	for _, members := range cl {
+		total += len(members)
+		for i := 1; i < len(members); i++ {
+			if members[i] <= members[i-1] {
+				t.Error("members not ascending")
+			}
+		}
+	}
+	if total != 5 {
+		t.Errorf("members total %d", total)
+	}
+}
+
+func TestLabelsDense(t *testing.T) {
+	u := New(6)
+	u.Union(1, 2)
+	u.Union(4, 5)
+	l := u.Labels()
+	if len(l) != 6 {
+		t.Fatal("length")
+	}
+	if l[1] != l[2] || l[4] != l[5] {
+		t.Error("merged elements must share labels")
+	}
+	if l[0] == l[1] || l[3] == l[4] || l[0] == l[3] {
+		t.Error("separate elements must differ")
+	}
+	// Dense: max label == count-1.
+	max := int32(0)
+	for _, v := range l {
+		if v > max {
+			max = v
+		}
+	}
+	if int(max) != u.Count()-1 {
+		t.Errorf("labels not dense: max %d count %d", max, u.Count())
+	}
+}
+
+// Property: union-find partition matches a brute-force connectivity oracle.
+func TestAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(40)
+		u := New(n)
+		adj := make([][]bool, n)
+		for i := range adj {
+			adj[i] = make([]bool, n)
+			adj[i][i] = true
+		}
+		for e := 0; e < n; e++ {
+			a, b := int32(rng.Intn(n)), int32(rng.Intn(n))
+			u.Union(a, b)
+			adj[a][b], adj[b][a] = true, true
+		}
+		// Transitive closure.
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				if !adj[i][k] {
+					continue
+				}
+				for j := 0; j < n; j++ {
+					if adj[k][j] {
+						adj[i][j] = true
+					}
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if u.Same(int32(i), int32(j)) != adj[i][j] {
+					t.Fatalf("trial %d: Same(%d,%d) mismatch", trial, i, j)
+				}
+			}
+		}
+	}
+}
+
+// Property: count always equals the number of distinct representatives.
+func TestCountInvariant(t *testing.T) {
+	f := func(pairs []uint16) bool {
+		u := New(64)
+		for _, p := range pairs {
+			u.Union(int32(p%64), int32((p>>8)%64))
+		}
+		reps := map[int32]bool{}
+		for i := int32(0); i < 64; i++ {
+			reps[u.Find(i)] = true
+		}
+		return len(reps) == u.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUnionFind(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 100000
+	ops := make([][2]int32, n)
+	for i := range ops {
+		ops[i] = [2]int32{int32(rng.Intn(n)), int32(rng.Intn(n))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := New(n)
+		for _, op := range ops {
+			u.Union(op[0], op[1])
+		}
+	}
+}

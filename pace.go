@@ -1,0 +1,207 @@
+// Package pace is a Go implementation of PaCE — the space- and time-
+// efficient parallel EST clustering system of Kalyanaraman, Aluru and
+// Kothari (ICPP 2002).
+//
+// Given a collection of Expressed Sequence Tags (ESTs), Cluster partitions
+// them so that ESTs derived from the same gene land in the same cluster,
+// considering both strands of each EST. The pipeline is the paper's:
+// a distributed generalized suffix tree is built by bucketing suffixes on
+// their first w characters; promising pairs are generated on demand in
+// decreasing order of maximal common substring length at O(N) space; and a
+// master–slave engine aligns pairs with anchored banded dynamic programming,
+// merging clusters (union-find) on the four accepted overlap patterns.
+//
+// The package also bundles the supporting systems needed to reproduce the
+// paper end to end: a synthetic EST benchmark generator with ground truth
+// (Simulate), pair-based quality metrics (Evaluate), FASTA I/O, and a
+// simulated message-passing machine so multi-processor scaling behaviour can
+// be studied on any host (Options.Simulated).
+package pace
+
+import (
+	"fmt"
+	"time"
+
+	"pace/internal/cluster"
+	"pace/internal/mp"
+	"pace/internal/seq"
+)
+
+// Options configures Cluster. Start from DefaultOptions.
+type Options struct {
+	// Processors is the number of ranks; 1 runs the sequential engine,
+	// p >= 2 runs one master and p-1 slaves.
+	Processors int
+	// Simulated runs the parallel engine on the discrete-event simulated
+	// machine (virtual clocks, modeled interconnect) instead of real
+	// goroutine concurrency. Stats report virtual times.
+	Simulated bool
+
+	// Window is the suffix-bucketing prefix width w (paper: 8).
+	Window int
+	// MinMatch is ψ, the minimum maximal-common-substring length for a
+	// pair of ESTs to be considered promising. Must be >= Window.
+	MinMatch int
+	// BatchSize is the number of pairs per master–slave interaction
+	// (paper: 40–60).
+	BatchSize int
+
+	// Alignment scoring.
+	Match, Mismatch, GapOpen, GapExtend int
+	// Band is the banded-extension half-width (errors tolerated per
+	// alignment flank).
+	Band int
+
+	// Acceptance thresholds for merging clusters.
+	MinOverlap    int
+	MinIdentity   float64
+	MinScoreRatio float64
+
+	// InitialLabels optionally seeds the clustering with a previous
+	// partition over a prefix of the ESTs (incremental re-clustering:
+	// pairs already co-clustered are skipped). Entries < 0 mean
+	// unconstrained.
+	InitialLabels []int
+}
+
+// DefaultOptions returns the paper-like operating point with the sequential
+// engine.
+func DefaultOptions() Options {
+	return Options{
+		Processors:    1,
+		Window:        8,
+		MinMatch:      20,
+		BatchSize:     60,
+		Match:         2,
+		Mismatch:      -3,
+		GapOpen:       -4,
+		GapExtend:     -2,
+		Band:          12,
+		MinOverlap:    40,
+		MinIdentity:   0.90,
+		MinScoreRatio: 0.70,
+	}
+}
+
+// PhaseTimes breaks the run into the paper's Table 3 components. In
+// simulated mode these are virtual times.
+type PhaseTimes struct {
+	Partition time.Duration
+	Construct time.Duration
+	Sort      time.Duration
+	Align     time.Duration
+	Total     time.Duration
+}
+
+// Stats carries a run's counters (the quantities of the paper's Figure 7).
+type Stats struct {
+	PairsGenerated int64
+	PairsProcessed int64
+	PairsAccepted  int64
+	PairsSkipped   int64
+	Merges         int64
+	MasterBusy     time.Duration
+	Phases         PhaseTimes
+}
+
+// Clustering is the result of Cluster.
+type Clustering struct {
+	// Labels assigns each input EST a dense cluster label in
+	// [0, NumClusters).
+	Labels []int
+	// NumClusters is the number of clusters found.
+	NumClusters int
+	// Clusters lists the member indices of every cluster, by label.
+	Clusters [][]int
+	// Stats carries counters and phase timings.
+	Stats Stats
+}
+
+// toConfig translates Options to the engine configuration.
+func (o Options) toConfig() (cluster.Config, error) {
+	if o.Processors < 1 {
+		return cluster.Config{}, fmt.Errorf("pace: Processors must be >= 1, got %d", o.Processors)
+	}
+	cfg := cluster.DefaultConfig(o.Processors)
+	cfg.Window = o.Window
+	cfg.Psi = o.MinMatch
+	cfg.BatchSize = o.BatchSize
+	cfg.Scoring.Match = int32(o.Match)
+	cfg.Scoring.Mismatch = int32(o.Mismatch)
+	cfg.Scoring.GapOpen = int32(o.GapOpen)
+	cfg.Scoring.GapExtend = int32(o.GapExtend)
+	cfg.Band = o.Band
+	cfg.Criteria.MinOverlap = int32(o.MinOverlap)
+	cfg.Criteria.MinIdentity = o.MinIdentity
+	cfg.Criteria.MinScoreRatio = o.MinScoreRatio
+	if o.Simulated {
+		cfg.MP = mp.DefaultSimConfig(o.Processors)
+	} else {
+		cfg.MP = mp.Config{Procs: o.Processors, Mode: mp.ModeReal}
+	}
+	if o.InitialLabels != nil {
+		cfg.InitialLabels = make([]int32, len(o.InitialLabels))
+		for i, l := range o.InitialLabels {
+			cfg.InitialLabels[i] = int32(l)
+		}
+	}
+	return cfg, nil
+}
+
+// parseESTs validates and converts the input sequences.
+func parseESTs(ests []string) ([]seq.Sequence, error) {
+	out := make([]seq.Sequence, len(ests))
+	for i, e := range ests {
+		s, err := seq.Parse(e)
+		if err != nil {
+			return nil, fmt.Errorf("pace: EST %d: %w", i, err)
+		}
+		if len(s) == 0 {
+			return nil, fmt.Errorf("pace: EST %d is empty", i)
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Cluster partitions the ESTs (DNA strings over ACGT; case-insensitive)
+// into gene-level clusters.
+func Cluster(ests []string, opt Options) (*Clustering, error) {
+	parsed, err := parseESTs(ests)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := opt.toConfig()
+	if err != nil {
+		return nil, err
+	}
+	res, err := cluster.Run(parsed, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &Clustering{
+		Labels:      make([]int, len(res.Labels)),
+		NumClusters: res.NumClusters,
+		Clusters:    make([][]int, res.NumClusters),
+		Stats: Stats{
+			PairsGenerated: res.Stats.PairsGenerated,
+			PairsProcessed: res.Stats.PairsProcessed,
+			PairsAccepted:  res.Stats.PairsAccepted,
+			PairsSkipped:   res.Stats.PairsSkipped,
+			Merges:         res.Stats.Merges,
+			MasterBusy:     res.Stats.MasterBusy,
+			Phases: PhaseTimes{
+				Partition: res.Stats.Phases.Partition,
+				Construct: res.Stats.Phases.Construct,
+				Sort:      res.Stats.Phases.Sort,
+				Align:     res.Stats.Phases.Align,
+				Total:     res.Stats.Phases.Total,
+			},
+		},
+	}
+	for i, l := range res.Labels {
+		out.Labels[i] = int(l)
+		out.Clusters[l] = append(out.Clusters[l], i)
+	}
+	return out, nil
+}
