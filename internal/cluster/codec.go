@@ -21,13 +21,20 @@ const (
 
 // Suffix redistribution payload: flat (bucket, string id, position) uint32
 // triples, little-endian — what each slave ships to every bucket owner.
+//
+// All encoders come in append form (appendX) so hot paths can reuse one
+// scratch buffer across sends — safe because the mp layer copies on send —
+// plus allocate-fresh encodeX wrappers for one-shot use.
 
-func encodeU32s(vals []uint32) []byte {
-	b := make([]byte, 4*len(vals))
-	for i, v := range vals {
-		binary.LittleEndian.PutUint32(b[4*i:], v)
+func appendU32s(b []byte, vals []uint32) []byte {
+	for _, v := range vals {
+		b = appendU32(b, v)
 	}
 	return b
+}
+
+func encodeU32s(vals []uint32) []byte {
+	return appendU32s(make([]byte, 0, 4*len(vals)), vals)
 }
 
 func decodeU32s(b []byte) ([]uint32, error) {
@@ -121,7 +128,10 @@ func (r *reader) done() error {
 }
 
 func encodeReport(rep report) []byte {
-	b := make([]byte, 0, 12+9*len(rep.results)+20*len(rep.pairs))
+	return appendReport(make([]byte, 0, 12+12*len(rep.results)+20*len(rep.pairs)), rep)
+}
+
+func appendReport(b []byte, rep report) []byte {
 	var flags uint32
 	if rep.passive {
 		flags |= 1
@@ -176,7 +186,10 @@ func decodeReport(b []byte) (report, error) {
 }
 
 func encodeWork(w work) []byte {
-	b := make([]byte, 0, 12+20*len(w.pairs))
+	return appendWork(make([]byte, 0, 12+20*len(w.pairs)), w)
+}
+
+func appendWork(b []byte, w work) []byte {
 	var flags uint32
 	if w.stop {
 		flags |= 1

@@ -185,3 +185,58 @@ func TestDecodeArbitraryBytesSafe(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// The append-form encoders are meant to share one scratch buffer across
+// messages (the hot-path pattern in the engine). Re-encoding into the same
+// buffer must produce exactly the same bytes as a fresh encode, for every
+// message kind, regardless of what the buffer held before.
+func TestAppendEncodersReuseBuffer(t *testing.T) {
+	rep := report{
+		results: []alignResult{{estI: 2, estJ: 7, accepted: true}},
+		pairs:   []pairgen.Pair{{S1: seq.Forward(1), S2: seq.Reverse(3), Pos1: 4, Pos2: 5, MatchLen: 22}},
+		passive: true,
+	}
+	w := work{pairs: rep.pairs, e: 17}
+	u := []uint32{9, 8, 7, 6}
+
+	var scratch []byte
+	check := func(kind string, fresh []byte) {
+		scratch = scratch[:0]
+		switch kind {
+		case "report":
+			scratch = appendReport(scratch, rep)
+		case "work":
+			scratch = appendWork(scratch, w)
+		case "u32s":
+			scratch = appendU32s(scratch, u)
+		}
+		if string(scratch) != string(fresh) {
+			t.Errorf("%s: reused-buffer encode differs from fresh encode", kind)
+		}
+	}
+	// Interleave the kinds so each reuse starts from a differently-sized,
+	// differently-filled buffer.
+	for i := 0; i < 3; i++ {
+		check("report", encodeReport(rep))
+		check("work", encodeWork(w))
+		check("u32s", encodeU32s(u))
+	}
+
+	// And the reused bytes still decode to the original messages.
+	scratch = appendReport(scratch[:0], rep)
+	gotRep, err := decodeReport(scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotRep.passive || len(gotRep.results) != 1 || gotRep.results[0] != rep.results[0] {
+		t.Errorf("report corrupted by reuse: %+v", gotRep)
+	}
+	scratch = appendWork(scratch[:0], w)
+	gotW, err := decodeWork(scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotW.e != 17 || len(gotW.pairs) != 1 || gotW.pairs[0] != w.pairs[0] {
+		t.Errorf("work corrupted by reuse: %+v", gotW)
+	}
+}

@@ -38,6 +38,12 @@ type Config struct {
 	// GenChunk is how many pairs a slave generates per probe of the
 	// master's reply while overlapping generation with waiting.
 	GenChunk int
+	// AlphaMax caps the flow-control redundancy factor α. α estimates how
+	// many reported pairs are needed per pair that survives same-cluster
+	// filtering; when an entire incoming batch is redundant the ratio is
+	// undefined and, uncapped, a raw batch length would inflate the grant
+	// E unboundedly. 0 derives the default of 4.
+	AlphaMax float64
 
 	// Scoring and Criteria govern pairwise alignment and acceptance;
 	// Band is the banded-extension half-width.
@@ -93,8 +99,16 @@ func (c Config) Validate() error {
 	if c.WorkBufCap < c.BatchSize {
 		return fmt.Errorf("cluster: WorkBufCap %d < BatchSize %d", c.WorkBufCap, c.BatchSize)
 	}
+	if c.WorkBufCap < c.MP.Procs {
+		// The per-slave bootstrap grant is ~WorkBufCap/p; below p ranks the
+		// never-starve floor of one pair per slave could breach the bound.
+		return fmt.Errorf("cluster: WorkBufCap %d < Procs %d breaks the WORKBUF bound", c.WorkBufCap, c.MP.Procs)
+	}
 	if c.GenChunk < 1 {
 		return fmt.Errorf("cluster: GenChunk must be >= 1")
+	}
+	if c.AlphaMax < 0 {
+		return fmt.Errorf("cluster: AlphaMax must be >= 0 (0 selects the default)")
 	}
 	if c.Band < 1 {
 		return fmt.Errorf("cluster: Band must be >= 1")
@@ -114,6 +128,29 @@ func (c Config) pairBufCap() int {
 		return c.PairBufCap
 	}
 	return 4 * c.BatchSize
+}
+
+// alphaMax resolves the α cap.
+func (c Config) alphaMax() float64 {
+	if c.AlphaMax > 0 {
+		return c.AlphaMax
+	}
+	return 4
+}
+
+// bootstrapGrant is the size of the unsolicited pair batch a slave ships
+// with its very first report. It is the implicit initial grant E charged
+// against the WORKBUF: capping it at WorkBufCap/p keeps the sum over the
+// p-1 slaves under WorkBufCap before the master has said a single word.
+func bootstrapGrant(cfg Config, p int) int {
+	g := cfg.WorkBufCap / p
+	if g > cfg.BatchSize {
+		g = cfg.BatchSize
+	}
+	if g < 1 {
+		g = 1
+	}
+	return g
 }
 
 // PhaseTimes is the per-component breakdown of the paper's Table 3. Each
@@ -143,6 +180,12 @@ type Stats struct {
 	// MasterBusy is the wall-clock time the master spent processing
 	// messages (the paper reports it stays under 2% of the total).
 	MasterBusy time.Duration
+	// WorkBufHighWater is the maximum number of pairs the master's WORKBUF
+	// ever held. The flow-control invariant asserts it never exceeds
+	// Config.WorkBufCap: the grant formula E = min(α·δ·batchsize, nfree/p)
+	// charges every outstanding grant (including the slaves' bootstrap
+	// batches) against the free space before issuing a new one.
+	WorkBufHighWater int
 	// Phases is the per-phase breakdown.
 	Phases PhaseTimes
 }

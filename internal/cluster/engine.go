@@ -187,6 +187,43 @@ type masterState struct {
 	generatorDone bool // last report said passive
 	hasNextWork   bool // slave holds a batch whose results are pending
 	idle          bool // parked with nothing to do; candidate for stop
+	granted       int  // outstanding grant E: pairs the slave may still report
+}
+
+// grantE computes the paper's flow-control grant E = min(α·δ·batchsize,
+// nfree/p) for one slave interaction.
+//
+//   - α (clamped to cfg.alphaMax()) is the redundancy factor: reported pairs
+//     per pair that survived same-cluster filtering. When the whole batch
+//     was redundant the ratio is undefined; the cap is used directly rather
+//     than the seed's unbounded raw batch length.
+//   - δ = slaves/active spreads the generation load of finished slaves over
+//     the rest.
+//   - nfree must already account for every outstanding grant, so that the
+//     sum of buffered pairs and pairs-in-flight can never exceed
+//     WorkBufCap. The never-starve floor of 1 is likewise granted only
+//     against genuinely free space.
+func grantE(cfg Config, reported, added, active, slaves, p, nfree int) int {
+	if nfree < 0 {
+		nfree = 0
+	}
+	alpha := 1.0
+	if added > 0 {
+		alpha = float64(reported) / float64(added)
+	} else if reported > 0 {
+		alpha = cfg.alphaMax()
+	}
+	if alpha > cfg.alphaMax() {
+		alpha = cfg.alphaMax()
+	}
+	delta := float64(slaves) / float64(max(1, active))
+	e := min(int(alpha*delta*float64(cfg.BatchSize)), nfree/p)
+	if e < 1 && nfree > 0 {
+		// Never starve an active generator entirely, or it could park
+		// with pairs still unreported — but only within free space.
+		e = 1
+	}
+	return e
 }
 
 func runMaster(set *seq.SetS, cfg Config, c *mp.Comm) (*Result, error) {
@@ -203,7 +240,16 @@ func runMaster(set *seq.SetS, cfg Config, c *mp.Comm) (*Result, error) {
 		return nil, err
 	}
 	slaves := c.Size() - 1
+	p := c.Size()
 	states := make([]masterState, c.Size())
+	// Every slave's unsolicited first report carries up to bootstrapGrant
+	// pairs; charge those grants up front so the WORKBUF bound holds from
+	// the first message on.
+	grantedTotal := 0
+	for r := 1; r <= slaves; r++ {
+		states[r].granted = bootstrapGrant(cfg, p)
+		grantedTotal += states[r].granted
+	}
 
 	var workbuf []pairgen.Pair
 	head := 0
@@ -243,6 +289,15 @@ func runMaster(set *seq.SetS, cfg Config, c *mp.Comm) (*Result, error) {
 		return a
 	}
 
+	// Wire messages are encoded into one reusable scratch buffer: the mp
+	// ownership contract (copy-on-send) makes the reuse safe, so the
+	// master's steady state allocates nothing per interaction.
+	var wire []byte
+	sendWork := func(to int, w work) error {
+		wire = appendWork(wire[:0], w)
+		return c.Send(to, tagWork, wire)
+	}
+
 	reportsPending := slaves // every slave sends an unsolicited first report
 	for {
 		m, err := c.Recv(mp.AnySource, tagReport)
@@ -258,6 +313,16 @@ func runMaster(set *seq.SetS, cfg Config, c *mp.Comm) (*Result, error) {
 		s := m.From
 		states[s].generatorDone = rep.passive
 		states[s].hasNextWork = rep.hasNextWork
+		// The grant this report answers is consumed, whether or not the
+		// slave used all of it.
+		grant := states[s].granted
+		grantedTotal -= grant
+		states[s].granted = 0
+		if len(rep.pairs) > grant {
+			// Defensive: a slave exceeding its grant would silently break
+			// the WORKBUF bound.
+			return nil, fmt.Errorf("cluster: slave %d reported %d pairs, exceeding its grant of %d", s, len(rep.pairs), grant)
+		}
 
 		for _, r := range rep.results {
 			if r.accepted {
@@ -267,52 +332,46 @@ func runMaster(set *seq.SetS, cfg Config, c *mp.Comm) (*Result, error) {
 			}
 		}
 		added := 0
-		for _, p := range rep.pairs {
-			i, j := p.ESTs()
+		for _, pr := range rep.pairs {
+			i, j := pr.ESTs()
 			if cfg.SkipSameCluster && uf.Same(int32(i), int32(j)) {
 				st.PairsSkipped++
 				continue
 			}
-			workbuf = append(workbuf, p)
+			workbuf = append(workbuf, pr)
 			added++
+		}
+		if b := buffered(); b > st.WorkBufHighWater {
+			st.WorkBufHighWater = b
 		}
 
 		// Reply: W pairs from WORKBUF plus the next pair request E.
 		batch := popBatch()
 		e := 0
 		if !states[s].generatorDone {
-			alpha := 1.0
-			if added > 0 {
-				alpha = float64(len(rep.pairs)) / float64(added)
-			} else if len(rep.pairs) > 0 {
-				alpha = float64(len(rep.pairs))
-			}
-			delta := float64(slaves) / float64(max(1, activeSlaves()))
-			nfree := cfg.WorkBufCap - buffered()
-			if nfree < 0 {
-				nfree = 0
-			}
-			e = min(int(alpha*delta*float64(cfg.BatchSize)), nfree/slaves)
-			if e < 1 && nfree > 0 {
-				// Never starve an active generator entirely, or it
-				// could park with pairs still unreported.
-				e = 1
-			}
+			nfree := cfg.WorkBufCap - buffered() - grantedTotal
+			e = grantE(cfg, len(rep.pairs), added, activeSlaves(), slaves, p, nfree)
 		}
 
 		switch {
 		case len(batch) > 0 || e > 0:
 			st.MasterBusy += time.Since(busy)
-			if err := c.Send(s, tagWork, encodeWork(work{pairs: batch, e: int32(e)})); err != nil {
+			if err := sendWork(s, work{pairs: batch, e: int32(e)}); err != nil {
 				return nil, err
 			}
 			busy = time.Now()
+			states[s].granted = e
+			grantedTotal += e
 			reportsPending++
-		case rep.hasNextWork:
-			// The slave holds a batch whose results we still need:
-			// flush with an empty reply so it reports them.
+		case rep.hasNextWork || !states[s].generatorDone:
+			// The slave either holds a batch whose results we still need,
+			// or is an active generator that got no grant because every
+			// free WORKBUF slot is pledged to peers. Reply empty in both
+			// cases: the slave reports back (keep-alive), and by then
+			// peer reports will have released grant space. Parking an
+			// active generator here would strand its unreported pairs.
 			st.MasterBusy += time.Since(busy)
-			if err := c.Send(s, tagWork, encodeWork(work{})); err != nil {
+			if err := sendWork(s, work{}); err != nil {
 				return nil, err
 			}
 			busy = time.Now()
@@ -332,7 +391,7 @@ func runMaster(set *seq.SetS, cfg Config, c *mp.Comm) (*Result, error) {
 				break
 			}
 			st.MasterBusy += time.Since(busy)
-			if err := c.Send(r, tagWork, encodeWork(work{pairs: batch})); err != nil {
+			if err := sendWork(r, work{pairs: batch}); err != nil {
 				return nil, err
 			}
 			busy = time.Now()
@@ -357,7 +416,7 @@ func runMaster(set *seq.SetS, cfg Config, c *mp.Comm) (*Result, error) {
 	}
 
 	for r := 1; r <= slaves; r++ {
-		if err := c.Send(r, tagWork, encodeWork(work{stop: true})); err != nil {
+		if err := sendWork(r, work{stop: true}); err != nil {
 			return nil, err
 		}
 	}
@@ -417,11 +476,13 @@ func exchangeSuffixes(set *seq.SetS, cfg Config, c *mp.Comm, owner []int32) (map
 			})
 		}
 	}
+	var wire []byte // reused across destinations; mp copies on send
 	for s := 0; s < slaves; s++ {
 		if s == me {
 			continue
 		}
-		if err := c.Send(s+1, tagSuffix, encodeU32s(perDest[s])); err != nil {
+		wire = appendU32s(wire[:0], perDest[s])
+		if err := c.Send(s+1, tagSuffix, wire); err != nil {
 			return nil, err
 		}
 	}
@@ -493,11 +554,21 @@ func runSlave(set *seq.SetS, cfg Config, c *mp.Comm) error {
 		return out, err
 	}
 
+	// Reports are encoded into one reusable buffer; safe under the mp
+	// copy-on-send ownership contract.
+	var wire []byte
+	sendReport := func(rep report) error {
+		wire = appendReport(wire[:0], rep)
+		return c.Send(0, tagReport, wire)
+	}
+
 	// Bootstrap: three initial batches — align the first, report its
-	// results together with the third, keep the second as NEXTWORK.
+	// results together with the third, keep the second as NEXTWORK. The
+	// unsolicited pairs are capped at the implicit bootstrap grant the
+	// master charged against the WORKBUF for this slave.
 	b1 := gen.Next(nil, cfg.BatchSize)
 	b2 := gen.Next(nil, cfg.BatchSize)
-	pairbuf := gen.Next(nil, cfg.BatchSize)
+	pairbuf := gen.Next(nil, bootstrapGrant(cfg, c.Size()))
 	results, err := alignBatch(b1)
 	if err != nil {
 		return err
@@ -510,7 +581,7 @@ func runSlave(set *seq.SetS, cfg Config, c *mp.Comm) error {
 		hasNextWork: len(next) > 0,
 	}
 	pairbuf = nil
-	if err := c.Send(0, tagReport, encodeReport(first)); err != nil {
+	if err := sendReport(first); err != nil {
 		return err
 	}
 
@@ -565,7 +636,7 @@ func runSlave(set *seq.SetS, cfg Config, c *mp.Comm) error {
 			passive:     !gen.Remaining() && len(pairbuf) == 0,
 			hasNextWork: len(next) > 0,
 		}
-		if err := c.Send(0, tagReport, encodeReport(rep)); err != nil {
+		if err := sendReport(rep); err != nil {
 			return err
 		}
 	}

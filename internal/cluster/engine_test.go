@@ -45,6 +45,8 @@ func TestConfigValidate(t *testing.T) {
 		func(c *Config) { c.Band = 0 },
 		func(c *Config) { c.Scoring.Match = 0 },
 		func(c *Config) { c.MP.Procs = 0 },
+		func(c *Config) { c.AlphaMax = -1 },
+		func(c *Config) { c.MP.Procs = c.WorkBufCap + 1 },
 	}
 	for i, mod := range bad {
 		c := DefaultConfig(4)

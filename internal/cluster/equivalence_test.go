@@ -1,0 +1,90 @@
+package cluster
+
+// The determinism contract: the final partition is the set of connected
+// components of the accepted-pair graph, and the generators produce a fixed
+// pair multiset per bucket tree — neither depends on how buckets are spread
+// over slaves or on message arrival order. The same input must therefore
+// yield the *identical* partition (up to label renaming) and the identical
+// PairsGenerated count whether it is clustered sequentially, on the
+// simulated machine, or on the real concurrent machine.
+
+import (
+	"fmt"
+	"testing"
+
+	"pace/internal/mp"
+)
+
+// normalizeLabels renames cluster labels to first-occurrence order so that
+// partitions can be compared with ==.
+func normalizeLabels(labels []int32) []int32 {
+	next := int32(0)
+	remap := make(map[int32]int32, len(labels))
+	out := make([]int32, len(labels))
+	for i, l := range labels {
+		m, ok := remap[l]
+		if !ok {
+			m = next
+			remap[l] = m
+			next++
+		}
+		out[i] = m
+	}
+	return out
+}
+
+func TestEquivalenceAcrossModes(t *testing.T) {
+	b := benchSet(t, 100, 6, 7)
+	base := DefaultConfig(1)
+	base.Window, base.Psi = 6, 18
+
+	ref, err := Run(b.ESTs, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refLabels := normalizeLabels(ref.Labels)
+
+	sim := mp.DefaultSimConfig(4)
+	for _, mpCfg := range []mp.Config{
+		sim,
+		{Procs: 4, Mode: mp.ModeReal},
+	} {
+		mode := "real"
+		if mpCfg.Mode == mp.ModeSim {
+			mode = "sim"
+		}
+		t.Run(fmt.Sprintf("p4_%s", mode), func(t *testing.T) {
+			cfg := base
+			cfg.MP = mpCfg
+			res, err := Run(b.ESTs, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := normalizeLabels(res.Labels)
+			if len(got) != len(refLabels) {
+				t.Fatalf("label count %d vs %d", len(got), len(refLabels))
+			}
+			diff := 0
+			for i := range got {
+				if got[i] != refLabels[i] {
+					diff++
+				}
+			}
+			if diff != 0 {
+				t.Errorf("partition differs from sequential at %d of %d ESTs", diff, len(got))
+			}
+			if res.NumClusters != ref.NumClusters {
+				t.Errorf("clusters = %d, sequential = %d", res.NumClusters, ref.NumClusters)
+			}
+			if res.Stats.PairsGenerated != ref.Stats.PairsGenerated {
+				t.Errorf("PairsGenerated = %d, sequential = %d",
+					res.Stats.PairsGenerated, ref.Stats.PairsGenerated)
+			}
+			// The flow-control invariant must hold on the parallel runs.
+			hw := res.Stats.WorkBufHighWater
+			if hw <= 0 || hw > cfg.WorkBufCap {
+				t.Errorf("WorkBufHighWater %d outside (0, %d]", hw, cfg.WorkBufCap)
+			}
+		})
+	}
+}

@@ -19,6 +19,16 @@
 //     (speedups, component breakdowns) faithfully even on a single-core
 //     host, which is how the paper's 8–128-processor curves are regenerated
 //     here.
+//
+// Message ownership: Send copies the payload before it is enqueued, so a
+// caller keeps full ownership of its buffer and may reuse it immediately;
+// the receiver owns Msg.Data exclusively. SendOwned is the explicit
+// zero-copy opt-in that transfers buffer ownership to the runtime.
+//
+// Liveness: a rank whose body errors or panics is broadcast as failed, so
+// peers blocked in Recv return an error wrapping ErrRankFailed instead of
+// hanging; RecvTimeout (or Config.RecvTimeout) bounds individual receives
+// with ErrTimeout, in virtual time under ModeSim.
 package mp
 
 import (
@@ -50,6 +60,12 @@ type Config struct {
 	// Mode selects real or simulated execution.
 	Mode Mode
 
+	// RecvTimeout, when positive, bounds every plain Recv (and therefore
+	// every collective) on the machine: a receive that would block longer
+	// returns ErrTimeout instead of hanging. In ModeSim the bound is in
+	// virtual time. Per-call bounds are available via Comm.RecvTimeout.
+	RecvTimeout time.Duration
+
 	// Latency is the per-message delivery latency (ModeSim).
 	Latency time.Duration
 	// ByteTime is the per-byte transfer time, i.e. 1/bandwidth (ModeSim).
@@ -79,7 +95,8 @@ func DefaultSimConfig(p int) Config {
 	}
 }
 
-// Msg is one delivered message.
+// Msg is one delivered message. Data is owned exclusively by the receiver:
+// the runtime never aliases it with a sender's buffer (see Comm.Send).
 type Msg struct {
 	From, To int
 	Tag      int
@@ -90,14 +107,24 @@ type Msg struct {
 // machine has no runnable rank and no deliverable message.
 var ErrDeadlock = errors.New("mp: deadlock: all ranks blocked")
 
+// ErrTimeout is returned from a bounded receive that expired before a
+// matching message arrived.
+var ErrTimeout = errors.New("mp: receive timed out")
+
+// ErrRankFailed is returned from blocking communication calls on the
+// surviving ranks after some rank's body returned an error or panicked:
+// the failure is broadcast so no peer hangs waiting for a dead rank.
+var ErrRankFailed = errors.New("mp: peer rank failed")
+
 // transport is the mode-specific engine under a Comm.
 type transport interface {
 	begin(rank int) error
 	send(from, to, tag int, data []byte) error
-	recv(rank, from, tag int) (Msg, error)
+	recv(rank, from, tag int, timeout time.Duration) (Msg, error)
 	probe(rank, from, tag int) (bool, error)
 	elapsed(rank int) time.Duration
 	charge(rank int, d time.Duration)
+	fail(rank int, err error)
 	finish(rank int)
 	stats(rank int) CommStats
 }
@@ -124,9 +151,10 @@ func (s *CommStats) addRecv(n int) {
 
 // Comm is a rank's endpoint, analogous to an MPI communicator + rank.
 type Comm struct {
-	rank int
-	size int
-	tr   transport
+	rank       int
+	size       int
+	tr         transport
+	defTimeout time.Duration
 }
 
 // Rank returns this endpoint's rank in [0, Size()).
@@ -137,7 +165,29 @@ func (c *Comm) Size() int { return c.size }
 
 // Send delivers data to rank `to` with the given tag. It is buffered
 // ("eager" in MPI terms): it never blocks on the receiver.
+//
+// Ownership contract: Send copies data before it is enqueued, so the caller
+// keeps full ownership of its buffer and may overwrite or reuse it the
+// moment Send returns — even in ModeReal where the receiver runs
+// concurrently. The receiver in turn owns Msg.Data exclusively. Callers
+// that build a throwaway buffer per message can use SendOwned to skip the
+// copy.
 func (c *Comm) Send(to, tag int, data []byte) error {
+	if to < 0 || to >= c.size {
+		return fmt.Errorf("mp: send to invalid rank %d", to)
+	}
+	var cp []byte
+	if len(data) > 0 {
+		cp = make([]byte, len(data))
+		copy(cp, data)
+	}
+	return c.tr.send(c.rank, to, tag, cp)
+}
+
+// SendOwned is the zero-copy opt-in: it enqueues data without copying and
+// transfers ownership of the buffer to the runtime (and ultimately to the
+// receiver). The caller must not read or write data after the call.
+func (c *Comm) SendOwned(to, tag int, data []byte) error {
 	if to < 0 || to >= c.size {
 		return fmt.Errorf("mp: send to invalid rank %d", to)
 	}
@@ -145,12 +195,20 @@ func (c *Comm) Send(to, tag int, data []byte) error {
 }
 
 // Recv blocks until a message with the given tag arrives from rank `from`
-// (or from anyone if from == AnySource). Tags match exactly.
+// (or from anyone if from == AnySource). Tags match exactly. If the machine
+// was configured with Config.RecvTimeout > 0, that bound applies.
 func (c *Comm) Recv(from, tag int) (Msg, error) {
+	return c.RecvTimeout(from, tag, c.defTimeout)
+}
+
+// RecvTimeout is Recv with an explicit per-call bound: when timeout > 0 and
+// no matching message arrives in time (virtual time in ModeSim), it returns
+// an error wrapping ErrTimeout. timeout <= 0 blocks indefinitely.
+func (c *Comm) RecvTimeout(from, tag int, timeout time.Duration) (Msg, error) {
 	if from != AnySource && (from < 0 || from >= c.size) {
 		return Msg{}, fmt.Errorf("mp: recv from invalid rank %d", from)
 	}
-	return c.tr.recv(c.rank, from, tag)
+	return c.tr.recv(c.rank, from, tag, timeout)
 }
 
 // Probe reports whether a matching message is already available; it never
@@ -208,6 +266,8 @@ func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
 	for mask > 0 {
 		if vrank+mask < c.size {
 			dst := (c.rank + mask) % c.size
+			// Send (not SendOwned): data is also returned to this
+			// rank's caller, so it must not be handed off.
 			if err := c.Send(dst, tagBcast, data); err != nil {
 				return nil, err
 			}
@@ -245,7 +305,9 @@ func (c *Comm) ReduceSumInt64(root int, vals []int64) ([]int64, error) {
 			}
 		} else {
 			dst := ((vrank ^ mask) + root) % c.size
-			if err := c.Send(dst, tagReduce, EncodeInt64s(acc)); err != nil {
+			// The encoded vector is freshly allocated and never touched
+			// again, so hand it off without the Send copy.
+			if err := c.SendOwned(dst, tagReduce, EncodeInt64s(acc)); err != nil {
 				return nil, err
 			}
 			return nil, nil
@@ -400,6 +462,12 @@ func DecodeInt64s(b []byte) ([]int64, error) {
 
 // Run executes body on every rank under the configured mode and returns the
 // first error any rank produced. It blocks until all ranks finish.
+//
+// Liveness: when a rank's body returns an error or panics, the failure is
+// broadcast through the transport so that every peer blocked in a receive
+// is woken with an error wrapping ErrRankFailed instead of hanging forever.
+// Run reports the root-cause error (the failing rank's own error) in
+// preference to the derived ErrRankFailed errors of the survivors.
 func Run(cfg Config, body func(c *Comm) error) error {
 	if cfg.Procs < 1 {
 		return fmt.Errorf("mp: Procs must be >= 1, got %d", cfg.Procs)
@@ -420,27 +488,38 @@ func Run(cfg Config, body func(c *Comm) error) error {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			c := &Comm{rank: rank, size: cfg.Procs, tr: tr}
+			c := &Comm{rank: rank, size: cfg.Procs, tr: tr, defTimeout: cfg.RecvTimeout}
+			var err error
 			defer func() {
 				if rec := recover(); rec != nil {
-					errs[rank] = fmt.Errorf("mp: rank %d panicked: %v", rank, rec)
+					err = fmt.Errorf("mp: rank %d panicked: %v", rank, rec)
+				}
+				errs[rank] = err
+				if err != nil {
+					tr.fail(rank, err)
 				}
 				tr.finish(rank)
 			}()
-			if err := tr.begin(rank); err != nil {
-				errs[rank] = err
+			if err = tr.begin(rank); err != nil {
 				return
 			}
-			errs[rank] = body(c)
+			err = body(c)
 		}(r)
 	}
 	wg.Wait()
+	var derived error
 	for _, err := range errs {
-		if err != nil {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, ErrRankFailed) {
 			return err
 		}
+		if derived == nil {
+			derived = err
+		}
 	}
-	return nil
+	return derived
 }
 
 // RunTimed is Run plus the final per-rank clocks (virtual in ModeSim),

@@ -1,6 +1,7 @@
 package mp
 
 import (
+	"fmt"
 	"sync"
 	"time"
 )
@@ -8,12 +9,19 @@ import (
 // realTransport runs ranks truly concurrently: one mailbox per rank guarded
 // by a mutex/cond pair. Matching is FIFO in arrival order, which preserves
 // the MPI non-overtaking guarantee per (source, tag).
+//
+// Payload ownership is handled one layer up: Comm.Send clones the caller's
+// buffer before it reaches send(), so a mailbox never aliases live sender
+// memory and Msg.Data handed out by recv() is exclusively the receiver's.
 type realTransport struct {
 	start time.Time
 	boxes []*realBox
 
 	statsMu sync.Mutex
 	traffic []CommStats
+
+	failMu  sync.Mutex
+	failErr error
 }
 
 type realBox struct {
@@ -50,8 +58,46 @@ func (t *realTransport) send(from, to, tag int, data []byte) error {
 	return nil
 }
 
-func (t *realTransport) recv(rank, from, tag int) (Msg, error) {
+// failure returns the broadcast failure error, if any.
+func (t *realTransport) failure() error {
+	t.failMu.Lock()
+	defer t.failMu.Unlock()
+	return t.failErr
+}
+
+// fail records the first rank failure and wakes every blocked receiver.
+// The error is stored before the mailbox locks are touched so there is no
+// lock-order cycle with recv (which holds a box lock while reading it).
+func (t *realTransport) fail(rank int, err error) {
+	t.failMu.Lock()
+	if t.failErr == nil {
+		t.failErr = fmt.Errorf("mp: rank %d failed (%v): %w", rank, err, ErrRankFailed)
+	}
+	t.failMu.Unlock()
+	for _, b := range t.boxes {
+		// Empty critical section: guarantees any receiver between its
+		// predicate check and cond.Wait is parked before the broadcast.
+		b.mu.Lock()
+		b.mu.Unlock() //nolint:staticcheck // see above
+		b.cond.Broadcast()
+	}
+}
+
+func (t *realTransport) recv(rank, from, tag int, timeout time.Duration) (Msg, error) {
 	b := t.boxes[rank]
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+		// sync.Cond has no timed wait; a timer broadcast stands in. The
+		// lock/unlock pair prevents a missed wakeup for a receiver that
+		// checked the deadline but has not parked yet.
+		timer := time.AfterFunc(timeout, func() {
+			b.mu.Lock()
+			b.mu.Unlock() //nolint:staticcheck // pairing broadcast with parked waiters
+			b.cond.Broadcast()
+		})
+		defer timer.Stop()
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for {
@@ -63,6 +109,15 @@ func (t *realTransport) recv(rank, from, tag int) (Msg, error) {
 				t.statsMu.Unlock()
 				return m, nil
 			}
+		}
+		// A delivered message is preferred over failure/timeout reporting;
+		// only a receive that would block surfaces them.
+		if err := t.failure(); err != nil {
+			return Msg{}, fmt.Errorf("mp: rank %d recv aborted: %w", rank, err)
+		}
+		if timeout > 0 && !time.Now().Before(deadline) {
+			return Msg{}, fmt.Errorf("mp: rank %d recv(from %d, tag %d) after %v: %w",
+				rank, from, tag, timeout, ErrTimeout)
 		}
 		b.cond.Wait()
 	}
@@ -76,6 +131,9 @@ func (t *realTransport) probe(rank, from, tag int) (bool, error) {
 		if matches(m, from, tag) {
 			return true, nil
 		}
+	}
+	if err := t.failure(); err != nil {
+		return false, fmt.Errorf("mp: rank %d probe aborted: %w", rank, err)
 	}
 	return false, nil
 }

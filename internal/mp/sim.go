@@ -1,6 +1,7 @@
 package mp
 
 import (
+	"fmt"
 	"sync"
 	"time"
 )
@@ -51,6 +52,10 @@ type simRank struct {
 	waitFrom int
 	waitTag  int
 	chosen   bool
+	// hasDeadline marks a bounded receive; deadline is the virtual time at
+	// which it expires (clock at entry + timeout).
+	hasDeadline bool
+	deadline    time.Duration
 
 	mailbox []simMsg
 	traffic CommStats
@@ -89,7 +94,9 @@ func firstMatch(rk *simRank) (int, *simMsg) {
 	return -1, nil
 }
 
-// keyOf computes a parked rank's scheduling timestamp.
+// keyOf computes a parked rank's scheduling timestamp. A bounded receive is
+// always eligible: at the earlier of its message-availability time and its
+// virtual deadline (at which it will report a timeout).
 func (t *simTransport) keyOf(rk *simRank) (time.Duration, bool) {
 	if !rk.isRecv {
 		return rk.clock, true
@@ -99,7 +106,13 @@ func (t *simTransport) keyOf(rk *simRank) (time.Duration, bool) {
 		if m.deliver > key {
 			key = m.deliver
 		}
+		if rk.hasDeadline && rk.deadline < key {
+			key = rk.deadline
+		}
 		return key, true
+	}
+	if rk.hasDeadline {
+		return rk.deadline, true
 	}
 	return 0, false
 }
@@ -142,8 +155,9 @@ func (t *simTransport) schedule() {
 
 // enter parks rank r in the arena with the given operation descriptor and
 // blocks until the scheduler releases it. On return the caller holds mu and
-// may execute its operation.
-func (t *simTransport) enter(r int, isRecv bool, from, tag int) error {
+// may execute its operation. timeout > 0 arms a virtual-time deadline on a
+// receive.
+func (t *simTransport) enter(r int, isRecv bool, from, tag int, timeout time.Duration) error {
 	t.mu.Lock()
 	if t.dead != nil {
 		t.mu.Unlock()
@@ -154,6 +168,10 @@ func (t *simTransport) enter(r int, isRecv bool, from, tag int) error {
 	rk.phase = phaseArena
 	rk.isRecv = isRecv
 	rk.waitFrom, rk.waitTag = from, tag
+	rk.hasDeadline = isRecv && timeout > 0
+	if rk.hasDeadline {
+		rk.deadline = rk.clock + timeout
+	}
 	rk.chosen = false
 	if t.running == r {
 		t.running = -1
@@ -185,6 +203,7 @@ func (t *simTransport) begin(r int) error {
 	t.mu.Lock()
 	rk := t.ranks[r]
 	rk.isRecv = false
+	rk.hasDeadline = false
 	rk.chosen = false
 	rk.phase = phaseArena
 	t.schedule()
@@ -200,7 +219,7 @@ func (t *simTransport) begin(r int) error {
 }
 
 func (t *simTransport) send(from, to, tag int, data []byte) error {
-	if err := t.enter(from, false, 0, 0); err != nil {
+	if err := t.enter(from, false, 0, 0, 0); err != nil {
 		return err
 	}
 	rk := t.ranks[from]
@@ -215,30 +234,45 @@ func (t *simTransport) send(from, to, tag int, data []byte) error {
 	return nil
 }
 
-func (t *simTransport) recv(rank, from, tag int) (Msg, error) {
-	if err := t.enter(rank, true, from, tag); err != nil {
+func (t *simTransport) recv(rank, from, tag int, timeout time.Duration) (Msg, error) {
+	if err := t.enter(rank, true, from, tag, timeout); err != nil {
 		return Msg{}, err
 	}
 	rk := t.ranks[rank]
 	i, m := firstMatch(rk)
-	if m == nil {
+	if m != nil {
+		key := rk.clock
+		if m.deliver > key {
+			key = m.deliver
+		}
+		if !rk.hasDeadline || key <= rk.deadline {
+			msg := m.Msg
+			rk.clock = key
+			rk.hasDeadline = false
+			rk.mailbox = append(rk.mailbox[:i], rk.mailbox[i+1:]...)
+			rk.traffic.addRecv(len(msg.Data))
+			t.leave(rank)
+			return msg, nil
+		}
+	}
+	if !rk.hasDeadline {
 		// Cannot happen: eligibility implies a match and all other
 		// ranks are parked between scheduling and wake-up.
 		t.mu.Unlock()
 		panic("mp: released receiver has no matching message")
 	}
-	msg := m.Msg
-	if m.deliver > rk.clock {
-		rk.clock = m.deliver
+	// Virtual deadline reached before any message could be delivered.
+	if rk.deadline > rk.clock {
+		rk.clock = rk.deadline
 	}
-	rk.mailbox = append(rk.mailbox[:i], rk.mailbox[i+1:]...)
-	rk.traffic.addRecv(len(msg.Data))
+	rk.hasDeadline = false
 	t.leave(rank)
-	return msg, nil
+	return Msg{}, fmt.Errorf("mp: rank %d recv(from %d, tag %d) after %v: %w",
+		rank, from, tag, timeout, ErrTimeout)
 }
 
 func (t *simTransport) probe(rank, from, tag int) (bool, error) {
-	if err := t.enter(rank, false, 0, 0); err != nil {
+	if err := t.enter(rank, false, 0, 0, 0); err != nil {
 		return false, err
 	}
 	rk := t.ranks[rank]
@@ -280,6 +314,18 @@ func (t *simTransport) stats(rank int) CommStats {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.ranks[rank].traffic
+}
+
+// fail kills the whole simulated machine: every rank parked in (or later
+// entering) a communication call gets an error wrapping ErrRankFailed. The
+// first failure wins; a deadlock already recorded is not overwritten.
+func (t *simTransport) fail(rank int, err error) {
+	t.mu.Lock()
+	if t.dead == nil {
+		t.dead = fmt.Errorf("mp: rank %d failed (%v): %w", rank, err, ErrRankFailed)
+		t.cond.Broadcast()
+	}
+	t.mu.Unlock()
 }
 
 func (t *simTransport) finish(rank int) {
