@@ -7,6 +7,7 @@ package pace
 
 import (
 	"fmt"
+	"io"
 	"testing"
 	"time"
 
@@ -158,6 +159,34 @@ func BenchmarkPublicAPI(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := Cluster(bench.ESTs, opt); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPublicAPITelemetry is BenchmarkPublicAPI with every telemetry
+// sink attached (metrics registry + trace to io.Discard); the delta against
+// BenchmarkPublicAPI bounds the cost of full observability end to end.
+func BenchmarkPublicAPITelemetry(b *testing.B) {
+	bench, err := Simulate(SimOptions{NumESTs: 200, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.Metrics = NewMetricsRegistry()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tw := NewTraceWriter(io.Discard)
+		opt.Trace = tw
+		cl, err := Cluster(bench.ESTs, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tw.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			rep := BuildReport(cl, opt, "bench", "simulated", len(bench.ESTs), 0)
+			reportRows(b, len(rep.Phases))
 		}
 	}
 }

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	experiments [-exp all|table1|table2|table3|fig6a|fig6b|fig7|fig8|ablations|trim]
-//	            [-scale tiny|small|medium] [-seed 1]
+//	            [-scale tiny|small|medium] [-seed 1] [-report out.json]
 package main
 
 import (
@@ -16,12 +16,14 @@ import (
 
 	"pace/internal/experiments"
 	"pace/internal/metrics"
+	"pace/internal/telemetry"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (all, table1, table2, table3, fig6a, fig6b, fig7, fig8, ablations, trim)")
 	scaleName := flag.String("scale", "small", "workload scale (tiny, small, medium)")
 	seed := flag.Int64("seed", 1, "benchmark random seed")
+	reportPath := flag.String("report", "", "write a run-report JSON here ('auto' derives BENCH_experiments_<stamp>.json)")
 	flag.Parse()
 
 	sc, ok := experiments.ScaleByName(*scaleName)
@@ -42,21 +44,58 @@ func main() {
 	}
 	order := []string{"table1", "table2", "table3", "fig6a", "fig6b", "fig7", "fig8", "ablations", "trim"}
 
-	if *exp == "all" {
-		for _, name := range order {
-			if err := run[name](sc, *seed); err != nil {
-				fatal(err)
-			}
+	names := order
+	if *exp != "all" {
+		if _, ok := run[*exp]; !ok {
+			fatal(fmt.Errorf("unknown experiment %q", *exp))
 		}
-		return
+		names = []string{*exp}
 	}
-	f, ok := run[*exp]
-	if !ok {
-		fatal(fmt.Errorf("unknown experiment %q", *exp))
+
+	// Per-experiment wall times feed the run report's phase table.
+	pt := telemetry.NewPhaseTimer(nil)
+	t0 := time.Now()
+	for _, name := range names {
+		pt.Start(name)
+		err := run[name](sc, *seed)
+		pt.End()
+		if err != nil {
+			fatal(err)
+		}
 	}
-	if err := f(sc, *seed); err != nil {
-		fatal(err)
+	wall := time.Since(t0)
+
+	if *reportPath != "" {
+		if err := writeReport(*reportPath, *scaleName, *seed, pt, wall); err != nil {
+			fatal(err)
+		}
 	}
+}
+
+// writeReport emits the BENCH_*.json artifact for an experiments run.
+func writeReport(path, scale string, seed int64, pt *telemetry.PhaseTimer, wall time.Duration) error {
+	rep := &telemetry.RunReport{
+		Tool: "experiments",
+		Params: map[string]string{
+			"scale": scale,
+			"seed":  fmt.Sprintf("%d", seed),
+		},
+		Procs:       1,
+		WallSeconds: wall.Seconds(),
+	}
+	for _, t := range pt.Totals() {
+		rep.Phases = append(rep.Phases, telemetry.PhaseEntry{Name: t.Name, Seconds: t.Total.Seconds()})
+	}
+	rep.Phases = append(rep.Phases, telemetry.PhaseEntry{Name: "total", Seconds: wall.Seconds()})
+	rep.Stamp()
+	if path == "auto" {
+		path = telemetry.BenchFileName("experiments", time.Now())
+	}
+	if err := rep.WriteJSON(path); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "experiments: wrote run report to %s\n", path)
+	return nil
 }
 
 func header(title string) {

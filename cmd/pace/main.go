@@ -5,8 +5,13 @@
 //	pace -in ests.fasta [-out clusters.tsv] [-p 4] [-sim] [-w 8] [-psi 20]
 //
 // The output is a TSV with one line per EST: record id, cluster label.
-// A run summary (cluster count, pair statistics, phase times) goes to
-// standard error.
+// A run summary (cluster count, pair statistics, phase times, and the
+// paper-style phase / per-rank load-balance tables) goes to standard error.
+//
+// Observability: -metrics-addr serves Prometheus text, expvar and pprof over
+// HTTP during the run; -trace writes a Chrome trace-event file with one
+// timeline per rank; -report writes a machine-readable BENCH_*.json run
+// report.
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"pace"
 )
@@ -31,10 +37,17 @@ func main() {
 	doTrim := flag.Bool("trim", false, "trim poly(A)/poly(T) tails before clustering")
 	consOut := flag.String("consensus", "", "also assemble per-cluster consensus sequences to this FASTA file")
 	spliceOut := flag.String("splice", "", "also scan clusters for alternative-splicing events, TSV to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics, expvar and pprof on this address (e.g. :9090)")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event file here (chrome://tracing, Perfetto)")
+	reportPath := flag.String("report", "", "write a run-report JSON here ('auto' derives BENCH_pace_<stamp>.json)")
 	flag.Parse()
 
-	if *in == "" {
-		fmt.Fprintln(os.Stderr, "pace: -in is required")
+	if err := validateFlags(flagValues{
+		in: *in, procs: *procs, sim: *sim,
+		window: *window, psi: *psi, batch: *batch,
+		minOverlap: *minOverlap, minIdentity: *minIdentity,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "pace:", err)
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -72,9 +85,42 @@ func main() {
 	opt.MinOverlap = *minOverlap
 	opt.MinIdentity = *minIdentity
 
+	// Attach telemetry sinks. The registry is also created for -report
+	// alone, so the report's counter snapshot is populated.
+	if *metricsAddr != "" || *reportPath != "" {
+		opt.Metrics = pace.NewMetricsRegistry()
+	}
+	if *metricsAddr != "" {
+		srv, err := pace.ServeMetrics(*metricsAddr, opt.Metrics)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "pace: serving metrics on http://%s/metrics\n", srv.Addr())
+	}
+	var traceFile *os.File
+	if *tracePath != "" {
+		traceFile, err = os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		opt.Trace = pace.NewTraceWriter(traceFile)
+	}
+
+	t0 := time.Now()
 	cl, err := pace.Cluster(seqs, opt)
+	wall := time.Since(t0)
 	if err != nil {
 		fatal(err)
+	}
+	if opt.Trace != nil {
+		if err := opt.Trace.Close(); err != nil {
+			fatal(err)
+		}
+		if err := traceFile.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pace: wrote trace to %s\n", *tracePath)
 	}
 
 	dst := os.Stdout
@@ -156,6 +202,22 @@ func main() {
 		st.PairsGenerated, st.PairsProcessed, st.PairsAccepted, st.PairsSkipped)
 	fmt.Fprintf(os.Stderr, "pace: phases partition=%v construct=%v sort=%v align=%v total=%v\n",
 		st.Phases.Partition, st.Phases.Construct, st.Phases.Sort, st.Phases.Align, st.Phases.Total)
+
+	rep := pace.BuildReport(cl, opt, "pace", *in, len(recs), wall)
+	fmt.Fprint(os.Stderr, rep.FormatPhaseTable())
+	if t := rep.FormatRankTable(); t != "" {
+		fmt.Fprint(os.Stderr, t)
+	}
+	if *reportPath != "" {
+		path := *reportPath
+		if path == "auto" {
+			path = pace.BenchFileName("pace", time.Now())
+		}
+		if err := rep.WriteJSON(path); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pace: wrote run report to %s\n", path)
+	}
 }
 
 func fatal(err error) {

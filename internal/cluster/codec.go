@@ -221,17 +221,31 @@ func decodeWork(b []byte) (work, error) {
 }
 
 // phaseReport carries a rank's timing/counter contribution to the master at
-// shutdown (gathered once, outside the hot path).
+// shutdown (gathered once, outside the hot path). The comm fields are a
+// snapshot of the rank's mp.CommStats taken just before encoding, so the
+// final gather itself is not included — uniformly across ranks.
 type phaseReport struct {
 	partitionNs, constructNs, sortNs, alignNs, totalNs int64
 	generated, processed, accepted                     int64
+	msgsSent, bytesSent, msgsRecv, bytesRecv           int64
+	recvWaitNs, collOps, collTimeNs, busyNs            int64
+}
+
+// phaseReportWords is the fixed number of int64 fields on the wire.
+const phaseReportWords = 16
+
+func (p phaseReport) words() [phaseReportWords]int64 {
+	return [phaseReportWords]int64{
+		p.partitionNs, p.constructNs, p.sortNs, p.alignNs, p.totalNs,
+		p.generated, p.processed, p.accepted,
+		p.msgsSent, p.bytesSent, p.msgsRecv, p.bytesRecv,
+		p.recvWaitNs, p.collOps, p.collTimeNs, p.busyNs,
+	}
 }
 
 func encodePhase(p phaseReport) []byte {
-	vals := []int64{p.partitionNs, p.constructNs, p.sortNs, p.alignNs, p.totalNs,
-		p.generated, p.processed, p.accepted}
-	b := make([]byte, 0, 8*len(vals))
-	for _, v := range vals {
+	b := make([]byte, 0, 8*phaseReportWords)
+	for _, v := range p.words() {
 		var tmp [8]byte
 		binary.LittleEndian.PutUint64(tmp[:], uint64(v))
 		b = append(b, tmp[:]...)
@@ -240,12 +254,14 @@ func encodePhase(p phaseReport) []byte {
 }
 
 func decodePhase(b []byte) (phaseReport, error) {
-	if len(b) != 64 {
-		return phaseReport{}, fmt.Errorf("cluster: phase report has %d bytes, want 64", len(b))
+	if len(b) != 8*phaseReportWords {
+		return phaseReport{}, fmt.Errorf("cluster: phase report has %d bytes, want %d", len(b), 8*phaseReportWords)
 	}
 	v := func(i int) int64 { return int64(binary.LittleEndian.Uint64(b[8*i:])) }
 	return phaseReport{
 		partitionNs: v(0), constructNs: v(1), sortNs: v(2), alignNs: v(3), totalNs: v(4),
 		generated: v(5), processed: v(6), accepted: v(7),
+		msgsSent: v(8), bytesSent: v(9), msgsRecv: v(10), bytesRecv: v(11),
+		recvWaitNs: v(12), collOps: v(13), collTimeNs: v(14), busyNs: v(15),
 	}, nil
 }

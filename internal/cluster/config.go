@@ -17,6 +17,7 @@ import (
 
 	"pace/internal/align"
 	"pace/internal/mp"
+	"pace/internal/telemetry"
 )
 
 // Config parameterizes a clustering run.
@@ -67,6 +68,17 @@ type Config struct {
 	// start merged, so pairs inside old clusters are skipped rather than
 	// re-aligned. Entries < 0 are unconstrained.
 	InitialLabels []int32
+
+	// Metrics, when non-nil, receives live instrumentation from every
+	// pipeline layer: pair counters, the MCS-length and grant-E
+	// distributions, WORKBUF occupancy, bucket sizes, redistribution skew,
+	// and per-rank traffic. nil (the default) disables the probes at the
+	// cost of one pointer test per site.
+	Metrics *telemetry.Registry
+	// Trace, when non-nil, receives Chrome trace events: one timeline per
+	// rank (pid 0, tid = rank) with phase spans and a WORKBUF occupancy
+	// counter series. Virtual timestamps under the simulated transport.
+	Trace *telemetry.TraceWriter
 }
 
 // DefaultConfig mirrors the paper's operating point on p ranks.
@@ -186,8 +198,50 @@ type Stats struct {
 	// charges every outstanding grant (including the slaves' bootstrap
 	// batches) against the free space before issuing a new one.
 	WorkBufHighWater int
+	// MasterIdle is the time the master spent blocked in Recv waiting for
+	// slave reports — the complement of MasterBusy, and the paper's
+	// evidence that a dedicated master rank is not a bottleneck.
+	MasterIdle time.Duration
 	// Phases is the per-phase breakdown.
 	Phases PhaseTimes
+	// PerRank is the per-rank load/communication breakdown behind the
+	// paper's Table 3, gathered from every rank at shutdown and sorted by
+	// rank. Sequential runs get a single "seq" row so report code need not
+	// special-case Procs == 1.
+	PerRank []RankStats
+}
+
+// RankStats is one rank's row of the load-balance table: where its time went
+// and how much it communicated. Comm counters snapshot the rank's
+// mp.CommStats just before the final gather.
+type RankStats struct {
+	Rank int
+	// Role is "master", "slave", or "seq".
+	Role string
+
+	Partition time.Duration
+	Construct time.Duration
+	Sort      time.Duration
+	Align     time.Duration
+	Total     time.Duration
+
+	MsgsSent  int64
+	BytesSent int64
+	MsgsRecv  int64
+	BytesRecv int64
+	// RecvWait is time blocked in Recv (virtual under the simulator).
+	RecvWait time.Duration
+	// CollectiveOps / CollectiveTime tally collective calls and their
+	// latency (composites count constituents; see mp.CollectiveStats).
+	CollectiveOps  int64
+	CollectiveTime time.Duration
+
+	PairsGenerated int64
+	PairsProcessed int64
+	PairsAccepted  int64
+	// Busy is meaningful on the master only: time spent processing
+	// messages rather than waiting.
+	Busy time.Duration
 }
 
 // Result is the outcome of a clustering run.

@@ -72,6 +72,12 @@ func alignPairs(set *seq.SetS, ext *align.Extender, cfg Config, pairs []pairgen.
 // runSequential is the single-process engine: generate batches in decreasing
 // order, skip same-cluster pairs, align, merge.
 func runSequential(set *seq.SetS, cfg Config) (*Result, error) {
+	pr := newProbes(cfg.Metrics)
+	tw := cfg.Trace
+	if tw != nil {
+		tw.ProcessName(0, "pace pipeline")
+		traceThreadName(tw, 0, "seq")
+	}
 	res := &Result{}
 	st := &res.Stats
 	n2 := seq.StringID(set.NumStrings())
@@ -81,6 +87,10 @@ func runSequential(set *seq.SetS, cfg Config) (*Result, error) {
 	owner := suffix.Assign(hist, 1)
 	byBucket := suffix.CollectOwned(set, cfg.Window, owner, 0, 0, n2)
 	st.Phases.Partition = time.Since(t0)
+	pr.observeBuckets(hist, suffix.Loads(hist, owner, 1))
+	if tw != nil {
+		tw.Span(0, 0, "partition", "gst", 0, st.Phases.Partition)
+	}
 
 	t1 := time.Now()
 	forest, err := suffix.BuildForest(set, byBucket, cfg.Window)
@@ -88,13 +98,20 @@ func runSequential(set *seq.SetS, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	st.Phases.Construct = time.Since(t1)
+	if tw != nil {
+		tw.Span(0, 0, "construct", "gst", t1.Sub(t0), st.Phases.Construct)
+	}
 
 	t2 := time.Now()
 	gen, err := pairgen.New(set, forest, cfg.Psi)
 	if err != nil {
 		return nil, err
 	}
+	gen.Observe(pr.observer())
 	st.Phases.Sort = time.Since(t2)
+	if tw != nil {
+		tw.Span(0, 0, "sort", "pairgen", t2.Sub(t0), st.Phases.Sort)
+	}
 
 	ext, err := align.NewExtender(cfg.Scoring, cfg.Band)
 	if err != nil {
@@ -110,29 +127,54 @@ func runSequential(set *seq.SetS, cfg Config) (*Result, error) {
 		if len(buf) == 0 {
 			break
 		}
+		tBatch := time.Since(t0)
+		var batchAlign time.Duration
 		for _, p := range buf {
 			i, j := p.ESTs()
 			if cfg.SkipSameCluster && uf.Same(int32(i), int32(j)) {
 				st.PairsSkipped++
+				if pr != nil {
+					pr.skipped.Inc()
+				}
 				continue
 			}
 			tA := time.Now()
 			r, err := ext.Extend(set.Str(p.S1), set.Str(p.S2), p.Pos1, p.Pos2, p.MatchLen)
-			st.Phases.Align += time.Since(tA)
+			batchAlign += time.Since(tA)
 			if err != nil {
 				return nil, err
 			}
 			st.PairsProcessed++
+			if pr != nil {
+				pr.processed.Inc()
+			}
 			if r.Accept(cfg.Scoring, cfg.Criteria) {
 				st.PairsAccepted++
+				if pr != nil {
+					pr.accepted.Inc()
+				}
 				if uf.Union(int32(i), int32(j)) {
 					st.Merges++
+					if pr != nil {
+						pr.merges.Inc()
+					}
 				}
 			}
+		}
+		st.Phases.Align += batchAlign
+		if tw != nil && batchAlign > 0 {
+			tw.Span(0, 0, "align", "cluster", tBatch, batchAlign)
 		}
 	}
 	st.PairsGenerated = gen.Stats().Generated
 	st.Phases.Total = time.Since(t0)
+	st.PerRank = []RankStats{{
+		Rank: 0, Role: "seq",
+		Partition: st.Phases.Partition, Construct: st.Phases.Construct,
+		Sort: st.Phases.Sort, Align: st.Phases.Align, Total: st.Phases.Total,
+		PairsGenerated: st.PairsGenerated, PairsProcessed: st.PairsProcessed,
+		PairsAccepted: st.PairsAccepted,
+	}}
 	res.Labels = uf.Labels()
 	res.NumClusters = uf.Count()
 	return res, nil
@@ -165,8 +207,9 @@ func shareRange(si, slaves, total int) (seq.StringID, seq.StringID) {
 
 // prologue is the partitioning phase run by every rank: per-share histogram,
 // global summation (O(log p) allreduce), and the deterministic bucket-to-
-// slave assignment.
-func prologue(set *seq.SetS, cfg Config, c *mp.Comm) ([]int32, error) {
+// slave assignment. It also returns the global histogram so the master can
+// publish the bucket-size distribution and redistribution skew.
+func prologue(set *seq.SetS, cfg Config, c *mp.Comm) ([]int32, []int64, error) {
 	slaves := c.Size() - 1
 	var hist []int64
 	if c.Rank() == 0 {
@@ -177,9 +220,19 @@ func prologue(set *seq.SetS, cfg Config, c *mp.Comm) ([]int32, error) {
 	}
 	global, err := c.AllreduceSumInt64(hist)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return suffix.Assign(global, slaves), nil
+	return suffix.Assign(global, slaves), global, nil
+}
+
+// fillComm snapshots a rank's communication counters into its phase report,
+// taken just before the final gather so every rank's cut-off is uniform.
+func fillComm(p *phaseReport, s mp.CommStats) {
+	p.msgsSent, p.bytesSent = s.MsgsSent, s.BytesSent
+	p.msgsRecv, p.bytesRecv = s.MsgsRecv, s.BytesRecv
+	p.recvWaitNs = int64(s.RecvWait)
+	p.collOps = s.Collectives.Ops()
+	p.collTimeNs = int64(s.Collectives.Time)
 }
 
 // masterState tracks one slave's protocol position.
@@ -227,11 +280,22 @@ func grantE(cfg Config, reported, added, active, slaves, p, nfree int) int {
 }
 
 func runMaster(set *seq.SetS, cfg Config, c *mp.Comm) (*Result, error) {
+	pr := newProbes(cfg.Metrics)
+	tw := cfg.Trace
+	if tw != nil {
+		tw.ProcessName(0, "pace pipeline")
+		traceThreadName(tw, 0, "master")
+	}
 	tStart := c.Elapsed()
-	if _, err := prologue(set, cfg, c); err != nil {
+	owner, global, err := prologue(set, cfg, c)
+	if err != nil {
 		return nil, err
 	}
 	tPart := c.Elapsed() - tStart
+	pr.observeBuckets(global, suffix.Loads(global, owner, c.Size()-1))
+	if tw != nil {
+		tw.Span(0, 0, "partition", "gst", tStart, tPart)
+	}
 
 	res := &Result{}
 	st := &res.Stats
@@ -271,6 +335,9 @@ func runMaster(set *seq.SetS, cfg Config, c *mp.Comm) (*Result, error) {
 			i, j := p.ESTs()
 			if cfg.SkipSameCluster && uf.Same(int32(i), int32(j)) {
 				st.PairsSkipped++
+				if pr != nil {
+					pr.skipped.Inc()
+				}
 				continue
 			}
 			out = append(out, p)
@@ -328,21 +395,35 @@ func runMaster(set *seq.SetS, cfg Config, c *mp.Comm) (*Result, error) {
 			if r.accepted {
 				if uf.Union(int32(r.estI), int32(r.estJ)) {
 					st.Merges++
+					if pr != nil {
+						pr.merges.Inc()
+					}
 				}
 			}
 		}
 		added := 0
-		for _, pr := range rep.pairs {
-			i, j := pr.ESTs()
+		for _, pair := range rep.pairs {
+			i, j := pair.ESTs()
 			if cfg.SkipSameCluster && uf.Same(int32(i), int32(j)) {
 				st.PairsSkipped++
+				if pr != nil {
+					pr.skipped.Inc()
+				}
 				continue
 			}
-			workbuf = append(workbuf, pr)
+			workbuf = append(workbuf, pair)
 			added++
 		}
 		if b := buffered(); b > st.WorkBufHighWater {
 			st.WorkBufHighWater = b
+		}
+		if pr != nil {
+			b := int64(buffered())
+			pr.workbuf.Set(b)
+			pr.workbufHW.SetMax(b)
+		}
+		if tw != nil {
+			tw.Counter(0, "workbuf", c.Elapsed(), int64(buffered()))
 		}
 
 		// Reply: W pairs from WORKBUF plus the next pair request E.
@@ -351,6 +432,9 @@ func runMaster(set *seq.SetS, cfg Config, c *mp.Comm) (*Result, error) {
 		if !states[s].generatorDone {
 			nfree := cfg.WorkBufCap - buffered() - grantedTotal
 			e = grantE(cfg, len(rep.pairs), added, activeSlaves(), slaves, p, nfree)
+			if pr != nil && e > 0 {
+				pr.grantE.Observe(int64(e))
+			}
 		}
 
 		switch {
@@ -423,24 +507,52 @@ func runMaster(set *seq.SetS, cfg Config, c *mp.Comm) (*Result, error) {
 
 	// Collect per-rank phase reports and reduce to the Table 3 rows.
 	total := c.Elapsed() - tStart
-	mine := encodePhase(phaseReport{partitionNs: int64(tPart), totalNs: int64(total)})
-	gathered, err := c.GatherBytes(0, mine)
+	cs := c.Stats()
+	st.MasterIdle = cs.RecvWait
+	mine := phaseReport{partitionNs: int64(tPart), totalNs: int64(total), busyNs: int64(st.MasterBusy)}
+	fillComm(&mine, cs)
+	gathered, err := c.GatherBytes(0, encodePhase(mine))
 	if err != nil {
 		return nil, err
 	}
-	for _, b := range gathered {
-		pr, err := decodePhase(b)
+	st.PerRank = make([]RankStats, 0, len(gathered))
+	for r, b := range gathered {
+		ph, err := decodePhase(b)
 		if err != nil {
 			return nil, err
 		}
-		st.Phases.Partition = maxDur(st.Phases.Partition, time.Duration(pr.partitionNs))
-		st.Phases.Construct = maxDur(st.Phases.Construct, time.Duration(pr.constructNs))
-		st.Phases.Sort = maxDur(st.Phases.Sort, time.Duration(pr.sortNs))
-		st.Phases.Align = maxDur(st.Phases.Align, time.Duration(pr.alignNs))
-		st.Phases.Total = maxDur(st.Phases.Total, time.Duration(pr.totalNs))
-		st.PairsGenerated += pr.generated
-		st.PairsProcessed += pr.processed
-		st.PairsAccepted += pr.accepted
+		st.Phases.Partition = maxDur(st.Phases.Partition, time.Duration(ph.partitionNs))
+		st.Phases.Construct = maxDur(st.Phases.Construct, time.Duration(ph.constructNs))
+		st.Phases.Sort = maxDur(st.Phases.Sort, time.Duration(ph.sortNs))
+		st.Phases.Align = maxDur(st.Phases.Align, time.Duration(ph.alignNs))
+		st.Phases.Total = maxDur(st.Phases.Total, time.Duration(ph.totalNs))
+		st.PairsGenerated += ph.generated
+		st.PairsProcessed += ph.processed
+		st.PairsAccepted += ph.accepted
+		role := "slave"
+		if r == 0 {
+			role = "master"
+		}
+		st.PerRank = append(st.PerRank, RankStats{
+			Rank: r, Role: role,
+			Partition: time.Duration(ph.partitionNs),
+			Construct: time.Duration(ph.constructNs),
+			Sort:      time.Duration(ph.sortNs),
+			Align:     time.Duration(ph.alignNs),
+			Total:     time.Duration(ph.totalNs),
+			MsgsSent:  ph.msgsSent, BytesSent: ph.bytesSent,
+			MsgsRecv: ph.msgsRecv, BytesRecv: ph.bytesRecv,
+			RecvWait:       time.Duration(ph.recvWaitNs),
+			CollectiveOps:  ph.collOps,
+			CollectiveTime: time.Duration(ph.collTimeNs),
+			PairsGenerated: ph.generated,
+			PairsProcessed: ph.processed,
+			PairsAccepted:  ph.accepted,
+			Busy:           time.Duration(ph.busyNs),
+		})
+	}
+	for _, rs := range st.PerRank {
+		pr.recordComm(rs)
 	}
 
 	res.Labels = uf.Labels()
@@ -506,8 +618,11 @@ func exchangeSuffixes(set *seq.SetS, cfg Config, c *mp.Comm, owner []int32) (map
 }
 
 func runSlave(set *seq.SetS, cfg Config, c *mp.Comm) error {
+	pr := newProbes(cfg.Metrics)
+	tw := cfg.Trace
+	traceThreadName(tw, c.Rank(), "slave")
 	tStart := c.Elapsed()
-	owner, err := prologue(set, cfg, c)
+	owner, _, err := prologue(set, cfg, c)
 	if err != nil {
 		return err
 	}
@@ -516,6 +631,9 @@ func runSlave(set *seq.SetS, cfg Config, c *mp.Comm) error {
 		return err
 	}
 	tPart := c.Elapsed() - tStart
+	if tw != nil {
+		tw.Span(0, c.Rank(), "partition", "gst", tStart, tPart)
+	}
 
 	t1 := c.Elapsed()
 	var forest []*suffix.Tree
@@ -526,13 +644,20 @@ func runSlave(set *seq.SetS, cfg Config, c *mp.Comm) error {
 		}
 	}
 	tConstruct := c.Elapsed() - t1
+	if tw != nil {
+		tw.Span(0, c.Rank(), "construct", "gst", t1, tConstruct)
+	}
 
 	t2 := c.Elapsed()
 	gen, err := pairgen.New(set, forest, cfg.Psi)
 	if err != nil {
 		return err
 	}
+	gen.Observe(pr.observer())
 	tSort := c.Elapsed() - t2
+	if tw != nil {
+		tw.Span(0, c.Rank(), "sort", "pairgen", t2, tSort)
+	}
 
 	ext, err := align.NewExtender(cfg.Scoring, cfg.Band)
 	if err != nil {
@@ -544,12 +669,22 @@ func runSlave(set *seq.SetS, cfg Config, c *mp.Comm) error {
 	alignBatch := func(pairs []pairgen.Pair) ([]alignResult, error) {
 		tA := c.Elapsed()
 		out, err := alignPairs(set, ext, cfg, pairs)
-		alignTime += c.Elapsed() - tA
+		dA := c.Elapsed() - tA
+		alignTime += dA
 		processed += int64(len(pairs))
+		var acc int64
 		for _, r := range out {
 			if r.accepted {
-				accepted++
+				acc++
 			}
+		}
+		accepted += acc
+		if pr != nil {
+			pr.processed.Add(int64(len(pairs)))
+			pr.accepted.Add(acc)
+		}
+		if tw != nil && len(pairs) > 0 {
+			tw.Span(0, c.Rank(), "align", "cluster", tA, dA)
 		}
 		return out, err
 	}
@@ -642,7 +777,7 @@ func runSlave(set *seq.SetS, cfg Config, c *mp.Comm) error {
 	}
 
 	total := c.Elapsed() - tStart
-	mine := encodePhase(phaseReport{
+	mine := phaseReport{
 		partitionNs: int64(tPart),
 		constructNs: int64(tConstruct),
 		sortNs:      int64(tSort),
@@ -651,8 +786,9 @@ func runSlave(set *seq.SetS, cfg Config, c *mp.Comm) error {
 		generated:   gen.Stats().Generated,
 		processed:   processed,
 		accepted:    accepted,
-	})
-	_, err = c.GatherBytes(0, mine)
+	}
+	fillComm(&mine, c.Stats())
+	_, err = c.GatherBytes(0, encodePhase(mine))
 	return err
 }
 

@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"fmt"
+
+	"pace/internal/pairgen"
+	"pace/internal/telemetry"
+)
+
+// Metric families exported by the clustering engine. Each maps to a measured
+// quantity of the paper's evaluation (§4): the pairs-by-MCS-length
+// distribution behind Figure 7, the WORKBUF occupancy and grant-E series
+// behind the §3.3 flow-control discussion, and the per-rank traffic behind
+// the Table 3 load-balance story.
+const (
+	mPairsGenerated = "pace_pairs_generated_total"
+	mPairsProcessed = "pace_pairs_processed_total"
+	mPairsAccepted  = "pace_pairs_accepted_total"
+	mPairsSkipped   = "pace_pairs_skipped_total"
+	mMerges         = "pace_cluster_merges_total"
+	mMCSLen         = "pace_pair_mcs_length"
+	mBatchNs        = "pace_pairgen_batch_ns"
+	mGrantE         = "pace_cluster_grant_e"
+	mWorkbuf        = "pace_workbuf_occupancy"
+	mWorkbufHW      = "pace_workbuf_high_water"
+	mBucketSize     = "pace_suffix_bucket_size"
+	mLoadSkew       = "pace_suffix_load_skew"
+)
+
+// probes is the engine's live-instrumentation bundle: pointers resolved once
+// from the registry so hot paths update atomics only. A nil *probes disables
+// everything at the cost of one pointer test per site.
+type probes struct {
+	reg *telemetry.Registry
+
+	generated *telemetry.Counter
+	processed *telemetry.Counter
+	accepted  *telemetry.Counter
+	skipped   *telemetry.Counter
+	merges    *telemetry.Counter
+
+	mcsLen  *telemetry.Histogram
+	batchNs *telemetry.Histogram
+
+	grantE    *telemetry.Histogram
+	workbuf   *telemetry.Gauge
+	workbufHW *telemetry.Gauge
+
+	bucketSize *telemetry.Histogram
+	loadSkew   *telemetry.FloatGauge
+}
+
+func newProbes(reg *telemetry.Registry) *probes {
+	if reg == nil {
+		return nil
+	}
+	reg.Help(mPairsGenerated, "Canonical promising pairs emitted by the generators.")
+	reg.Help(mPairsProcessed, "Pair alignments computed.")
+	reg.Help(mPairsAccepted, "Alignments passing the merge criteria.")
+	reg.Help(mPairsSkipped, "Pairs pruned because their ESTs already shared a cluster.")
+	reg.Help(mMerges, "Union operations that joined two clusters.")
+	reg.Help(mMCSLen, "Maximal-common-substring length of generated pairs.")
+	reg.Help(mBatchNs, "Latency of one pair-generation batch, nanoseconds.")
+	reg.Help(mGrantE, "Flow-control grant E per master-slave interaction.")
+	reg.Help(mWorkbuf, "Pairs currently buffered in the master's WORKBUF.")
+	reg.Help(mWorkbufHW, "High-water mark of WORKBUF occupancy.")
+	reg.Help(mBucketSize, "Suffixes per non-empty GST bucket.")
+	reg.Help(mLoadSkew, "Redistribution skew: max worker load / mean worker load.")
+	return &probes{
+		reg:        reg,
+		generated:  reg.Counter(mPairsGenerated),
+		processed:  reg.Counter(mPairsProcessed),
+		accepted:   reg.Counter(mPairsAccepted),
+		skipped:    reg.Counter(mPairsSkipped),
+		merges:     reg.Counter(mMerges),
+		mcsLen:     reg.Histogram(mMCSLen, []int64{12, 16, 20, 24, 28, 32, 40, 48, 64, 96, 128, 192, 256, 384, 512}),
+		batchNs:    reg.Histogram(mBatchNs, telemetry.ExpBounds(1000, 4, 12)),
+		grantE:     reg.Histogram(mGrantE, []int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}),
+		workbuf:    reg.Gauge(mWorkbuf),
+		workbufHW:  reg.Gauge(mWorkbufHW),
+		bucketSize: reg.Histogram(mBucketSize, telemetry.ExpBounds(1, 2, 20)),
+		loadSkew:   reg.FloatGauge(mLoadSkew),
+	}
+}
+
+// observer builds the pairgen hooks backed by this probe set.
+func (pr *probes) observer() pairgen.Observer {
+	if pr == nil {
+		return pairgen.Observer{}
+	}
+	return pairgen.Observer{MCSLen: pr.mcsLen, BatchNs: pr.batchNs, Generated: pr.generated}
+}
+
+// observeBuckets records the non-empty bucket sizes and the redistribution
+// skew of the global histogram (one-time, on the master).
+func (pr *probes) observeBuckets(global []int64, loads []int64) {
+	if pr == nil {
+		return
+	}
+	for _, n := range global {
+		if n > 0 {
+			pr.bucketSize.Observe(n)
+		}
+	}
+	pr.loadSkew.Set(skewOf(loads))
+}
+
+// recordComm publishes a rank's final communication stats as per-rank
+// gauges (set once at run end, outside the hot path).
+func (pr *probes) recordComm(rs RankStats) {
+	if pr == nil {
+		return
+	}
+	l := telemetry.Rank(rs.Rank)
+	pr.reg.Gauge("pace_mp_msgs_sent", l).Set(rs.MsgsSent)
+	pr.reg.Gauge("pace_mp_bytes_sent", l).Set(rs.BytesSent)
+	pr.reg.Gauge("pace_mp_msgs_recv", l).Set(rs.MsgsRecv)
+	pr.reg.Gauge("pace_mp_bytes_recv", l).Set(rs.BytesRecv)
+	pr.reg.Gauge("pace_mp_recv_wait_ns", l).Set(int64(rs.RecvWait))
+	pr.reg.Gauge("pace_mp_collective_ops", l).Set(rs.CollectiveOps)
+	pr.reg.Gauge("pace_mp_collective_ns", l).Set(int64(rs.CollectiveTime))
+}
+
+// skewOf duplicates suffix.Skew's formula over a loads slice already in
+// hand; kept here to avoid re-deriving loads at the call site.
+func skewOf(loads []int64) float64 {
+	var total, maxLoad int64
+	for _, l := range loads {
+		total += l
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	if total == 0 || len(loads) == 0 {
+		return 0
+	}
+	return float64(maxLoad) / (float64(total) / float64(len(loads)))
+}
+
+// traceThreadName labels a rank's trace timeline (nil-safe).
+func traceThreadName(tw *telemetry.TraceWriter, rank int, role string) {
+	if tw == nil {
+		return
+	}
+	tw.ThreadName(0, rank, fmt.Sprintf("rank %d (%s)", rank, role))
+}

@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"pace/internal/mp"
+	"pace/internal/telemetry"
+)
+
+// TestParallelTelemetry runs the simulated machine with every sink attached
+// and checks the per-rank table, the registry, and the trace output.
+func TestParallelTelemetry(t *testing.T) {
+	b := benchSet(t, 60, 6, 3)
+	var buf bytes.Buffer
+	cfg := DefaultConfig(4)
+	cfg.MP = mp.DefaultSimConfig(4)
+	cfg.Metrics = telemetry.NewRegistry()
+	cfg.Trace = telemetry.NewTraceWriter(&buf)
+
+	res, err := Run(b.ESTs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Trace.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+
+	if len(st.PerRank) != 4 {
+		t.Fatalf("PerRank has %d rows, want 4", len(st.PerRank))
+	}
+	var genSum, procSum, accSum int64
+	for i, rs := range st.PerRank {
+		if rs.Rank != i {
+			t.Errorf("PerRank[%d].Rank = %d (want sorted by rank)", i, rs.Rank)
+		}
+		wantRole := "slave"
+		if i == 0 {
+			wantRole = "master"
+		}
+		if rs.Role != wantRole {
+			t.Errorf("rank %d role = %q, want %q", i, rs.Role, wantRole)
+		}
+		if rs.Total <= 0 {
+			t.Errorf("rank %d Total = %v, want > 0", i, rs.Total)
+		}
+		if rs.MsgsSent == 0 || rs.MsgsRecv == 0 {
+			t.Errorf("rank %d comm counters empty: %+v", i, rs)
+		}
+		if rs.CollectiveOps == 0 {
+			t.Errorf("rank %d CollectiveOps = 0 (prologue allreduce + final gather)", i)
+		}
+		genSum += rs.PairsGenerated
+		procSum += rs.PairsProcessed
+		accSum += rs.PairsAccepted
+	}
+	if genSum != st.PairsGenerated || procSum != st.PairsProcessed || accSum != st.PairsAccepted {
+		t.Errorf("per-rank sums gen=%d proc=%d acc=%d != totals gen=%d proc=%d acc=%d",
+			genSum, procSum, accSum, st.PairsGenerated, st.PairsProcessed, st.PairsAccepted)
+	}
+	if st.PerRank[0].Busy != st.MasterBusy {
+		t.Errorf("master row Busy = %v, want MasterBusy %v", st.PerRank[0].Busy, st.MasterBusy)
+	}
+	if st.MasterIdle <= 0 {
+		t.Errorf("MasterIdle = %v, want > 0", st.MasterIdle)
+	}
+
+	snap := cfg.Metrics.Snapshot()
+	if got := snap[mPairsGenerated]; int64(got) != st.PairsGenerated {
+		t.Errorf("registry %s = %v, want %d", mPairsGenerated, got, st.PairsGenerated)
+	}
+	if got := snap[mWorkbufHW]; int(got) != st.WorkBufHighWater {
+		t.Errorf("registry %s = %v, want %d", mWorkbufHW, got, st.WorkBufHighWater)
+	}
+	if snap[mBucketSize+"_count"] <= 0 {
+		t.Error("bucket-size histogram is empty")
+	}
+	if snap[mLoadSkew] < 1 {
+		t.Errorf("load skew = %v, want >= 1", snap[mLoadSkew])
+	}
+	if snap[`pace_mp_msgs_sent{rank="1"}`] == 0 {
+		t.Error("per-rank comm gauge missing")
+	}
+
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	phases := map[string]bool{}
+	tids := map[float64]bool{}
+	for _, e := range events {
+		if e["ph"] == "X" {
+			phases[e["name"].(string)] = true
+		}
+		tids[e["tid"].(float64)] = true
+	}
+	for _, want := range []string{"partition", "construct", "sort", "align"} {
+		if !phases[want] {
+			t.Errorf("trace has no %q span", want)
+		}
+	}
+	if len(tids) != 4 {
+		t.Errorf("trace covers %d timelines, want 4", len(tids))
+	}
+}
+
+// TestSequentialTelemetry checks the sequential engine's synthetic rank row
+// and probe wiring.
+func TestSequentialTelemetry(t *testing.T) {
+	b := benchSet(t, 40, 4, 5)
+	var buf bytes.Buffer
+	cfg := DefaultConfig(1)
+	cfg.Metrics = telemetry.NewRegistry()
+	cfg.Trace = telemetry.NewTraceWriter(&buf)
+
+	res, err := Run(b.ESTs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Trace.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if len(st.PerRank) != 1 || st.PerRank[0].Role != "seq" {
+		t.Fatalf("sequential PerRank = %+v, want one seq row", st.PerRank)
+	}
+	if st.PerRank[0].PairsProcessed != st.PairsProcessed {
+		t.Errorf("seq row processed = %d, want %d", st.PerRank[0].PairsProcessed, st.PairsProcessed)
+	}
+	snap := cfg.Metrics.Snapshot()
+	if got := snap[mPairsProcessed]; int64(got) != st.PairsProcessed {
+		t.Errorf("registry %s = %v, want %d", mPairsProcessed, got, st.PairsProcessed)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(events) == 0 {
+		t.Error("sequential trace is empty")
+	}
+}

@@ -130,12 +130,49 @@ type transport interface {
 }
 
 // CommStats counts a rank's point-to-point traffic (collectives included,
-// since they are built from point-to-point sends).
+// since they are built from point-to-point sends) plus receive-wait time and
+// collective-operation tallies.
 type CommStats struct {
 	MsgsSent  int64
 	BytesSent int64
 	MsgsRecv  int64
 	BytesRecv int64
+
+	// RecvWait is the total time this rank spent blocked inside receives —
+	// virtual time under ModeSim, wall time under ModeReal. For the paper's
+	// master it is idle time; for slaves it measures load imbalance.
+	RecvWait time.Duration
+
+	// Collectives tallies the collective operations this rank entered.
+	// Counts are recorded at the Comm layer — the same code path for both
+	// transports — so sim and real runs of the same program report
+	// identical tallies by construction (the per-message byte counts above
+	// already agree because collectives decompose into the same
+	// deterministic point-to-point sends in both modes).
+	Collectives CollectiveStats
+}
+
+// CollectiveStats counts collective-operation entries and their total
+// latency. Composite collectives tally their constituents too: an
+// AllreduceSumInt64 bumps Allreduces, Reduces and Bcasts.
+type CollectiveStats struct {
+	Bcasts     int64
+	Reduces    int64
+	Allreduces int64
+	Barriers   int64
+	Gathers    int64
+	Scatters   int64
+	Allgathers int64
+	// Time is the summed latency across all collective calls (virtual
+	// under ModeSim). Nested constituents double-count here by design:
+	// Time answers "how long was this rank inside collective code".
+	Time time.Duration
+}
+
+// Ops returns the total number of collective entries (constituents of
+// composite collectives included).
+func (c CollectiveStats) Ops() int64 {
+	return c.Bcasts + c.Reduces + c.Allreduces + c.Barriers + c.Gathers + c.Scatters + c.Allgathers
 }
 
 // add records one message.
@@ -155,6 +192,21 @@ type Comm struct {
 	size       int
 	tr         transport
 	defTimeout time.Duration
+
+	// coll accumulates collective tallies. A Comm is owned by its rank's
+	// goroutine, so plain fields suffice (Stats is called by that same
+	// goroutine).
+	coll CollectiveStats
+}
+
+// collTimer marks the start of a collective; the returned func records one
+// entry of the given kind plus the elapsed latency on this rank's clock.
+func (c *Comm) collTimer() func(n *int64) {
+	start := c.tr.elapsed(c.rank)
+	return func(n *int64) {
+		*n++
+		c.coll.Time += c.tr.elapsed(c.rank) - start
+	}
 }
 
 // Rank returns this endpoint's rank in [0, Size()).
@@ -229,8 +281,13 @@ func (c *Comm) Elapsed() time.Duration { return c.tr.elapsed(c.rank) }
 // and for modeling work not actually executed.
 func (c *Comm) ChargeCompute(d time.Duration) { c.tr.charge(c.rank, d) }
 
-// Stats returns this rank's point-to-point traffic counters so far.
-func (c *Comm) Stats() CommStats { return c.tr.stats(c.rank) }
+// Stats returns this rank's traffic counters, receive-wait time and
+// collective tallies so far.
+func (c *Comm) Stats() CommStats {
+	s := c.tr.stats(c.rank)
+	s.Collectives = c.coll
+	return s
+}
 
 // Collective tags live in their own space so they can never match
 // application receives.
@@ -245,6 +302,7 @@ const (
 // Bcast distributes root's buffer to all ranks along a binomial tree and
 // returns each rank's copy.
 func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
+	defer c.collTimer()(&c.coll.Bcasts)
 	if c.size == 1 {
 		return data, nil
 	}
@@ -280,6 +338,7 @@ func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
 // ReduceSumInt64 sums each position of vals across ranks along a binomial
 // tree; the total lands on root (other ranks get nil).
 func (c *Comm) ReduceSumInt64(root int, vals []int64) ([]int64, error) {
+	defer c.collTimer()(&c.coll.Reduces)
 	acc := make([]int64, len(vals))
 	copy(acc, vals)
 	vrank := (c.rank - root + c.size) % c.size
@@ -319,6 +378,7 @@ func (c *Comm) ReduceSumInt64(root int, vals []int64) ([]int64, error) {
 // AllreduceSumInt64 is ReduceSumInt64 to rank 0 followed by a Bcast —
 // 2·O(log p) communication steps.
 func (c *Comm) AllreduceSumInt64(vals []int64) ([]int64, error) {
+	defer c.collTimer()(&c.coll.Allreduces)
 	acc, err := c.ReduceSumInt64(0, vals)
 	if err != nil {
 		return nil, err
@@ -336,6 +396,7 @@ func (c *Comm) AllreduceSumInt64(vals []int64) ([]int64, error) {
 
 // Barrier blocks until every rank has entered it.
 func (c *Comm) Barrier() error {
+	defer c.collTimer()(&c.coll.Barriers)
 	// Dissemination barrier: ceil(log2 p) rounds.
 	for mask := 1; mask < c.size; mask <<= 1 {
 		dst := (c.rank + mask) % c.size
@@ -353,6 +414,7 @@ func (c *Comm) Barrier() error {
 // GatherBytes collects each rank's buffer at root; the result at root is
 // indexed by rank (nil elsewhere).
 func (c *Comm) GatherBytes(root int, data []byte) ([][]byte, error) {
+	defer c.collTimer()(&c.coll.Gathers)
 	if c.rank != root {
 		return nil, c.Send(root, tagGather, data)
 	}
@@ -377,6 +439,7 @@ func (c *Comm) GatherBytes(root int, data []byte) ([][]byte, error) {
 // ScatterBytes distributes parts[i] from root to rank i (parts is read at
 // root only; every rank returns its own slice).
 func (c *Comm) ScatterBytes(root int, parts [][]byte) ([]byte, error) {
+	defer c.collTimer()(&c.coll.Scatters)
 	if c.rank == root {
 		if len(parts) != c.size {
 			return nil, fmt.Errorf("mp: scatter needs %d parts, got %d", c.size, len(parts))
@@ -401,6 +464,7 @@ func (c *Comm) ScatterBytes(root int, parts [][]byte) ([]byte, error) {
 // AllgatherBytes collects every rank's buffer at every rank (gather to rank
 // 0, then broadcast of the concatenation with a length header).
 func (c *Comm) AllgatherBytes(data []byte) ([][]byte, error) {
+	defer c.collTimer()(&c.coll.Allgathers)
 	parts, err := c.GatherBytes(0, data)
 	if err != nil {
 		return nil, err

@@ -85,6 +85,15 @@ func (t *realTransport) fail(rank int, err error) {
 
 func (t *realTransport) recv(rank, from, tag int, timeout time.Duration) (Msg, error) {
 	b := t.boxes[rank]
+	// The full call duration counts as receive wait: an immediately
+	// matched message contributes nanoseconds, a blocked receive its
+	// blocked time.
+	start := time.Now()
+	defer func() {
+		t.statsMu.Lock()
+		t.traffic[rank].RecvWait += time.Since(start)
+		t.statsMu.Unlock()
+	}()
 	var deadline time.Time
 	if timeout > 0 {
 		deadline = time.Now().Add(timeout)

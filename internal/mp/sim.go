@@ -247,6 +247,9 @@ func (t *simTransport) recv(rank, from, tag int, timeout time.Duration) (Msg, er
 		}
 		if !rk.hasDeadline || key <= rk.deadline {
 			msg := m.Msg
+			// The virtual-clock advance to the delivery time is the time
+			// this rank spent blocked waiting for the message.
+			rk.traffic.RecvWait += key - rk.clock
 			rk.clock = key
 			rk.hasDeadline = false
 			rk.mailbox = append(rk.mailbox[:i], rk.mailbox[i+1:]...)
@@ -263,6 +266,7 @@ func (t *simTransport) recv(rank, from, tag int, timeout time.Duration) (Msg, er
 	}
 	// Virtual deadline reached before any message could be delivered.
 	if rk.deadline > rk.clock {
+		rk.traffic.RecvWait += rk.deadline - rk.clock
 		rk.clock = rk.deadline
 	}
 	rk.hasDeadline = false

@@ -1,0 +1,172 @@
+package mp
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// trafficProgram exercises every collective plus deterministic point-to-point
+// traffic, and snapshots each rank's CommStats at the end.
+func trafficProgram(stats []CommStats, mu *sync.Mutex) func(c *Comm) error {
+	return func(c *Comm) error {
+		r, p := c.Rank(), c.Size()
+
+		// Point-to-point ring with rank-dependent payload sizes.
+		payload := make([]byte, 16+8*r)
+		if err := c.Send((r+1)%p, 7, payload); err != nil {
+			return err
+		}
+		if _, err := c.Recv((r-1+p)%p, 7); err != nil {
+			return err
+		}
+
+		// One of each collective.
+		if _, err := c.Bcast(0, []byte("broadcast-payload")); err != nil {
+			return err
+		}
+		if _, err := c.ReduceSumInt64(0, []int64{int64(r), 1, 2}); err != nil {
+			return err
+		}
+		if _, err := c.AllreduceSumInt64([]int64{int64(r)}); err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if _, err := c.GatherBytes(0, payload[:8+r]); err != nil {
+			return err
+		}
+		var parts [][]byte
+		if r == 0 {
+			parts = make([][]byte, p)
+			for i := range parts {
+				parts[i] = make([]byte, 4*(i+1))
+			}
+		}
+		if _, err := c.ScatterBytes(0, parts); err != nil {
+			return err
+		}
+		if _, err := c.AllgatherBytes([]byte(fmt.Sprintf("rank-%02d", r))); err != nil {
+			return err
+		}
+
+		mu.Lock()
+		stats[r] = c.Stats()
+		mu.Unlock()
+		return nil
+	}
+}
+
+func runTraffic(t *testing.T, cfg Config) []CommStats {
+	t.Helper()
+	stats := make([]CommStats, cfg.Procs)
+	var mu sync.Mutex
+	if err := Run(cfg, trafficProgram(stats, &mu)); err != nil {
+		t.Fatalf("mode %v: %v", cfg.Mode, err)
+	}
+	return stats
+}
+
+// TestCommStatsSimRealEquivalence asserts that the same program reports
+// identical per-rank message/byte counts and collective tallies under the
+// simulated and the real transport — the counters are a property of the
+// program, not of the execution mode. (Times are mode-specific and excluded.)
+func TestCommStatsSimRealEquivalence(t *testing.T) {
+	const p = 5
+	real := runTraffic(t, Config{Procs: p, Mode: ModeReal})
+	simCfg := DefaultSimConfig(p)
+	simCfg.MeasureCompute = false
+	sim := runTraffic(t, simCfg)
+
+	for r := 0; r < p; r++ {
+		re, si := real[r], sim[r]
+		if re.MsgsSent != si.MsgsSent || re.BytesSent != si.BytesSent {
+			t.Errorf("rank %d sent: real %d msgs/%d B, sim %d msgs/%d B",
+				r, re.MsgsSent, re.BytesSent, si.MsgsSent, si.BytesSent)
+		}
+		if re.MsgsRecv != si.MsgsRecv || re.BytesRecv != si.BytesRecv {
+			t.Errorf("rank %d recv: real %d msgs/%d B, sim %d msgs/%d B",
+				r, re.MsgsRecv, re.BytesRecv, si.MsgsRecv, si.BytesRecv)
+		}
+		rc, sc := re.Collectives, si.Collectives
+		rc.Time, sc.Time = 0, 0
+		if rc != sc {
+			t.Errorf("rank %d collectives: real %+v, sim %+v", r, rc, sc)
+		}
+	}
+
+	// The tallies must also be exactly what the program performed.
+	// Bcasts: 1 explicit + 1 inside Allreduce + 1 inside Allgather.
+	// Reduces: 1 explicit + 1 inside Allreduce. Gathers: 1 explicit + 1
+	// inside Allgather.
+	want := CollectiveStats{Bcasts: 3, Reduces: 2, Allreduces: 1, Barriers: 1,
+		Gathers: 2, Scatters: 1, Allgathers: 1}
+	for r := 0; r < p; r++ {
+		got := sim[r].Collectives
+		got.Time = 0
+		if got != want {
+			t.Errorf("rank %d tallies = %+v, want %+v (composites count constituents)", r, got, want)
+		}
+	}
+}
+
+// TestRecvWaitRecorded checks both transports attribute blocked-receive time.
+func TestRecvWaitRecorded(t *testing.T) {
+	for _, mode := range []Mode{ModeReal, ModeSim} {
+		cfg := Config{Procs: 2, Mode: mode}
+		if mode == ModeSim {
+			cfg = DefaultSimConfig(2)
+			cfg.MeasureCompute = false
+		}
+		waits := make([]time.Duration, 2)
+		err := Run(cfg, func(c *Comm) error {
+			if c.Rank() == 1 {
+				if mode == ModeSim {
+					c.ChargeCompute(10 * time.Millisecond)
+				} else {
+					time.Sleep(10 * time.Millisecond)
+				}
+				return c.Send(0, 1, []byte("late"))
+			}
+			if _, err := c.Recv(1, 1); err != nil {
+				return err
+			}
+			waits[0] = c.Stats().RecvWait
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		if waits[0] < 5*time.Millisecond {
+			t.Errorf("mode %v: receiver RecvWait = %v, want >= 5ms", mode, waits[0])
+		}
+	}
+}
+
+// TestCollectiveTimeAdvances checks collective latency lands in
+// Collectives.Time under the simulated clock.
+func TestCollectiveTimeAdvances(t *testing.T) {
+	cfg := DefaultSimConfig(4)
+	cfg.MeasureCompute = false
+	var mu sync.Mutex
+	times := make([]time.Duration, 4)
+	err := Run(cfg, func(c *Comm) error {
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		mu.Lock()
+		times[c.Rank()] = c.Stats().Collectives.Time
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, d := range times {
+		if d <= 0 {
+			t.Errorf("rank %d collective time = %v, want > 0", r, d)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package pairgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"pace/internal/seq"
+	"pace/internal/suffix"
+	"pace/internal/telemetry"
+)
+
+// benchWorkload builds a deterministic random EST set and its forest once;
+// the benchmarks re-create only the generator, whose Next loop is the hot
+// path under measurement.
+func benchWorkload(b *testing.B) (*seq.SetS, []*suffix.Tree) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(42))
+	ests := randomESTs(rng, 300, 150, 300)
+	set, err := seq.NewSetS(ests)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return set, buildForest(b, set, 8)
+}
+
+// drainAll pulls every pair in BatchSize-like chunks through Next.
+func drainAll(b *testing.B, set *seq.SetS, forest []*suffix.Tree, obs Observer) int {
+	b.Helper()
+	gen, err := New(set, forest, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen.Observe(obs)
+	buf := make([]Pair, 0, 60)
+	n := 0
+	for {
+		buf = gen.Next(buf[:0], 60)
+		if len(buf) == 0 {
+			return n
+		}
+		n += len(buf)
+	}
+}
+
+// BenchmarkNext is the disabled-sink configuration: the Observer hooks are
+// present in the code but every probe pointer is nil, so the per-pair cost
+// is a pointer test. This is the default production path; compare against
+// BenchmarkNextInstrumented to see the cost of attaching live probes.
+func BenchmarkNext(b *testing.B) {
+	set, forest := benchWorkload(b)
+	b.ResetTimer()
+	pairs := 0
+	for i := 0; i < b.N; i++ {
+		pairs = drainAll(b, set, forest, Observer{})
+	}
+	b.ReportMetric(float64(pairs), "pairs")
+}
+
+// BenchmarkNextInstrumented attaches live registry probes (histograms +
+// counter, all atomic) to the same workload.
+func BenchmarkNextInstrumented(b *testing.B) {
+	set, forest := benchWorkload(b)
+	reg := telemetry.NewRegistry()
+	obs := Observer{
+		MCSLen:    reg.Histogram("pace_pair_mcs_length", telemetry.ExpBounds(12, 2, 8)),
+		BatchNs:   reg.Histogram("pace_pairgen_batch_ns", telemetry.ExpBounds(1000, 4, 12)),
+		Generated: reg.Counter("pace_pairs_generated_total"),
+	}
+	b.ResetTimer()
+	pairs := 0
+	for i := 0; i < b.N; i++ {
+		pairs = drainAll(b, set, forest, obs)
+	}
+	b.ReportMetric(float64(pairs), "pairs")
+}

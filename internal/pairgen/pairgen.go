@@ -21,9 +21,11 @@ package pairgen
 
 import (
 	"fmt"
+	"time"
 
 	"pace/internal/seq"
 	"pace/internal/suffix"
+	"pace/internal/telemetry"
 )
 
 // Pair is one promising pair in canonical orientation: S1 is the forward
@@ -122,7 +124,26 @@ type Generator struct {
 	active   bool
 
 	stats Stats
+	obs   Observer
 }
+
+// Observer carries optional live telemetry hooks; the zero value disables
+// them. Each field is checked with a nil test in the hot loop, so a
+// generator without an observer pays (nearly) nothing, and an attached
+// observer pays only atomic updates — cheap enough to leave on even with no
+// sink draining the metrics (see BenchmarkNextInstrumented).
+type Observer struct {
+	// MCSLen observes the maximal-common-substring length of every
+	// canonical pair emitted — the paper's pairs-by-length distribution.
+	MCSLen *telemetry.Histogram
+	// BatchNs observes the latency of each Next call, in nanoseconds.
+	BatchNs *telemetry.Histogram
+	// Generated counts canonical pairs emitted.
+	Generated *telemetry.Counter
+}
+
+// Observe installs (or replaces) the generator's telemetry hooks.
+func (g *Generator) Observe(o Observer) { g.obs = o }
 
 // New builds a generator over the given forest. psi is the promising-pair
 // threshold ψ: only nodes of string-depth >= psi generate pairs. The bucket
@@ -225,6 +246,10 @@ func (g *Generator) Remaining() bool {
 // Next appends up to max pairs to dst and returns the extended slice.
 // A return with no appended pairs means the generator is exhausted.
 func (g *Generator) Next(dst []Pair, max int) []Pair {
+	if g.obs.BatchNs != nil {
+		start := time.Now()
+		defer func() { g.obs.BatchNs.Observe(time.Since(start).Nanoseconds()) }()
+	}
 	want := len(dst) + max
 	for len(dst) < want {
 		if !g.active {
@@ -370,6 +395,12 @@ func (g *Generator) emit(dst []Pair, want int) []Pair {
 		if p, ok := g.canonical(a, b); ok {
 			dst = append(dst, p)
 			g.stats.Generated++
+			if g.obs.MCSLen != nil {
+				g.obs.MCSLen.Observe(int64(p.MatchLen))
+			}
+			if g.obs.Generated != nil {
+				g.obs.Generated.Inc()
+			}
 		}
 	}
 	return dst

@@ -121,6 +121,25 @@ func Loads(hist []int64, owner []int32, p int) []int64 {
 	return loads
 }
 
+// Skew is the redistribution load-balance figure of merit: the maximum
+// worker load divided by the mean load. 1.0 is perfect balance; the paper's
+// LPT heuristic keeps it near 1 for realistic bucket histograms. Zero total
+// load returns 0.
+func Skew(loads []int64) float64 {
+	var total, maxLoad int64
+	for _, l := range loads {
+		total += l
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	if total == 0 || len(loads) == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(loads))
+	return float64(maxLoad) / mean
+}
+
 // CollectOwned scans the strings in [lo,hi) and gathers the suffixes whose
 // bucket is owned by worker me, grouped by bucket id. In the parallel engine
 // this grouping is what each rank sends to bucket owners; sequentially it is

@@ -1,0 +1,178 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentUpdates hammers one counter, gauge and histogram from many
+// goroutines; run under -race this is the registry's thread-safety proof,
+// and the totals prove no update is lost.
+func TestConcurrentUpdates(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("pace_test_ops_total")
+	g := reg.Gauge("pace_test_depth")
+	h := reg.Histogram("pace_test_latency", []int64{1, 10, 100, 1000})
+
+	const workers = 8
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.SetMax(int64(w*perWorker + i))
+				h.Observe(int64(i % 2000))
+				// Interleave get-or-create with updates: same pointers
+				// must come back.
+				if reg.Counter("pace_test_ops_total") != c {
+					t.Error("counter identity changed")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != workers*perWorker-1 {
+		t.Errorf("gauge high-water = %d, want %d", got, workers*perWorker-1)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	if got := h.Max(); got != 1999 {
+		t.Errorf("histogram max = %d, want 1999", got)
+	}
+	_, counts := h.Buckets()
+	var sum int64
+	for _, n := range counts {
+		sum += n
+	}
+	if sum != h.Count() {
+		t.Errorf("bucket sum %d != count %d", sum, h.Count())
+	}
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	h := NewHistogram([]int64{10, 20, 40})
+	for v := int64(1); v <= 50; v++ {
+		h.Observe(v)
+	}
+	bounds, counts := h.Buckets()
+	if len(bounds) != 4 || len(counts) != 4 {
+		t.Fatalf("want 4 buckets, got %d/%d", len(bounds), len(counts))
+	}
+	want := []int64{10, 10, 20, 10} // (..10] (10..20] (20..40] (40..]
+	for i, w := range want {
+		if counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, counts[i], w)
+		}
+	}
+	if q := h.Quantile(0.5); q != 40 {
+		t.Errorf("p50 upper bound = %d, want 40", q)
+	}
+	if q := h.Quantile(1.0); q != 50 {
+		t.Errorf("p100 = %d, want 50 (max)", q)
+	}
+	if m := h.Mean(); m != 25.5 {
+		t.Errorf("mean = %v, want 25.5", m)
+	}
+}
+
+func TestExpBoundsMonotone(t *testing.T) {
+	b := ExpBounds(1, 1.3, 20)
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not strictly increasing at %d: %v", i, b)
+		}
+	}
+	// Must be accepted by NewHistogram.
+	NewHistogram(b)
+}
+
+func TestFloatGauge(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.FloatGauge("pace_test_skew")
+	g.Set(1.25)
+	if v := g.Value(); v != 1.25 {
+		t.Errorf("float gauge = %v, want 1.25", v)
+	}
+}
+
+// TestPhaseTimerNesting checks inclusive nesting and repeated phases against
+// a deterministic injected clock.
+func TestPhaseTimerNesting(t *testing.T) {
+	now := time.Duration(0)
+	pt := NewPhaseTimer(func() time.Duration { return now })
+
+	pt.Start("outer")
+	now += 10 * time.Millisecond
+	pt.Start("inner")
+	if d := pt.Depth(); d != 2 {
+		t.Fatalf("depth = %d, want 2", d)
+	}
+	now += 5 * time.Millisecond
+	if name, d := pt.End(); name != "inner" || d != 5*time.Millisecond {
+		t.Fatalf("End = (%s, %v), want (inner, 5ms)", name, d)
+	}
+	now += 3 * time.Millisecond
+	if name, d := pt.End(); name != "outer" || d != 18*time.Millisecond {
+		t.Fatalf("End = (%s, %v), want (outer, 18ms)", name, d)
+	}
+
+	// Re-entering a phase accumulates.
+	pt.Start("outer")
+	now += 2 * time.Millisecond
+	pt.End()
+
+	totals := pt.Totals()
+	if len(totals) != 2 {
+		t.Fatalf("totals = %v, want 2 phases", totals)
+	}
+	if totals[0].Name != "outer" || totals[0].Total != 20*time.Millisecond {
+		t.Errorf("outer total = %+v, want 20ms", totals[0])
+	}
+	if totals[1].Name != "inner" || totals[1].Total != 5*time.Millisecond {
+		t.Errorf("inner total = %+v, want 5ms", totals[1])
+	}
+	if pt.Total("outer") != 20*time.Millisecond {
+		t.Errorf("Total(outer) = %v", pt.Total("outer"))
+	}
+}
+
+func TestPhaseTimerConcurrent(t *testing.T) {
+	pt := NewPhaseTimer(nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				pt.Time("shared", func() {})
+			}
+		}()
+	}
+	wg.Wait()
+	if pt.Total("shared") < 0 {
+		t.Error("negative total")
+	}
+}
+
+func TestSnapshotFlattens(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("pace_c", Rank(2)).Add(7)
+	reg.Histogram("pace_h", []int64{10}).Observe(4)
+	snap := reg.Snapshot()
+	if snap[`pace_c{rank="2"}`] != 7 {
+		t.Errorf("snapshot counter = %v", snap[`pace_c{rank="2"}`])
+	}
+	if snap["pace_h_count"] != 1 || snap["pace_h_sum"] != 4 {
+		t.Errorf("snapshot histogram = %v", snap)
+	}
+}

@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// PhaseTotal is one phase's accumulated inclusive time.
+type PhaseTotal struct {
+	Name  string
+	Total time.Duration
+}
+
+// PhaseTimer accumulates named, nestable phase spans against an arbitrary
+// clock. Nesting is inclusive: time spent in an inner phase also counts
+// toward the enclosing phase, matching how the paper reports per-component
+// times (each component is the max over ranks of the full span).
+//
+// The clock is injectable so the same timer works against wall time and the
+// mp machine's virtual clocks (pass Comm.Elapsed).
+type PhaseTimer struct {
+	mu    sync.Mutex
+	clock func() time.Duration
+	names []string // first-Start order
+	total map[string]time.Duration
+	stack []phaseFrame
+}
+
+type phaseFrame struct {
+	name  string
+	start time.Duration
+}
+
+// NewPhaseTimer builds a timer over the given clock; a nil clock means wall
+// time since construction.
+func NewPhaseTimer(clock func() time.Duration) *PhaseTimer {
+	if clock == nil {
+		t0 := time.Now()
+		clock = func() time.Duration { return time.Since(t0) }
+	}
+	return &PhaseTimer{clock: clock, total: map[string]time.Duration{}}
+}
+
+// Start pushes a phase. Phases may nest; the same name may be started
+// repeatedly (totals accumulate).
+func (t *PhaseTimer) Start(name string) {
+	t.mu.Lock()
+	if _, ok := t.total[name]; !ok {
+		t.names = append(t.names, name)
+		t.total[name] = 0
+	}
+	t.stack = append(t.stack, phaseFrame{name: name, start: t.clock()})
+	t.mu.Unlock()
+}
+
+// End pops the innermost open phase and returns its name and span duration.
+// Ending with no open phase is a programming error.
+func (t *PhaseTimer) End() (string, time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.stack) == 0 {
+		panic("telemetry: PhaseTimer.End with no open phase")
+	}
+	fr := t.stack[len(t.stack)-1]
+	t.stack = t.stack[:len(t.stack)-1]
+	d := t.clock() - fr.start
+	if d < 0 {
+		d = 0
+	}
+	t.total[fr.name] += d
+	return fr.name, d
+}
+
+// Time runs f inside the named phase.
+func (t *PhaseTimer) Time(name string, f func()) time.Duration {
+	t.Start(name)
+	f()
+	_, d := t.End()
+	return d
+}
+
+// Depth returns the number of currently open phases.
+func (t *PhaseTimer) Depth() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.stack)
+}
+
+// Total returns the accumulated time of one phase.
+func (t *PhaseTimer) Total(name string) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total[name]
+}
+
+// Totals returns every phase in first-start order.
+func (t *PhaseTimer) Totals() []PhaseTotal {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.stack) != 0 {
+		panic(fmt.Sprintf("telemetry: PhaseTimer.Totals with %d open phases", len(t.stack)))
+	}
+	out := make([]PhaseTotal, 0, len(t.names))
+	for _, n := range t.names {
+		out = append(out, PhaseTotal{Name: n, Total: t.total[n]})
+	}
+	return out
+}

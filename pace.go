@@ -20,12 +20,52 @@ package pace
 
 import (
 	"fmt"
+	"io"
+	"strconv"
 	"time"
 
 	"pace/internal/cluster"
 	"pace/internal/mp"
 	"pace/internal/seq"
+	"pace/internal/telemetry"
 )
+
+// The telemetry implementation lives in an internal package; these aliases
+// and constructors make the sinks usable through the public API.
+type (
+	// MetricsRegistry collects counters, gauges and histograms from every
+	// pipeline layer. Serve it with ServeMetrics or snapshot it after a run.
+	MetricsRegistry = telemetry.Registry
+	// TraceWriter streams Chrome trace-event output (chrome://tracing,
+	// Perfetto).
+	TraceWriter = telemetry.TraceWriter
+	// MetricsServer is the HTTP server behind ServeMetrics.
+	MetricsServer = telemetry.Server
+	// RunReport is the machine-readable end-of-run artifact plus the
+	// paper-style phase and per-rank tables.
+	RunReport = telemetry.RunReport
+	// PhaseEntry is one row of RunReport.Phases.
+	PhaseEntry = telemetry.PhaseEntry
+	// RankEntry is one row of RunReport.Ranks.
+	RankEntry = telemetry.RankEntry
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// NewTraceWriter starts a Chrome trace stream on w; call Close when done.
+func NewTraceWriter(w io.Writer) *TraceWriter { return telemetry.NewTraceWriter(w) }
+
+// ServeMetrics serves Prometheus text (/metrics), expvar (/debug/vars) and
+// pprof (/debug/pprof/) for the registry on addr.
+func ServeMetrics(addr string, r *MetricsRegistry) (*MetricsServer, error) {
+	return telemetry.Serve(addr, r)
+}
+
+// BenchFileName derives the conventional BENCH_<tool>_<stamp>.json name.
+func BenchFileName(tool string, now time.Time) string {
+	return telemetry.BenchFileName(tool, now)
+}
 
 // Options configures Cluster. Start from DefaultOptions.
 type Options struct {
@@ -62,6 +102,15 @@ type Options struct {
 	// pairs already co-clustered are skipped). Entries < 0 mean
 	// unconstrained.
 	InitialLabels []int
+
+	// Metrics, when non-nil, receives live instrumentation from every
+	// pipeline layer: pair counters, MCS-length / grant-E / bucket-size
+	// distributions, WORKBUF occupancy, and per-rank traffic. nil (the
+	// default) leaves only per-site pointer tests in the hot paths.
+	Metrics *MetricsRegistry
+	// Trace, when non-nil, receives Chrome trace events with one timeline
+	// per rank (virtual timestamps when Simulated). The caller owns Close.
+	Trace *TraceWriter
 }
 
 // DefaultOptions returns the paper-like operating point with the sequential
@@ -101,7 +150,45 @@ type Stats struct {
 	PairsSkipped   int64
 	Merges         int64
 	MasterBusy     time.Duration
-	Phases         PhaseTimes
+	// MasterIdle is the master's time blocked waiting for slave reports
+	// (parallel runs; zero sequentially).
+	MasterIdle time.Duration
+	// WorkBufHighWater is the peak WORKBUF occupancy (parallel runs).
+	WorkBufHighWater int
+	Phases           PhaseTimes
+	// PerRank is the per-rank load/communication breakdown, sorted by
+	// rank; sequential runs report a single "seq" row.
+	PerRank []RankStats
+}
+
+// RankStats is one rank's row of the load-balance table: where its time went
+// and how much it communicated. Durations are virtual in simulated runs.
+type RankStats struct {
+	Rank int
+	// Role is "master", "slave", or "seq".
+	Role string
+
+	Partition time.Duration
+	Construct time.Duration
+	Sort      time.Duration
+	Align     time.Duration
+	Total     time.Duration
+
+	MsgsSent  int64
+	BytesSent int64
+	MsgsRecv  int64
+	BytesRecv int64
+	// RecvWait is time blocked in receives — idle time for the master,
+	// a load-imbalance signal for slaves.
+	RecvWait       time.Duration
+	CollectiveOps  int64
+	CollectiveTime time.Duration
+
+	PairsGenerated int64
+	PairsProcessed int64
+	PairsAccepted  int64
+	// Busy is the message-processing time (master only).
+	Busy time.Duration
 }
 
 // Clustering is the result of Cluster.
@@ -145,6 +232,8 @@ func (o Options) toConfig() (cluster.Config, error) {
 			cfg.InitialLabels[i] = int32(l)
 		}
 	}
+	cfg.Metrics = o.Metrics
+	cfg.Trace = o.Trace
 	return cfg, nil
 }
 
@@ -184,12 +273,14 @@ func Cluster(ests []string, opt Options) (*Clustering, error) {
 		NumClusters: res.NumClusters,
 		Clusters:    make([][]int, res.NumClusters),
 		Stats: Stats{
-			PairsGenerated: res.Stats.PairsGenerated,
-			PairsProcessed: res.Stats.PairsProcessed,
-			PairsAccepted:  res.Stats.PairsAccepted,
-			PairsSkipped:   res.Stats.PairsSkipped,
-			Merges:         res.Stats.Merges,
-			MasterBusy:     res.Stats.MasterBusy,
+			PairsGenerated:   res.Stats.PairsGenerated,
+			PairsProcessed:   res.Stats.PairsProcessed,
+			PairsAccepted:    res.Stats.PairsAccepted,
+			PairsSkipped:     res.Stats.PairsSkipped,
+			Merges:           res.Stats.Merges,
+			MasterBusy:       res.Stats.MasterBusy,
+			MasterIdle:       res.Stats.MasterIdle,
+			WorkBufHighWater: res.Stats.WorkBufHighWater,
 			Phases: PhaseTimes{
 				Partition: res.Stats.Phases.Partition,
 				Construct: res.Stats.Phases.Construct,
@@ -199,9 +290,78 @@ func Cluster(ests []string, opt Options) (*Clustering, error) {
 			},
 		},
 	}
+	for _, rs := range res.Stats.PerRank {
+		out.Stats.PerRank = append(out.Stats.PerRank, RankStats{
+			Rank: rs.Rank, Role: rs.Role,
+			Partition: rs.Partition, Construct: rs.Construct,
+			Sort: rs.Sort, Align: rs.Align, Total: rs.Total,
+			MsgsSent: rs.MsgsSent, BytesSent: rs.BytesSent,
+			MsgsRecv: rs.MsgsRecv, BytesRecv: rs.BytesRecv,
+			RecvWait:       rs.RecvWait,
+			CollectiveOps:  rs.CollectiveOps,
+			CollectiveTime: rs.CollectiveTime,
+			PairsGenerated: rs.PairsGenerated,
+			PairsProcessed: rs.PairsProcessed,
+			PairsAccepted:  rs.PairsAccepted,
+			Busy:           rs.Busy,
+		})
+	}
 	for i, l := range res.Labels {
 		out.Labels[i] = int(l)
 		out.Clusters[l] = append(out.Clusters[l], i)
 	}
 	return out, nil
+}
+
+// BuildReport assembles the machine-readable run report for a clustering
+// outcome: the paper's Table-2-style component grouping (GST construction =
+// partition + tree building, pair generation = the decreasing-depth sort,
+// clustering = alignment), the per-rank load-balance rows, and — when
+// opt.Metrics is set — a flattened registry snapshot. wall is the real
+// elapsed time around Cluster; the virtual run-time is taken from the phase
+// totals when opt.Simulated.
+func BuildReport(cl *Clustering, opt Options, tool, dataset string, numESTs int, wall time.Duration) *RunReport {
+	st := cl.Stats
+	rep := &RunReport{
+		Tool:    tool,
+		Dataset: dataset,
+		Params: map[string]string{
+			"w":     strconv.Itoa(opt.Window),
+			"psi":   strconv.Itoa(opt.MinMatch),
+			"batch": strconv.Itoa(opt.BatchSize),
+		},
+		Procs:       opt.Processors,
+		Simulated:   opt.Simulated,
+		WallSeconds: wall.Seconds(),
+		NumESTs:     numESTs,
+		NumClusters: cl.NumClusters,
+		Phases: []PhaseEntry{
+			{Name: "gst-construction", Seconds: (st.Phases.Partition + st.Phases.Construct).Seconds()},
+			{Name: "pair-generation", Seconds: st.Phases.Sort.Seconds()},
+			{Name: "clustering", Seconds: st.Phases.Align.Seconds()},
+			{Name: "total", Seconds: st.Phases.Total.Seconds()},
+		},
+	}
+	if opt.Simulated {
+		rep.VirtualSeconds = st.Phases.Total.Seconds()
+	}
+	for _, rs := range st.PerRank {
+		rep.Ranks = append(rep.Ranks, RankEntry{
+			Rank: rs.Rank, Role: rs.Role,
+			PartitionSeconds: rs.Partition.Seconds(),
+			ConstructSeconds: rs.Construct.Seconds(),
+			PairgenSeconds:   rs.Sort.Seconds(),
+			AlignSeconds:     rs.Align.Seconds(),
+			TotalSeconds:     rs.Total.Seconds(),
+			MsgsSent:         rs.MsgsSent, BytesSent: rs.BytesSent,
+			MsgsRecv: rs.MsgsRecv, BytesRecv: rs.BytesRecv,
+			RecvWaitSeconds: rs.RecvWait.Seconds(),
+			PairsGenerated:  rs.PairsGenerated,
+			PairsProcessed:  rs.PairsProcessed,
+			PairsAccepted:   rs.PairsAccepted,
+		})
+	}
+	rep.AttachCounters(opt.Metrics)
+	rep.Stamp()
+	return rep
 }
