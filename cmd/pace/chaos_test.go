@@ -1,0 +1,68 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseChaos(t *testing.T) {
+	plan, err := parseChaos("crash=2:5,delay=0.1:2ms,transient=0.05:10,drop=0.2,dup=0.01,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Seed != 7 {
+		t.Errorf("Seed = %d", plan.Seed)
+	}
+	if plan.CrashRank != 2 || plan.CrashAfter != 5 || plan.CrashTag != 1 {
+		t.Errorf("crash: %+v", plan)
+	}
+	if plan.DelayProb != 0.1 || plan.Delay != 2*time.Millisecond {
+		t.Errorf("delay: %+v", plan)
+	}
+	if plan.TransientProb != 0.05 || plan.TransientMax != 10 {
+		t.Errorf("transient: %+v", plan)
+	}
+	if plan.DropProb != 0.2 || plan.DupProb != 0.01 {
+		t.Errorf("drop/dup: %+v", plan)
+	}
+}
+
+func TestParseChaosExplicitTag(t *testing.T) {
+	plan, err := parseChaos("crash=1:3:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.CrashRank != 1 || plan.CrashAfter != 3 || plan.CrashTag != 0 {
+		t.Errorf("crash: %+v", plan)
+	}
+}
+
+func TestParseChaosRejectsBadSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"crash",            // no value
+		"crash=2",          // missing after
+		"crash=a:b",        // non-numeric
+		"crash=1:2:3:4",    // too many fields
+		"drop=1.5",         // probability out of range
+		"drop=-0.1",        // negative probability
+		"delay=0.1",        // missing duration
+		"delay=0.1:xx",     // bad duration
+		"transient=0.1:zz", // bad max
+		"warp=0.5",         // unknown directive
+		"seed=abc",         // bad seed
+	} {
+		if _, err := parseChaos(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}
+
+func TestParseChaosEmptyPartsIgnored(t *testing.T) {
+	plan, err := parseChaos("drop=0.1,, ,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.DropProb != 0.1 {
+		t.Errorf("drop: %+v", plan)
+	}
+}

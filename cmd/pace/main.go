@@ -40,12 +40,23 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics, expvar and pprof on this address (e.g. :9090)")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event file here (chrome://tracing, Perfetto)")
 	reportPath := flag.String("report", "", "write a run-report JSON here ('auto' derives BENCH_pace_<stamp>.json)")
+	chaosSpec := flag.String("chaos", "", "inject faults, e.g. 'crash=2:5,delay=0.1:2ms,seed=7' (see cmd docs)")
+	noRecover := flag.Bool("no-recover", false, "fail the whole run when a slave rank dies instead of recovering")
+	slaveTimeout := flag.Duration("slave-timeout", 0, "master watchdog: fail if no slave reports within this window (0 = wait forever)")
+	retries := flag.Int("retries", 3, "attempts per message for transient transport errors (1 = no retry)")
+	ckptDir := flag.String("checkpoint-dir", "", "periodically checkpoint clustering state into this directory")
+	ckptInterval := flag.Duration("checkpoint-interval", 0, "wall-clock time between checkpoints (default 30s)")
+	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint every N slave reports instead of on a timer")
+	resume := flag.Bool("resume", false, "resume from the checkpoint in -checkpoint-dir, skipping completed merges")
 	flag.Parse()
 
 	if err := validateFlags(flagValues{
 		in: *in, procs: *procs, sim: *sim,
 		window: *window, psi: *psi, batch: *batch,
 		minOverlap: *minOverlap, minIdentity: *minIdentity,
+		retries: *retries, ckptDir: *ckptDir,
+		ckptInterval: *ckptInterval, ckptEvery: *ckptEvery,
+		slaveTimeout: *slaveTimeout, resume: *resume,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "pace:", err)
 		flag.Usage()
@@ -84,6 +95,34 @@ func main() {
 	opt.BatchSize = *batch
 	opt.MinOverlap = *minOverlap
 	opt.MinIdentity = *minIdentity
+	opt.Recover = !*noRecover
+	opt.SlaveTimeout = *slaveTimeout
+	if *retries > 1 {
+		opt.Retry = pace.RetryConfig{MaxAttempts: *retries, BaseDelay: time.Millisecond}
+	}
+	if *chaosSpec != "" {
+		plan, err := parseChaos(*chaosSpec)
+		if err != nil {
+			fatal(err)
+		}
+		opt.Fault = plan
+		fmt.Fprintf(os.Stderr, "pace: chaos plan active: %s\n", *chaosSpec)
+	}
+	opt.CheckpointDir = *ckptDir
+	opt.CheckpointInterval = *ckptInterval
+	opt.CheckpointEvery = *ckptEvery
+	if *resume {
+		ck, err := pace.LoadCheckpoint(*ckptDir)
+		if err != nil {
+			fatal(fmt.Errorf("resume: %w", err))
+		}
+		if err := ck.Validate(len(seqs), opt.Window, opt.MinMatch); err != nil {
+			fatal(fmt.Errorf("resume: %w", err))
+		}
+		opt.InitialLabels = pace.ResumeLabels(ck)
+		fmt.Fprintf(os.Stderr, "pace: resuming from checkpoint seq %d (%d pairs already processed, %d merges done)\n",
+			ck.Seq, ck.PairsProcessed, ck.Merges)
+	}
 
 	// Attach telemetry sinks. The registry is also created for -report
 	// alone, so the report's counter snapshot is populated.
@@ -200,6 +239,17 @@ func main() {
 	fmt.Fprintf(os.Stderr, "pace: %d ESTs -> %d clusters\n", len(recs), cl.NumClusters)
 	fmt.Fprintf(os.Stderr, "pace: pairs generated=%d processed=%d accepted=%d skipped=%d\n",
 		st.PairsGenerated, st.PairsProcessed, st.PairsAccepted, st.PairsSkipped)
+	if rec := st.Recovery; rec.RanksLost > 0 {
+		fmt.Fprintf(os.Stderr, "pace: recovered from %d lost rank(s): %d grant slots reclaimed, %d pairs requeued, %d shards reassigned\n",
+			rec.RanksLost, rec.GrantsReclaimed, rec.PairsRequeued, rec.ShardsReassigned)
+	}
+	if rec := st.Recovery; rec.Checkpoints > 0 {
+		fmt.Fprintf(os.Stderr, "pace: wrote %d checkpoint(s) (%d bytes total) to %s\n",
+			rec.Checkpoints, rec.CheckpointBytes, *ckptDir)
+	}
+	if rec := st.Recovery; rec.SeedMerges > 0 {
+		fmt.Fprintf(os.Stderr, "pace: resume seeded %d merges from the checkpoint\n", rec.SeedMerges)
+	}
 	fmt.Fprintf(os.Stderr, "pace: phases partition=%v construct=%v sort=%v align=%v total=%v\n",
 		st.Phases.Partition, st.Phases.Construct, st.Phases.Sort, st.Phases.Align, st.Phases.Total)
 

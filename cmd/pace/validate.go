@@ -3,6 +3,7 @@ package main
 import (
 	"errors"
 	"fmt"
+	"time"
 )
 
 // flagValues collects the command-line knobs that need cross-checking before
@@ -17,6 +18,13 @@ type flagValues struct {
 	batch       int
 	minOverlap  int
 	minIdentity float64
+
+	retries      int
+	ckptDir      string
+	ckptInterval time.Duration
+	ckptEvery    int
+	slaveTimeout time.Duration
+	resume       bool
 }
 
 // validateFlags performs the up-front sanity checks. Deeper consistency
@@ -48,6 +56,24 @@ func validateFlags(v flagValues) error {
 	}
 	if v.minIdentity <= 0 || v.minIdentity > 1 {
 		return fmt.Errorf("-min-identity must be in (0,1], got %g", v.minIdentity)
+	}
+	if v.retries < 1 {
+		return fmt.Errorf("-retries must be >= 1 (attempts per message), got %d", v.retries)
+	}
+	if v.ckptInterval < 0 {
+		return fmt.Errorf("-checkpoint-interval must be >= 0, got %v", v.ckptInterval)
+	}
+	if v.ckptEvery < 0 {
+		return fmt.Errorf("-checkpoint-every must be >= 0, got %d", v.ckptEvery)
+	}
+	if v.slaveTimeout < 0 {
+		return fmt.Errorf("-slave-timeout must be >= 0, got %v", v.slaveTimeout)
+	}
+	if (v.ckptInterval > 0 || v.ckptEvery > 0) && v.ckptDir == "" {
+		return errors.New("-checkpoint-interval/-checkpoint-every need -checkpoint-dir")
+	}
+	if v.resume && v.ckptDir == "" {
+		return errors.New("-resume needs -checkpoint-dir")
 	}
 	return nil
 }

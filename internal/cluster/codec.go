@@ -17,7 +17,18 @@ const (
 	tagReport = 1 // slave → master: results + fresh pairs + status
 	tagWork   = 2 // master → slave: work batch + pair request (or stop)
 	tagSuffix = 3 // slave → slave: suffix redistribution triples
+	tagPhase  = 4 // rank → master: final phase/timing report (point-to-point
+	// rather than a collective, so the master can skip dead ranks)
 )
+
+// shard identifies a slice of the bucket space: the buckets b with
+// owner[b] == part && b ≡ idx (mod of). A slave's initial generator covers
+// shard{part: rank-1, idx: 0, of: 1}; when a slave dies its shards are
+// subdivided among the k survivors as (part, idx+of·j, of·k), which
+// partitions exactly the dead shard's buckets without renumbering owners.
+type shard struct {
+	part, idx, of int32
+}
 
 // Suffix redistribution payload: flat (bucket, string id, position) uint32
 // triples, little-endian — what each slave ships to every bucket owner.
@@ -64,14 +75,23 @@ type report struct {
 	// hasNextWork: the slave still holds a NEXTWORK batch whose results
 	// will arrive with the following report.
 	hasNextWork bool
+	// ackWork: the results in this report answer the oldest master-
+	// dispatched batch (as opposed to a self-generated bootstrap batch).
+	// The master uses the flag to retire that batch from the slave's
+	// in-flight FIFO; batches still in the FIFO when a slave dies are
+	// requeued to survivors.
+	ackWork bool
 }
 
 // work is the master → slave message: W pairs to align and the number E of
 // fresh pairs to include in the next report. stop ends the slave loop.
+// recover carries bucket shards of a dead slave the recipient must rebuild
+// and regenerate pairs from.
 type work struct {
-	pairs []pairgen.Pair
-	e     int32
-	stop  bool
+	pairs   []pairgen.Pair
+	e       int32
+	stop    bool
+	recover []shard
 }
 
 func appendU32(b []byte, v uint32) []byte {
@@ -139,6 +159,9 @@ func appendReport(b []byte, rep report) []byte {
 	if rep.hasNextWork {
 		flags |= 2
 	}
+	if rep.ackWork {
+		flags |= 4
+	}
 	b = appendU32(b, flags)
 	b = appendU32(b, uint32(len(rep.results)))
 	for _, res := range rep.results {
@@ -160,7 +183,7 @@ func appendReport(b []byte, rep report) []byte {
 func decodeReport(b []byte) (report, error) {
 	r := reader{b: b}
 	flags := r.u32()
-	rep := report{passive: flags&1 != 0, hasNextWork: flags&2 != 0}
+	rep := report{passive: flags&1 != 0, hasNextWork: flags&2 != 0, ackWork: flags&4 != 0}
 	nRes := r.u32()
 	if r.err == nil && int(nRes) > len(b)/12 {
 		return report{}, fmt.Errorf("cluster: result count %d exceeds message size", nRes)
@@ -194,11 +217,22 @@ func appendWork(b []byte, w work) []byte {
 	if w.stop {
 		flags |= 1
 	}
+	if len(w.recover) > 0 {
+		flags |= 2
+	}
 	b = appendU32(b, flags)
 	b = appendU32(b, uint32(w.e))
 	b = appendU32(b, uint32(len(w.pairs)))
 	for _, p := range w.pairs {
 		b = appendPair(b, p)
+	}
+	if len(w.recover) > 0 {
+		b = appendU32(b, uint32(len(w.recover)))
+		for _, sh := range w.recover {
+			b = appendU32(b, uint32(sh.part))
+			b = appendU32(b, uint32(sh.idx))
+			b = appendU32(b, uint32(sh.of))
+		}
 	}
 	return b
 }
@@ -213,6 +247,19 @@ func decodeWork(b []byte) (work, error) {
 	}
 	for i := uint32(0); i < nPairs && r.err == nil; i++ {
 		w.pairs = append(w.pairs, r.pair())
+	}
+	if flags&2 != 0 {
+		nSh := r.u32()
+		if r.err == nil && int(nSh) > len(b)/12 {
+			return work{}, fmt.Errorf("cluster: shard count %d exceeds message size", nSh)
+		}
+		for i := uint32(0); i < nSh && r.err == nil; i++ {
+			sh := shard{part: int32(r.u32()), idx: int32(r.u32()), of: int32(r.u32())}
+			if r.err == nil && (sh.of < 1 || sh.idx < 0 || sh.idx >= sh.of) {
+				return work{}, fmt.Errorf("cluster: malformed shard %+v", sh)
+			}
+			w.recover = append(w.recover, sh)
+		}
 	}
 	if err := r.done(); err != nil {
 		return work{}, err

@@ -74,6 +74,81 @@ func TestWorkRoundTrip(t *testing.T) {
 	}
 }
 
+func TestReportAckWorkRoundTrip(t *testing.T) {
+	got, err := decodeReport(encodeReport(report{ackWork: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.ackWork || got.passive || got.hasNextWork {
+		t.Errorf("ackWork report: %+v", got)
+	}
+	got, err = decodeReport(encodeReport(report{passive: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ackWork {
+		t.Error("ackWork fabricated")
+	}
+}
+
+func TestWorkRecoverShardsRoundTrip(t *testing.T) {
+	w := work{
+		e: 7,
+		recover: []shard{
+			{part: 0, idx: 0, of: 1},
+			{part: 3, idx: 2, of: 6},
+		},
+	}
+	got, err := decodeWork(encodeWork(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.e != 7 || len(got.recover) != 2 {
+		t.Fatalf("work: %+v", got)
+	}
+	for i := range w.recover {
+		if got.recover[i] != w.recover[i] {
+			t.Errorf("shard %d: %+v", i, got.recover[i])
+		}
+	}
+	// Shards and pairs coexist on the wire.
+	w.pairs = []pairgen.Pair{{S1: seq.Forward(2), S2: seq.Forward(5), MatchLen: 25}}
+	got, err = decodeWork(encodeWork(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.pairs) != 1 || len(got.recover) != 2 {
+		t.Errorf("mixed work: %+v", got)
+	}
+	// No shards → no flag, no trailing bytes.
+	got, err = decodeWork(encodeWork(work{e: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.recover != nil {
+		t.Errorf("shards fabricated: %+v", got)
+	}
+}
+
+func TestDecodeRejectsMalformedShard(t *testing.T) {
+	for _, bad := range []shard{
+		{part: 1, idx: 0, of: 0},  // of < 1
+		{part: 1, idx: 3, of: 3},  // idx >= of
+		{part: 1, idx: -1, of: 2}, // idx < 0
+	} {
+		b := appendU32(nil, 2) // flags: recover present
+		b = appendU32(b, 0)    // e
+		b = appendU32(b, 0)    // no pairs
+		b = appendU32(b, 1)    // one shard
+		b = appendU32(b, uint32(bad.part))
+		b = appendU32(b, uint32(bad.idx))
+		b = appendU32(b, uint32(bad.of))
+		if _, err := decodeWork(b); err == nil {
+			t.Errorf("malformed shard %+v accepted", bad)
+		}
+	}
+}
+
 func TestDecodeRejectsTruncated(t *testing.T) {
 	b := encodeReport(report{results: []alignResult{{estI: 1, estJ: 2}}})
 	if _, err := decodeReport(b[:len(b)-2]); err == nil {

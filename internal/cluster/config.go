@@ -69,6 +69,23 @@ type Config struct {
 	// re-aligned. Entries < 0 are unconstrained.
 	InitialLabels []int32
 
+	// Recover enables slave-failure recovery: when a slave rank dies
+	// mid-protocol the master reclaims its outstanding grants, requeues its
+	// in-flight batches, and reassigns its bucket shards to the surviving
+	// slaves, which rebuild the partitions locally and regenerate the
+	// remaining pairs. The final clusters are equivalent to a failure-free
+	// run because re-aligned pairs merge idempotently. Disabled, any rank
+	// failure aborts the run (the seed behavior).
+	Recover bool
+	// SlaveTimeout bounds how long the master waits for the next slave
+	// report; on expiry the run aborts with a descriptive error instead of
+	// hanging on a silently-wedged (rather than crashed) slave. 0 disables
+	// the watchdog.
+	SlaveTimeout time.Duration
+	// Checkpoint configures periodic snapshots of the master's clustering
+	// state; see CheckpointConfig. A zero value disables checkpointing.
+	Checkpoint CheckpointConfig
+
 	// Metrics, when non-nil, receives live instrumentation from every
 	// pipeline layer: pair counters, the MCS-length and grant-E
 	// distributions, WORKBUF occupancy, bucket sizes, redistribution skew,
@@ -93,8 +110,29 @@ func DefaultConfig(p int) Config {
 		Criteria:        align.DefaultCriteria(),
 		Band:            12,
 		SkipSameCluster: true,
+		Recover:         true,
 		MP:              mp.Config{Procs: p, Mode: mp.ModeReal},
 	}
+}
+
+// CheckpointConfig governs checkpoint/restart.
+type CheckpointConfig struct {
+	// Dir is where snapshots land (one file, CheckpointFile, replaced
+	// atomically). Empty disables checkpointing.
+	Dir string
+	// Interval is the minimum wall-clock time between snapshots; 0 derives
+	// 30s. Ignored when EveryReports is set.
+	Interval time.Duration
+	// EveryReports snapshots every N master interactions instead of on a
+	// timer — a deterministic cadence for tests. 0 selects time-based.
+	EveryReports int
+}
+
+func (c CheckpointConfig) interval() time.Duration {
+	if c.Interval > 0 {
+		return c.Interval
+	}
+	return 30 * time.Second
 }
 
 // Validate checks the configuration.
@@ -121,6 +159,12 @@ func (c Config) Validate() error {
 	}
 	if c.AlphaMax < 0 {
 		return fmt.Errorf("cluster: AlphaMax must be >= 0 (0 selects the default)")
+	}
+	if c.SlaveTimeout < 0 {
+		return fmt.Errorf("cluster: SlaveTimeout must be >= 0")
+	}
+	if c.Checkpoint.Interval < 0 || c.Checkpoint.EveryReports < 0 {
+		return fmt.Errorf("cluster: checkpoint cadence must be >= 0")
 	}
 	if c.Band < 1 {
 		return fmt.Errorf("cluster: Band must be >= 1")
@@ -207,8 +251,36 @@ type Stats struct {
 	// PerRank is the per-rank load/communication breakdown behind the
 	// paper's Table 3, gathered from every rank at shutdown and sorted by
 	// rank. Sequential runs get a single "seq" row so report code need not
-	// special-case Procs == 1.
+	// special-case Procs == 1. Ranks that died mid-run appear with role
+	// "lost" and zeroed counters.
 	PerRank []RankStats
+	// Recovery tallies fault-recovery and checkpoint activity.
+	Recovery RecoveryStats
+}
+
+// RecoveryStats counts what the fault-tolerance machinery did during a run.
+type RecoveryStats struct {
+	// RanksLost is the number of slave ranks that died mid-protocol and
+	// were recovered from.
+	RanksLost int64
+	// GrantsReclaimed counts outstanding WORKBUF grant slots returned by
+	// dead slaves.
+	GrantsReclaimed int64
+	// PairsRequeued counts dispatched-but-unacknowledged pairs requeued to
+	// surviving slaves.
+	PairsRequeued int64
+	// ShardsReassigned counts bucket shards handed to survivors for rebuild
+	// and pair regeneration.
+	ShardsReassigned int64
+	// SeedMerges is the number of union operations performed while seeding
+	// the cluster structure from InitialLabels (e.g. a resumed checkpoint);
+	// a resumed run's Merges should equal a failure-free run's Merges minus
+	// this.
+	SeedMerges int64
+	// Checkpoints / CheckpointBytes / CheckpointTime tally snapshot writes.
+	Checkpoints     int64
+	CheckpointBytes int64
+	CheckpointTime  time.Duration
 }
 
 // RankStats is one rank's row of the load-balance table: where its time went

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -32,22 +33,27 @@ func Run(ests []seq.Sequence, cfg Config) (*Result, error) {
 
 // seedClusters merges ESTs that share a non-negative initial label. Labels
 // may cover only a prefix of the ESTs (old batch before newly arrived ones).
-func seedClusters(uf *unionfind.UF, labels []int32) error {
+// It returns the number of union operations performed, so a resumed run can
+// report how much work the seed (e.g. a checkpoint) already covered.
+func seedClusters(uf *unionfind.UF, labels []int32) (int64, error) {
 	if len(labels) > uf.Len() {
-		return fmt.Errorf("cluster: %d initial labels for %d ESTs", len(labels), uf.Len())
+		return 0, fmt.Errorf("cluster: %d initial labels for %d ESTs", len(labels), uf.Len())
 	}
 	first := make(map[int32]int32)
+	var merges int64
 	for i, l := range labels {
 		if l < 0 {
 			continue
 		}
 		if f, ok := first[l]; ok {
-			uf.Union(f, int32(i))
+			if uf.Union(f, int32(i)) {
+				merges++
+			}
 		} else {
 			first[l] = int32(i)
 		}
 	}
-	return nil
+	return merges, nil
 }
 
 // alignPairs runs the anchored banded extension on each pair and returns the
@@ -118,9 +124,15 @@ func runSequential(set *seq.SetS, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	uf := unionfind.New(set.NumESTs())
-	if err := seedClusters(uf, cfg.InitialLabels); err != nil {
+	seedMerges, err := seedClusters(uf, cfg.InitialLabels)
+	if err != nil {
 		return nil, err
 	}
+	st.Recovery.SeedMerges = seedMerges
+	if pr != nil {
+		pr.seedMerges.Set(seedMerges)
+	}
+	ck := newCheckpointer(cfg, set.NumESTs(), st, pr)
 	buf := make([]pairgen.Pair, 0, cfg.BatchSize)
 	for {
 		buf = gen.Next(buf[:0], cfg.BatchSize)
@@ -165,6 +177,12 @@ func runSequential(set *seq.SetS, cfg Config) (*Result, error) {
 		if tw != nil && batchAlign > 0 {
 			tw.Span(0, 0, "align", "cluster", tBatch, batchAlign)
 		}
+		if err := ck.maybe(uf, st.PairsProcessed, st.PairsAccepted, st.PairsSkipped, st.Merges, false); err != nil {
+			return nil, err
+		}
+	}
+	if err := ck.maybe(uf, st.PairsProcessed, st.PairsAccepted, st.PairsSkipped, st.Merges, true); err != nil {
+		return nil, err
 	}
 	st.PairsGenerated = gen.Stats().Generated
 	st.Phases.Total = time.Since(t0)
@@ -180,10 +198,12 @@ func runSequential(set *seq.SetS, cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// runParallel launches the master–slave machine.
+// runParallel launches the master–slave machine. Under cfg.Recover a
+// successful master is authoritative: slave ranks that died mid-run were
+// recovered from, so their errors do not fail the run.
 func runParallel(set *seq.SetS, cfg Config) (*Result, error) {
 	var result *Result
-	err := mp.Run(cfg.MP, func(c *mp.Comm) error {
+	errs, err := mp.RunRanks(cfg.MP, func(c *mp.Comm) error {
 		if c.Rank() == 0 {
 			r, err := runMaster(set, cfg, c)
 			result = r
@@ -193,6 +213,11 @@ func runParallel(set *seq.SetS, cfg Config) (*Result, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if errs[0] != nil || !cfg.Recover {
+		if first := mp.FirstError(errs); first != nil {
+			return nil, first
+		}
 	}
 	return result, nil
 }
@@ -241,6 +266,16 @@ type masterState struct {
 	hasNextWork   bool // slave holds a batch whose results are pending
 	idle          bool // parked with nothing to do; candidate for stop
 	granted       int  // outstanding grant E: pairs the slave may still report
+	dead          bool // rank failed; excluded from the protocol
+	owes          int  // reports the slave will still send
+	// inflight is the FIFO of dispatched batches not yet acknowledged by a
+	// report's ackWork flag; when the slave dies they are requeued to the
+	// survivors.
+	inflight [][]pairgen.Pair
+	// shards are the generator partitions this slave covers: its initial
+	// one (part = rank-1, 1 of 1) plus any dead-slave shards it took over.
+	// When the slave dies they are subdivided among the survivors.
+	shards []shard
 }
 
 // grantE computes the paper's flow-control grant E = min(α·δ·batchsize,
@@ -300,9 +335,16 @@ func runMaster(set *seq.SetS, cfg Config, c *mp.Comm) (*Result, error) {
 	res := &Result{}
 	st := &res.Stats
 	uf := unionfind.New(set.NumESTs())
-	if err := seedClusters(uf, cfg.InitialLabels); err != nil {
+	seedMerges, err := seedClusters(uf, cfg.InitialLabels)
+	if err != nil {
 		return nil, err
 	}
+	st.Recovery.SeedMerges = seedMerges
+	if pr != nil {
+		pr.seedMerges.Set(seedMerges)
+	}
+	ck := newCheckpointer(cfg, set.NumESTs(), st, pr)
+
 	slaves := c.Size() - 1
 	p := c.Size()
 	states := make([]masterState, c.Size())
@@ -313,10 +355,19 @@ func runMaster(set *seq.SetS, cfg Config, c *mp.Comm) (*Result, error) {
 	for r := 1; r <= slaves; r++ {
 		states[r].granted = bootstrapGrant(cfg, p)
 		grantedTotal += states[r].granted
+		states[r].owes = 1 // the unsolicited first report
+		states[r].shards = []shard{{part: int32(r - 1), idx: 0, of: 1}}
 	}
 
 	var workbuf []pairgen.Pair
 	head := 0
+	// requeued holds pairs reclaimed from dead slaves' in-flight batches.
+	// They drain ahead of WORKBUF and are deliberately not counted against
+	// its occupancy: they already passed admission control once, and the
+	// WorkBufHighWater ≤ WorkBufCap invariant is about admission.
+	var requeued []pairgen.Pair
+	// pendingShards are dead slaves' generator shards awaiting a survivor.
+	var pendingShards []shard
 	buffered := func() int { return len(workbuf) - head }
 	compact := func() {
 		if head > 0 && head >= len(workbuf)/2 {
@@ -326,21 +377,34 @@ func runMaster(set *seq.SetS, cfg Config, c *mp.Comm) (*Result, error) {
 	}
 
 	// popBatch extracts up to BatchSize pairs whose ESTs are still in
-	// different clusters (clusters may have merged since enqueue).
+	// different clusters (clusters may have merged since enqueue),
+	// requeued recovery pairs first.
 	popBatch := func() []pairgen.Pair {
 		var out []pairgen.Pair
-		for head < len(workbuf) && len(out) < cfg.BatchSize {
-			p := workbuf[head]
-			head++
+		keep := func(p pairgen.Pair) bool {
 			i, j := p.ESTs()
 			if cfg.SkipSameCluster && uf.Same(int32(i), int32(j)) {
 				st.PairsSkipped++
 				if pr != nil {
 					pr.skipped.Inc()
 				}
-				continue
+				return false
 			}
-			out = append(out, p)
+			return true
+		}
+		for len(requeued) > 0 && len(out) < cfg.BatchSize {
+			p := requeued[0]
+			requeued = requeued[1:]
+			if keep(p) {
+				out = append(out, p)
+			}
+		}
+		for head < len(workbuf) && len(out) < cfg.BatchSize {
+			p := workbuf[head]
+			head++
+			if keep(p) {
+				out = append(out, p)
+			}
 		}
 		compact()
 		return out
@@ -349,7 +413,7 @@ func runMaster(set *seq.SetS, cfg Config, c *mp.Comm) (*Result, error) {
 	activeSlaves := func() int {
 		a := 0
 		for r := 1; r <= slaves; r++ {
-			if !states[r].generatorDone {
+			if !states[r].dead && !states[r].generatorDone {
 				a++
 			}
 		}
@@ -364,22 +428,177 @@ func runMaster(set *seq.SetS, cfg Config, c *mp.Comm) (*Result, error) {
 		wire = appendWork(wire[:0], w)
 		return c.Send(to, tagWork, wire)
 	}
+	// dispatch sends a non-stop work message and records the protocol
+	// consequences: one more report owed, and a non-empty batch joins the
+	// slave's in-flight FIFO until a report acknowledges it.
+	dispatch := func(to int, w work) error {
+		if err := sendWork(to, w); err != nil {
+			return err
+		}
+		if len(w.pairs) > 0 {
+			states[to].inflight = append(states[to].inflight, w.pairs)
+		}
+		states[to].owes++
+		states[to].idle = false
+		return nil
+	}
 
-	reportsPending := slaves // every slave sends an unsolicited first report
+	grantFor := func(reported, added int) int {
+		nfree := cfg.WorkBufCap - buffered() - grantedTotal
+		return grantE(cfg, reported, added, activeSlaves(), slaves, p, nfree)
+	}
+
+	// done: no work buffered anywhere, no shard awaiting a survivor, and
+	// every living slave is parked with no report outstanding.
+	done := func() bool {
+		if buffered() > 0 || len(requeued) > 0 || len(pendingShards) > 0 {
+			return false
+		}
+		for r := 1; r <= slaves; r++ {
+			if states[r].dead {
+				continue
+			}
+			if states[r].owes > 0 || !states[r].idle {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Surplus work re-activates parked slaves.
+	reactivate := func() error {
+		for r := 1; r <= slaves && buffered()+len(requeued) > 0; r++ {
+			if states[r].dead || !states[r].idle {
+				continue
+			}
+			batch := popBatch()
+			if len(batch) == 0 {
+				break
+			}
+			if err := dispatch(r, work{pairs: batch}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// handleDeath recovers from slave s failing mid-protocol: reclaim its
+	// outstanding grant, requeue its unacknowledged batches, and subdivide
+	// its generator shards among the survivors, who rebuild them locally
+	// and regenerate the remaining pairs. Regenerated pairs overlap work
+	// the dead slave already reported; the same-cluster filter and the
+	// idempotence of union-find merges absorb the duplicates, so the final
+	// clusters match a failure-free run.
+	handleDeath := func(s int) error {
+		states[s].dead = true
+		states[s].idle = false
+		states[s].owes = 0
+		reclaimed := int64(states[s].granted)
+		grantedTotal -= states[s].granted
+		states[s].granted = 0
+		var requeuedNow int64
+		for _, b := range states[s].inflight {
+			requeued = append(requeued, b...)
+			requeuedNow += int64(len(b))
+		}
+		states[s].inflight = nil
+		st.Recovery.RanksLost++
+		st.Recovery.GrantsReclaimed += reclaimed
+		st.Recovery.PairsRequeued += requeuedNow
+
+		var surv []int
+		for r := 1; r <= slaves; r++ {
+			if !states[r].dead {
+				surv = append(surv, r)
+			}
+		}
+		if len(surv) == 0 {
+			return fmt.Errorf("cluster: all %d slaves failed; cannot recover", slaves)
+		}
+		var reassigned int64
+		// A passive slave had generated and shipped every pair of its
+		// shards before dying — nothing left to regenerate.
+		if !states[s].generatorDone {
+			k := int32(len(surv))
+			for _, sh := range states[s].shards {
+				for j := int32(0); j < k; j++ {
+					pendingShards = append(pendingShards, shard{part: sh.part, idx: sh.idx + sh.of*j, of: sh.of * k})
+				}
+				reassigned += int64(k)
+			}
+			st.Recovery.ShardsReassigned += reassigned
+		}
+		states[s].shards = nil
+		if pr != nil {
+			pr.ranksLost.Inc()
+			pr.grantsReclaimed.Add(reclaimed)
+			pr.pairsRequeued.Add(requeuedNow)
+			pr.shardsReassigned.Add(reassigned)
+		}
+		// Hand shards to parked survivors right away; busy ones collect
+		// theirs attached to the reply to their next report.
+		for _, r := range surv {
+			if len(pendingShards) == 0 {
+				break
+			}
+			if !states[r].idle || states[r].owes > 0 {
+				continue
+			}
+			sh := pendingShards[0]
+			pendingShards = pendingShards[1:]
+			states[r].shards = append(states[r].shards, sh)
+			states[r].generatorDone = false
+			e := grantFor(0, 0)
+			if err := dispatch(r, work{e: int32(e), recover: []shard{sh}}); err != nil {
+				return err
+			}
+			states[r].granted = e
+			grantedTotal += e
+		}
+		return reactivate()
+	}
+
+	// cumProcessed/cumAccepted mirror the slaves' counters from the
+	// results stream for checkpointing; the authoritative per-rank totals
+	// still arrive with the final phase reports.
+	var cumProcessed, cumAccepted int64
 	for {
-		m, err := c.Recv(mp.AnySource, tagReport)
+		var m mp.Msg
+		if cfg.SlaveTimeout > 0 {
+			m, err = c.RecvTimeout(mp.AnySource, tagReport, cfg.SlaveTimeout)
+			if errors.Is(err, mp.ErrTimeout) {
+				return nil, fmt.Errorf("cluster: no slave report within SlaveTimeout %v; a slave is wedged", cfg.SlaveTimeout)
+			}
+		} else {
+			m, err = c.Recv(mp.AnySource, tagReport)
+		}
 		if err != nil {
-			return nil, err
+			var rf *mp.RankFailedError
+			if !cfg.Recover || !errors.As(err, &rf) || rf.Rank < 1 || rf.Rank > slaves || states[rf.Rank].dead {
+				return nil, err
+			}
+			busy := time.Now()
+			if err := handleDeath(rf.Rank); err != nil {
+				return nil, err
+			}
+			st.MasterBusy += time.Since(busy)
+			if done() {
+				break
+			}
+			continue
 		}
 		busy := time.Now()
-		reportsPending--
+		s := m.From
+		states[s].owes--
 		rep, err := decodeReport(m.Data)
 		if err != nil {
 			return nil, err
 		}
-		s := m.From
 		states[s].generatorDone = rep.passive
 		states[s].hasNextWork = rep.hasNextWork
+		if rep.ackWork && len(states[s].inflight) > 0 {
+			states[s].inflight = states[s].inflight[1:]
+		}
 		// The grant this report answers is consumed, whether or not the
 		// slave used all of it.
 		grant := states[s].granted
@@ -393,6 +612,7 @@ func runMaster(set *seq.SetS, cfg Config, c *mp.Comm) (*Result, error) {
 
 		for _, r := range rep.results {
 			if r.accepted {
+				cumAccepted++
 				if uf.Union(int32(r.estI), int32(r.estJ)) {
 					st.Merges++
 					if pr != nil {
@@ -401,6 +621,7 @@ func runMaster(set *seq.SetS, cfg Config, c *mp.Comm) (*Result, error) {
 				}
 			}
 		}
+		cumProcessed += int64(len(rep.results))
 		added := 0
 		for _, pair := range rep.pairs {
 			i, j := pair.ESTs()
@@ -425,28 +646,35 @@ func runMaster(set *seq.SetS, cfg Config, c *mp.Comm) (*Result, error) {
 		if tw != nil {
 			tw.Counter(0, "workbuf", c.Elapsed(), int64(buffered()))
 		}
+		if err := ck.maybe(uf, cumProcessed, cumAccepted, st.PairsSkipped, st.Merges, false); err != nil {
+			return nil, err
+		}
 
-		// Reply: W pairs from WORKBUF plus the next pair request E.
+		// Reply: W pairs from WORKBUF plus the next pair request E, and a
+		// pending recovery shard if one is waiting for a taker.
 		batch := popBatch()
+		var rec []shard
+		if len(pendingShards) > 0 {
+			rec = pendingShards[:1:1]
+			pendingShards = pendingShards[1:]
+			states[s].shards = append(states[s].shards, rec[0])
+			states[s].generatorDone = false
+		}
 		e := 0
 		if !states[s].generatorDone {
-			nfree := cfg.WorkBufCap - buffered() - grantedTotal
-			e = grantE(cfg, len(rep.pairs), added, activeSlaves(), slaves, p, nfree)
+			e = grantFor(len(rep.pairs), added)
 			if pr != nil && e > 0 {
 				pr.grantE.Observe(int64(e))
 			}
 		}
 
 		switch {
-		case len(batch) > 0 || e > 0:
-			st.MasterBusy += time.Since(busy)
-			if err := sendWork(s, work{pairs: batch, e: int32(e)}); err != nil {
+		case len(batch) > 0 || e > 0 || len(rec) > 0:
+			if err := dispatch(s, work{pairs: batch, e: int32(e), recover: rec}); err != nil {
 				return nil, err
 			}
-			busy = time.Now()
 			states[s].granted = e
 			grantedTotal += e
-			reportsPending++
 		case rep.hasNextWork || !states[s].generatorDone:
 			// The slave either holds a batch whose results we still need,
 			// or is an active generator that got no grant because every
@@ -454,73 +682,47 @@ func runMaster(set *seq.SetS, cfg Config, c *mp.Comm) (*Result, error) {
 			// cases: the slave reports back (keep-alive), and by then
 			// peer reports will have released grant space. Parking an
 			// active generator here would strand its unreported pairs.
-			st.MasterBusy += time.Since(busy)
-			if err := sendWork(s, work{}); err != nil {
+			if err := dispatch(s, work{}); err != nil {
 				return nil, err
 			}
-			busy = time.Now()
-			reportsPending++
 		default:
 			// Park the slave on the wait queue.
 			states[s].idle = true
 		}
 
-		// Surplus work re-activates parked slaves.
-		for r := 1; r <= slaves && buffered() > 0; r++ {
-			if !states[r].idle {
-				continue
-			}
-			batch := popBatch()
-			if len(batch) == 0 {
-				break
-			}
-			st.MasterBusy += time.Since(busy)
-			if err := sendWork(r, work{pairs: batch}); err != nil {
-				return nil, err
-			}
-			busy = time.Now()
-			states[r].idle = false
-			reportsPending++
+		if err := reactivate(); err != nil {
+			return nil, err
 		}
-
 		st.MasterBusy += time.Since(busy)
-
-		if reportsPending == 0 && buffered() == 0 {
-			allIdle := true
-			for r := 1; r <= slaves; r++ {
-				if !states[r].idle {
-					allIdle = false
-					break
-				}
-			}
-			if allIdle {
-				break
-			}
+		if done() {
+			break
 		}
 	}
 
+	// Final snapshot: a resumed run starts from the completed partition.
+	if err := ck.maybe(uf, cumProcessed, cumAccepted, st.PairsSkipped, st.Merges, true); err != nil {
+		return nil, err
+	}
+
 	for r := 1; r <= slaves; r++ {
+		if states[r].dead {
+			continue
+		}
 		if err := sendWork(r, work{stop: true}); err != nil {
 			return nil, err
 		}
 	}
 
-	// Collect per-rank phase reports and reduce to the Table 3 rows.
+	// Collect per-rank phase reports and reduce to the Table 3 rows. The
+	// collection is point-to-point (tagPhase) rather than a gather so dead
+	// ranks can be skipped; they appear as zeroed "lost" rows.
 	total := c.Elapsed() - tStart
 	cs := c.Stats()
 	st.MasterIdle = cs.RecvWait
 	mine := phaseReport{partitionNs: int64(tPart), totalNs: int64(total), busyNs: int64(st.MasterBusy)}
 	fillComm(&mine, cs)
-	gathered, err := c.GatherBytes(0, encodePhase(mine))
-	if err != nil {
-		return nil, err
-	}
-	st.PerRank = make([]RankStats, 0, len(gathered))
-	for r, b := range gathered {
-		ph, err := decodePhase(b)
-		if err != nil {
-			return nil, err
-		}
+	st.PerRank = make([]RankStats, 0, c.Size())
+	addRow := func(r int, role string, ph phaseReport) {
 		st.Phases.Partition = maxDur(st.Phases.Partition, time.Duration(ph.partitionNs))
 		st.Phases.Construct = maxDur(st.Phases.Construct, time.Duration(ph.constructNs))
 		st.Phases.Sort = maxDur(st.Phases.Sort, time.Duration(ph.sortNs))
@@ -529,10 +731,6 @@ func runMaster(set *seq.SetS, cfg Config, c *mp.Comm) (*Result, error) {
 		st.PairsGenerated += ph.generated
 		st.PairsProcessed += ph.processed
 		st.PairsAccepted += ph.accepted
-		role := "slave"
-		if r == 0 {
-			role = "master"
-		}
 		st.PerRank = append(st.PerRank, RankStats{
 			Rank: r, Role: role,
 			Partition: time.Duration(ph.partitionNs),
@@ -550,6 +748,29 @@ func runMaster(set *seq.SetS, cfg Config, c *mp.Comm) (*Result, error) {
 			PairsAccepted:  ph.accepted,
 			Busy:           time.Duration(ph.busyNs),
 		})
+	}
+	addRow(0, "master", mine)
+	for r := 1; r <= slaves; r++ {
+		if states[r].dead {
+			st.PerRank = append(st.PerRank, RankStats{Rank: r, Role: "lost"})
+			continue
+		}
+		pm, err := c.Recv(r, tagPhase)
+		if err != nil {
+			var rf *mp.RankFailedError
+			if cfg.Recover && errors.As(err, &rf) {
+				// Died after its protocol work was complete; only its
+				// stats are lost.
+				st.PerRank = append(st.PerRank, RankStats{Rank: r, Role: "lost"})
+				continue
+			}
+			return nil, err
+		}
+		ph, err := decodePhase(pm.Data)
+		if err != nil {
+			return nil, err
+		}
+		addRow(r, "slave", ph)
 	}
 	for _, rs := range st.PerRank {
 		pr.recordComm(rs)
@@ -649,11 +870,14 @@ func runSlave(set *seq.SetS, cfg Config, c *mp.Comm) error {
 	}
 
 	t2 := c.Elapsed()
-	gen, err := pairgen.New(set, forest, cfg.Psi)
+	gen0, err := pairgen.New(set, forest, cfg.Psi)
 	if err != nil {
 		return err
 	}
-	gen.Observe(pr.observer())
+	gen0.Observe(pr.observer())
+	// The chain starts with this slave's own partition; recovery appends
+	// rebuilt dead-slave shards to it.
+	chain := &genChain{gens: []*pairgen.Generator{gen0}}
 	tSort := c.Elapsed() - t2
 	if tw != nil {
 		tw.Span(0, c.Rank(), "sort", "pairgen", t2, tSort)
@@ -701,9 +925,9 @@ func runSlave(set *seq.SetS, cfg Config, c *mp.Comm) error {
 	// results together with the third, keep the second as NEXTWORK. The
 	// unsolicited pairs are capped at the implicit bootstrap grant the
 	// master charged against the WORKBUF for this slave.
-	b1 := gen.Next(nil, cfg.BatchSize)
-	b2 := gen.Next(nil, cfg.BatchSize)
-	pairbuf := gen.Next(nil, bootstrapGrant(cfg, c.Size()))
+	b1 := chain.Next(nil, cfg.BatchSize)
+	b2 := chain.Next(nil, cfg.BatchSize)
+	pairbuf := chain.Next(nil, bootstrapGrant(cfg, c.Size()))
 	results, err := alignBatch(b1)
 	if err != nil {
 		return err
@@ -712,7 +936,7 @@ func runSlave(set *seq.SetS, cfg Config, c *mp.Comm) error {
 	first := report{
 		results:     results,
 		pairs:       pairbuf,
-		passive:     !gen.Remaining(),
+		passive:     !chain.Remaining(),
 		hasNextWork: len(next) > 0,
 	}
 	pairbuf = nil
@@ -721,12 +945,19 @@ func runSlave(set *seq.SetS, cfg Config, c *mp.Comm) error {
 	}
 
 	bufCap := cfg.pairBufCap()
+	nextFromMaster := false
 	for {
+		// ackThis: the batch about to be aligned came from the master, so
+		// the report carrying its results retires it from the master's
+		// in-flight FIFO (bootstrap batches are self-generated and must
+		// not acknowledge anything).
+		ackThis := nextFromMaster
 		results, err = alignBatch(next)
 		if err != nil {
 			return err
 		}
 		next = nil
+		nextFromMaster = false
 
 		// Overlap waiting with pair generation (paper: the slave is
 		// never idle while the master prepares its reply).
@@ -738,11 +969,11 @@ func runSlave(set *seq.SetS, cfg Config, c *mp.Comm) error {
 			if ok {
 				break
 			}
-			if !gen.Remaining() || len(pairbuf) >= bufCap {
+			if !chain.Remaining() || len(pairbuf) >= bufCap {
 				break
 			}
 			chunk := min(cfg.GenChunk, bufCap-len(pairbuf))
-			pairbuf = gen.Next(pairbuf, chunk)
+			pairbuf = chain.Next(pairbuf, chunk)
 		}
 		m, err := c.Recv(0, tagWork)
 		if err != nil {
@@ -756,20 +987,43 @@ func runSlave(set *seq.SetS, cfg Config, c *mp.Comm) error {
 			break
 		}
 
+		// Rebuild any dead slave's shards assigned to us: every rank
+		// holds the full string set, so a survivor can rescan it, keep
+		// exactly the shard's buckets, and chain a fresh generator over
+		// them. Regenerated pairs may duplicate work the dead slave
+		// already reported; the master's same-cluster filter and the
+		// idempotence of merges absorb that.
+		for _, sh := range w.recover {
+			tR := c.Elapsed()
+			g, err := rebuildShard(set, cfg, owner, sh)
+			if err != nil {
+				return err
+			}
+			g.Observe(pr.observer())
+			chain.add(g)
+			dR := c.Elapsed() - tR
+			tConstruct += dR
+			if tw != nil {
+				tw.Span(0, c.Rank(), "rebuild", "recovery", tR, dR)
+			}
+		}
+
 		// Top PAIRBUF up to the requested E.
-		for len(pairbuf) < int(w.e) && gen.Remaining() {
-			pairbuf = gen.Next(pairbuf, int(w.e)-len(pairbuf))
+		for len(pairbuf) < int(w.e) && chain.Remaining() {
+			pairbuf = chain.Next(pairbuf, int(w.e)-len(pairbuf))
 		}
 		p := min(int(w.e), len(pairbuf))
 		outPairs := pairbuf[:p:p]
 		pairbuf = pairbuf[p:]
 		next = w.pairs
+		nextFromMaster = len(w.pairs) > 0
 
 		rep := report{
 			results:     results,
 			pairs:       outPairs,
-			passive:     !gen.Remaining() && len(pairbuf) == 0,
+			passive:     !chain.Remaining() && len(pairbuf) == 0,
 			hasNextWork: len(next) > 0,
+			ackWork:     ackThis,
 		}
 		if err := sendReport(rep); err != nil {
 			return err
@@ -783,13 +1037,79 @@ func runSlave(set *seq.SetS, cfg Config, c *mp.Comm) error {
 		sortNs:      int64(tSort),
 		alignNs:     int64(alignTime),
 		totalNs:     int64(total),
-		generated:   gen.Stats().Generated,
+		generated:   chain.Generated(),
 		processed:   processed,
 		accepted:    accepted,
 	}
 	fillComm(&mine, c.Stats())
-	_, err = c.GatherBytes(0, encodePhase(mine))
-	return err
+	// Point-to-point phase report: a collective here would wedge the
+	// survivors whenever a peer died mid-run.
+	return c.Send(0, tagPhase, encodePhase(mine))
+}
+
+// genChain concatenates pair generators: the slave's own partition plus any
+// dead-slave shards it rebuilt during recovery.
+type genChain struct {
+	gens []*pairgen.Generator
+}
+
+func (g *genChain) add(gen *pairgen.Generator) { g.gens = append(g.gens, gen) }
+
+// Next appends up to max more pairs to dst, draining the generators in
+// order.
+func (g *genChain) Next(dst []pairgen.Pair, max int) []pairgen.Pair {
+	want := len(dst) + max
+	for _, gen := range g.gens {
+		if len(dst) >= want {
+			break
+		}
+		dst = gen.Next(dst, want-len(dst))
+	}
+	return dst
+}
+
+// Remaining reports whether any chained generator can still produce pairs.
+func (g *genChain) Remaining() bool {
+	for _, gen := range g.gens {
+		if gen.Remaining() {
+			return true
+		}
+	}
+	return false
+}
+
+// Generated sums the pairs produced across the chain.
+func (g *genChain) Generated() int64 {
+	var n int64
+	for _, gen := range g.gens {
+		n += gen.Stats().Generated
+	}
+	return n
+}
+
+// rebuildShard reconstructs a dead slave's bucket shard on a survivor. The
+// rescan visits every string (ascending id, ascending position — the same
+// order exchangeSuffixes produces), so the rebuilt buckets and therefore the
+// regenerated pair stream are identical to what the dead slave held.
+func rebuildShard(set *seq.SetS, cfg Config, owner []int32, sh shard) (*pairgen.Generator, error) {
+	byBucket := make(map[int][]suffix.SuffixRef)
+	n := seq.StringID(set.NumStrings())
+	for id := seq.StringID(0); id < n; id++ {
+		suffix.BucketEach(set.Str(id), cfg.Window, func(b int, pos int32) {
+			if owner[b] == sh.part && int32(b)%sh.of == sh.idx {
+				byBucket[b] = append(byBucket[b], suffix.SuffixRef{SID: id, Pos: pos})
+			}
+		})
+	}
+	var forest []*suffix.Tree
+	if len(byBucket) > 0 {
+		var err error
+		forest, err = suffix.BuildForest(set, byBucket, cfg.Window)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return pairgen.New(set, forest, cfg.Psi)
 }
 
 func maxDur(a, b time.Duration) time.Duration {

@@ -25,6 +25,15 @@ const (
 	mWorkbufHW      = "pace_workbuf_high_water"
 	mBucketSize     = "pace_suffix_bucket_size"
 	mLoadSkew       = "pace_suffix_load_skew"
+
+	mRanksLost        = "pace_recovery_ranks_lost_total"
+	mGrantsReclaimed  = "pace_recovery_grants_reclaimed_total"
+	mPairsRequeued    = "pace_recovery_pairs_requeued_total"
+	mShardsReassigned = "pace_recovery_shards_reassigned_total"
+	mSeedMerges       = "pace_resume_seeded_merges"
+	mCkptWrites       = "pace_checkpoint_writes_total"
+	mCkptBytes        = "pace_checkpoint_bytes"
+	mCkptNs           = "pace_checkpoint_write_ns"
 )
 
 // probes is the engine's live-instrumentation bundle: pointers resolved once
@@ -48,6 +57,15 @@ type probes struct {
 
 	bucketSize *telemetry.Histogram
 	loadSkew   *telemetry.FloatGauge
+
+	ranksLost        *telemetry.Counter
+	grantsReclaimed  *telemetry.Counter
+	pairsRequeued    *telemetry.Counter
+	shardsReassigned *telemetry.Counter
+	seedMerges       *telemetry.Gauge
+	ckptWrites       *telemetry.Counter
+	ckptBytes        *telemetry.Gauge
+	ckptNs           *telemetry.Histogram
 }
 
 func newProbes(reg *telemetry.Registry) *probes {
@@ -66,6 +84,14 @@ func newProbes(reg *telemetry.Registry) *probes {
 	reg.Help(mWorkbufHW, "High-water mark of WORKBUF occupancy.")
 	reg.Help(mBucketSize, "Suffixes per non-empty GST bucket.")
 	reg.Help(mLoadSkew, "Redistribution skew: max worker load / mean worker load.")
+	reg.Help(mRanksLost, "Slave ranks that died mid-protocol and were recovered from.")
+	reg.Help(mGrantsReclaimed, "Outstanding WORKBUF grant slots reclaimed from dead slaves.")
+	reg.Help(mPairsRequeued, "Dispatched pairs requeued to survivors after a slave death.")
+	reg.Help(mShardsReassigned, "Bucket shards reassigned to survivors for rebuild.")
+	reg.Help(mSeedMerges, "Union operations performed while seeding from initial labels.")
+	reg.Help(mCkptWrites, "Checkpoint snapshots written.")
+	reg.Help(mCkptBytes, "Size of the most recent checkpoint snapshot, bytes.")
+	reg.Help(mCkptNs, "Checkpoint write latency, nanoseconds.")
 	return &probes{
 		reg:        reg,
 		generated:  reg.Counter(mPairsGenerated),
@@ -80,6 +106,15 @@ func newProbes(reg *telemetry.Registry) *probes {
 		workbufHW:  reg.Gauge(mWorkbufHW),
 		bucketSize: reg.Histogram(mBucketSize, telemetry.ExpBounds(1, 2, 20)),
 		loadSkew:   reg.FloatGauge(mLoadSkew),
+
+		ranksLost:        reg.Counter(mRanksLost),
+		grantsReclaimed:  reg.Counter(mGrantsReclaimed),
+		pairsRequeued:    reg.Counter(mPairsRequeued),
+		shardsReassigned: reg.Counter(mShardsReassigned),
+		seedMerges:       reg.Gauge(mSeedMerges),
+		ckptWrites:       reg.Counter(mCkptWrites),
+		ckptBytes:        reg.Gauge(mCkptBytes),
+		ckptNs:           reg.Histogram(mCkptNs, telemetry.ExpBounds(1000, 4, 12)),
 	}
 }
 

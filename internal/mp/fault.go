@@ -1,0 +1,253 @@
+package mp
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FaultPlan is a deterministic fault-injection schedule. It wraps the real
+// or simulated transport (Config.Fault) and perturbs operations according to
+// per-rank seeded RNGs, so a given (plan, program) pair always injects the
+// same faults in the same places on a rank's operation sequence — the
+// property that makes chaos tests reproducible.
+//
+// Crash semantics are fail-stop: once a rank's matching-operation count
+// reaches CrashAfter, that operation and every later one on the rank return
+// ErrInjectedCrash. The rank's body is expected to propagate the error, at
+// which point the runtime records the rank as failed and peers observe an
+// ordinary *RankFailedError.
+type FaultPlan struct {
+	// Seed derives the per-rank RNG streams (rank index is mixed in).
+	Seed int64
+
+	// CrashRank / CrashAfter / CrashTag schedule a sticky crash: rank
+	// CrashRank fails on its CrashAfter-th send or receive whose tag
+	// matches CrashTag (CrashTag <= 0 matches every tag). CrashAfter == 0
+	// disables crashing. Counting only tagged operations lets a test place
+	// the crash at a protocol position ("after the 3rd report") instead of
+	// a raw op index.
+	CrashRank  int
+	CrashAfter int
+	CrashTag   int
+
+	// DropProb silently discards a send (the message vanishes in the
+	// network). DupProb delivers a send twice. DelayProb stalls the sender
+	// for Delay before the send (virtual time under ModeSim).
+	// TransientProb makes a send or receive fail with ErrTransient —
+	// retryable via Config.Retry. All probabilities are in [0, 1].
+	DropProb      float64
+	DupProb       float64
+	DelayProb     float64
+	TransientProb float64
+
+	// Delay is the injected latency for delayed sends; 0 derives 1ms.
+	Delay time.Duration
+
+	// TransientMax caps injected transient errors per rank, so a bounded
+	// retry budget always wins eventually. 0 means unlimited.
+	TransientMax int
+
+	// Stats, when non-nil, is filled with injection tallies.
+	Stats *FaultStats
+}
+
+// Validate checks the plan.
+func (p *FaultPlan) Validate() error {
+	for _, pr := range []struct {
+		name string
+		v    float64
+	}{
+		{"DropProb", p.DropProb}, {"DupProb", p.DupProb},
+		{"DelayProb", p.DelayProb}, {"TransientProb", p.TransientProb},
+	} {
+		if pr.v < 0 || pr.v > 1 {
+			return fmt.Errorf("mp: fault plan %s %v out of [0,1]", pr.name, pr.v)
+		}
+	}
+	if p.CrashAfter < 0 {
+		return fmt.Errorf("mp: fault plan CrashAfter must be >= 0")
+	}
+	if p.Delay < 0 {
+		return fmt.Errorf("mp: fault plan Delay must be >= 0")
+	}
+	return nil
+}
+
+func (p *FaultPlan) delay() time.Duration {
+	if p.Delay > 0 {
+		return p.Delay
+	}
+	return time.Millisecond
+}
+
+// FaultStats tallies injected faults. Fields are atomics because ranks hit
+// the injection layer concurrently under ModeReal.
+type FaultStats struct {
+	Crashes    atomic.Int64
+	Drops      atomic.Int64
+	Dups       atomic.Int64
+	Delays     atomic.Int64
+	Transients atomic.Int64
+}
+
+// faultTransport decorates a transport with the plan. Per-rank state (RNG,
+// op counters) means each rank's fault sequence depends only on its own
+// operation order, which is deterministic for a deterministic program even
+// under ModeReal's arbitrary interleavings.
+type faultTransport struct {
+	inner transport
+	plan  *FaultPlan
+	mode  Mode
+
+	mu         sync.Mutex
+	rngs       []*rand.Rand
+	crashOps   []int
+	crashed    []bool
+	transients []int
+}
+
+func newFaultTransport(inner transport, cfg Config) *faultTransport {
+	t := &faultTransport{
+		inner: inner, plan: cfg.Fault, mode: cfg.Mode,
+		rngs:       make([]*rand.Rand, cfg.Procs),
+		crashOps:   make([]int, cfg.Procs),
+		crashed:    make([]bool, cfg.Procs),
+		transients: make([]int, cfg.Procs),
+	}
+	for r := range t.rngs {
+		t.rngs[r] = rand.New(rand.NewSource(cfg.Fault.Seed + int64(r)*0x9E3779B9))
+	}
+	return t
+}
+
+// crashCheck counts a matching operation against the crash schedule and
+// returns the sticky ErrInjectedCrash once the rank is dead.
+func (t *faultTransport) crashCheck(rank, tag int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.crashed[rank] {
+		return fmt.Errorf("mp: rank %d is crashed: %w", rank, ErrInjectedCrash)
+	}
+	p := t.plan
+	if p.CrashAfter <= 0 || rank != p.CrashRank {
+		return nil
+	}
+	if p.CrashTag > 0 && tag != p.CrashTag {
+		return nil
+	}
+	t.crashOps[rank]++
+	if t.crashOps[rank] < p.CrashAfter {
+		return nil
+	}
+	t.crashed[rank] = true
+	if p.Stats != nil {
+		p.Stats.Crashes.Add(1)
+	}
+	return fmt.Errorf("mp: rank %d crashed at tagged op %d: %w", rank, t.crashOps[rank], ErrInjectedCrash)
+}
+
+// roll draws from rank's RNG under the lock; every op consumes exactly the
+// draws its fault classes need, keeping per-rank streams reproducible.
+func (t *faultTransport) roll(rank int, prob float64) bool {
+	if prob <= 0 {
+		return false
+	}
+	return t.rngs[rank].Float64() < prob
+}
+
+// transientCheck decides a transient error for rank's op (caller holds no
+// lock).
+func (t *faultTransport) transientCheck(rank int, op string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.roll(rank, t.plan.TransientProb) {
+		return nil
+	}
+	if t.plan.TransientMax > 0 && t.transients[rank] >= t.plan.TransientMax {
+		return nil
+	}
+	t.transients[rank]++
+	if t.plan.Stats != nil {
+		t.plan.Stats.Transients.Add(1)
+	}
+	return fmt.Errorf("mp: rank %d injected %s fault: %w", rank, op, ErrTransient)
+}
+
+func (t *faultTransport) send(from, to, tag int, data []byte) error {
+	if err := t.crashCheck(from, tag); err != nil {
+		return err
+	}
+	if err := t.transientCheck(from, "send"); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	drop := t.roll(from, t.plan.DropProb)
+	delay := t.roll(from, t.plan.DelayProb)
+	dup := t.roll(from, t.plan.DupProb)
+	t.mu.Unlock()
+	if drop {
+		if t.plan.Stats != nil {
+			t.plan.Stats.Drops.Add(1)
+		}
+		return nil
+	}
+	if delay {
+		if t.plan.Stats != nil {
+			t.plan.Stats.Delays.Add(1)
+		}
+		if t.mode == ModeSim {
+			t.inner.charge(from, t.plan.delay())
+		} else {
+			time.Sleep(t.plan.delay())
+		}
+	}
+	if dup {
+		if t.plan.Stats != nil {
+			t.plan.Stats.Dups.Add(1)
+		}
+		// The receiver owns delivered payloads exclusively, so the
+		// duplicate must carry its own copy.
+		var cp []byte
+		if len(data) > 0 {
+			cp = make([]byte, len(data))
+			copy(cp, data)
+		}
+		if err := t.inner.send(from, to, tag, cp); err != nil {
+			return err
+		}
+	}
+	return t.inner.send(from, to, tag, data)
+}
+
+func (t *faultTransport) recv(rank, from, tag int, timeout time.Duration) (Msg, error) {
+	if err := t.crashCheck(rank, tag); err != nil {
+		return Msg{}, err
+	}
+	if err := t.transientCheck(rank, "recv"); err != nil {
+		return Msg{}, err
+	}
+	return t.inner.recv(rank, from, tag, timeout)
+}
+
+// probe does not count against the crash schedule (probes are polled in
+// loops, which would make CrashAfter meaningless), but a crashed rank stays
+// crashed for probes too.
+func (t *faultTransport) probe(rank, from, tag int) (bool, error) {
+	t.mu.Lock()
+	dead := t.crashed[rank]
+	t.mu.Unlock()
+	if dead {
+		return false, fmt.Errorf("mp: rank %d is crashed: %w", rank, ErrInjectedCrash)
+	}
+	return t.inner.probe(rank, from, tag)
+}
+
+func (t *faultTransport) begin(rank int) error             { return t.inner.begin(rank) }
+func (t *faultTransport) elapsed(rank int) time.Duration   { return t.inner.elapsed(rank) }
+func (t *faultTransport) charge(rank int, d time.Duration) { t.inner.charge(rank, d) }
+func (t *faultTransport) fail(rank int, err error)         { t.inner.fail(rank, err) }
+func (t *faultTransport) finish(rank int)                  { t.inner.finish(rank) }
+func (t *faultTransport) stats(rank int) CommStats         { return t.inner.stats(rank) }

@@ -1,0 +1,241 @@
+package mp
+
+// Tests for the deterministic fault-injection transport and the transient-
+// error retry layer.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestFaultCrashDeterministic: the crash fires on the scheduled tagged op,
+// the crashed rank's later ops stay dead, and two runs with the same plan
+// behave identically.
+func TestFaultCrashDeterministic(t *testing.T) {
+	for _, mode := range []Mode{ModeReal, ModeSim} {
+		name := "real"
+		if mode == ModeSim {
+			name = "sim"
+		}
+		t.Run(name, func(t *testing.T) {
+			runOnce := func() (int, error) {
+				cfg := simTestConfig(2)
+				cfg.Mode = mode
+				cfg.Fault = &FaultPlan{Seed: 42, CrashRank: 1, CrashAfter: 3, CrashTag: 7}
+				delivered := 0
+				err := runWithWatchdog(t, 10*time.Second, cfg, func(c *Comm) error {
+					if c.Rank() == 1 {
+						for i := 0; i < 10; i++ {
+							if err := c.Send(0, 7, []byte{byte(i)}); err != nil {
+								return err
+							}
+						}
+						return nil
+					}
+					for {
+						m, err := c.Recv(1, 7)
+						if err != nil {
+							return expectPeerFailure(err)
+						}
+						if int(m.Data[0]) != delivered {
+							return fmt.Errorf("out-of-order delivery %d at %d", m.Data[0], delivered)
+						}
+						delivered++
+					}
+				})
+				return delivered, err
+			}
+			d1, err1 := runOnce()
+			d2, err2 := runOnce()
+			if !errors.Is(err1, ErrInjectedCrash) {
+				t.Fatalf("want ErrInjectedCrash root cause, got %v", err1)
+			}
+			if d1 != 2 {
+				t.Errorf("crash after 3rd tagged send should deliver 2 messages, got %d", d1)
+			}
+			if d1 != d2 || !errors.Is(err2, ErrInjectedCrash) {
+				t.Errorf("non-deterministic: run1 (%d, %v) vs run2 (%d, %v)", d1, err1, d2, err2)
+			}
+		})
+	}
+}
+
+// TestFaultDropDupAccounting: with a fixed seed the drop/dup tallies are
+// reproducible and the delivered count is exactly sent - drops + dups.
+func TestFaultDropDupAccounting(t *testing.T) {
+	const n = 200
+	runOnce := func(t *testing.T, mode Mode) (int64, int64, int) {
+		var stats FaultStats
+		cfg := simTestConfig(2)
+		cfg.Mode = mode
+		cfg.Fault = &FaultPlan{Seed: 7, DropProb: 0.2, DupProb: 0.1, Stats: &stats}
+		received := 0
+		err := runWithWatchdog(t, 20*time.Second, cfg, func(c *Comm) error {
+			if c.Rank() == 0 {
+				for i := 0; i < n; i++ {
+					if err := c.Send(1, 5, []byte{1}); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			for {
+				_, err := c.RecvTimeout(0, 5, time.Second)
+				if errors.Is(err, ErrTimeout) {
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+				received++
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Drops.Load(), stats.Dups.Load(), received
+	}
+	for _, mode := range []Mode{ModeReal, ModeSim} {
+		name := "real"
+		if mode == ModeSim {
+			name = "sim"
+		}
+		t.Run(name, func(t *testing.T) {
+			drops, dups, received := runOnce(t, mode)
+			if drops == 0 || dups == 0 {
+				t.Fatalf("expected some injections: drops=%d dups=%d", drops, dups)
+			}
+			if want := n - int(drops) + int(dups); received != want {
+				t.Errorf("received %d, want sent - drops + dups = %d", received, want)
+			}
+			drops2, dups2, received2 := runOnce(t, mode)
+			if drops != drops2 || dups != dups2 || received != received2 {
+				t.Errorf("non-deterministic injection: (%d,%d,%d) vs (%d,%d,%d)",
+					drops, dups, received, drops2, dups2, received2)
+			}
+		})
+	}
+}
+
+// TestFaultDelayChargesVirtualTime: a delayed send pushes the receiver's
+// virtual delivery time out by the injected delay.
+func TestFaultDelayChargesVirtualTime(t *testing.T) {
+	var stats FaultStats
+	cfg := simTestConfig(2)
+	cfg.Fault = &FaultPlan{Seed: 1, DelayProb: 1, Delay: 10 * time.Millisecond, Stats: &stats}
+	err := Run(cfg, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 3, []byte("slow"))
+		}
+		if _, err := c.Recv(0, 3); err != nil {
+			return err
+		}
+		if got := c.Elapsed(); got < 10*time.Millisecond {
+			return fmt.Errorf("delivery at %v, want >= injected delay", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Delays.Load() != 1 {
+		t.Errorf("Delays = %d, want 1", stats.Delays.Load())
+	}
+}
+
+// TestRetryRecoversTransients: bounded transient errors are absorbed by the
+// backoff loop and the payload still arrives intact.
+func TestRetryRecoversTransients(t *testing.T) {
+	for _, mode := range []Mode{ModeReal, ModeSim} {
+		name := "real"
+		if mode == ModeSim {
+			name = "sim"
+		}
+		t.Run(name, func(t *testing.T) {
+			var stats FaultStats
+			cfg := simTestConfig(2)
+			cfg.Mode = mode
+			cfg.Fault = &FaultPlan{Seed: 3, TransientProb: 1, TransientMax: 2, Stats: &stats}
+			cfg.Retry = RetryConfig{MaxAttempts: 5, BaseDelay: 10 * time.Microsecond, Seed: 9}
+			err := runWithWatchdog(t, 10*time.Second, cfg, func(c *Comm) error {
+				if c.Rank() == 0 {
+					if err := c.Send(1, 4, []byte("survives")); err != nil {
+						return err
+					}
+				} else {
+					m, err := c.Recv(0, 4)
+					if err != nil {
+						return err
+					}
+					if string(m.Data) != "survives" {
+						return fmt.Errorf("payload corrupted: %q", m.Data)
+					}
+				}
+				if c.Retries() == 0 {
+					return errors.New("expected transient retries to be recorded")
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.Transients.Load() != 4 {
+				t.Errorf("Transients = %d, want 2 per rank", stats.Transients.Load())
+			}
+		})
+	}
+}
+
+// TestRetryExhaustedFailsStop: when transients outlast the attempt budget
+// the error surfaces (fail-stop), wrapping ErrTransient.
+func TestRetryExhaustedFailsStop(t *testing.T) {
+	cfg := simTestConfig(2)
+	cfg.Mode = ModeReal
+	cfg.Fault = &FaultPlan{Seed: 3, TransientProb: 1} // unlimited transients
+	cfg.Retry = RetryConfig{MaxAttempts: 3, BaseDelay: 10 * time.Microsecond}
+	err := runWithWatchdog(t, 10*time.Second, cfg, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 4, nil) // exhausts the budget, surfaces ErrTransient
+		}
+		_, err := c.Recv(0, 4)
+		return err
+	})
+	if !errors.Is(err, ErrTransient) {
+		t.Fatalf("want ErrTransient after exhausted retries, got %v", err)
+	}
+}
+
+// TestNoRetryFailsFast: with retries disarmed the first transient error is
+// final.
+func TestNoRetryFailsFast(t *testing.T) {
+	cfg := simTestConfig(1)
+	cfg.Mode = ModeReal
+	cfg.Fault = &FaultPlan{Seed: 3, TransientProb: 1}
+	err := Run(cfg, func(c *Comm) error {
+		err := c.Send(0, 1, nil)
+		if !errors.Is(err, ErrTransient) {
+			return fmt.Errorf("want immediate ErrTransient, got %v", err)
+		}
+		if c.Retries() != 0 {
+			return errors.New("no retries should have happened")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFaultPlanValidation: malformed plans are rejected before any rank runs.
+func TestFaultPlanValidation(t *testing.T) {
+	cfg := Config{Procs: 1, Mode: ModeReal, Fault: &FaultPlan{DropProb: 1.5}}
+	if err := Run(cfg, func(*Comm) error { return nil }); err == nil {
+		t.Error("DropProb > 1 must fail validation")
+	}
+	cfg.Fault = &FaultPlan{CrashAfter: -1}
+	if err := Run(cfg, func(*Comm) error { return nil }); err == nil {
+		t.Error("negative CrashAfter must fail validation")
+	}
+}

@@ -257,11 +257,11 @@ func TestRankFailureAfterDeliveryReal(t *testing.T) {
 			}
 			return failErr
 		}
-		// Wait until the failure is certainly broadcast, then receive the
+		// Wait until the failure is certainly recorded, then receive the
 		// message that was delivered before it.
 		for {
-			if _, err := c.Probe(0, 99); err != nil {
-				break // probe reports the failure once broadcast
+			if _, err := c.Probe(1, 99); err != nil {
+				break // probing the dead rank reports its failure
 			}
 			time.Sleep(time.Millisecond)
 		}

@@ -25,16 +25,25 @@
 // the receiver owns Msg.Data exclusively. SendOwned is the explicit
 // zero-copy opt-in that transfers buffer ownership to the runtime.
 //
-// Liveness: a rank whose body errors or panics is broadcast as failed, so
-// peers blocked in Recv return an error wrapping ErrRankFailed instead of
-// hanging; RecvTimeout (or Config.RecvTimeout) bounds individual receives
-// with ErrTimeout, in virtual time under ModeSim.
+// Liveness: a rank whose body errors or panics is recorded as failed, so a
+// peer whose receive depends on it (a receive from that specific rank, or an
+// any-source receive with no other traffic) returns a *RankFailedError
+// (wrapping ErrRankFailed) instead of hanging. Failure is per rank: traffic
+// among survivors is unaffected, and messages a dead rank sent before dying
+// remain receivable. RecvTimeout (or Config.RecvTimeout) bounds individual
+// receives with ErrTimeout, in virtual time under ModeSim.
+//
+// Fault tolerance extras: Config.Retry arms exponential backoff with jitter
+// for transient errors, and Config.Fault injects a deterministic fault
+// schedule (crashes, drops, duplicates, delays, transients) for chaos
+// testing — see FaultPlan.
 package mp
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 )
@@ -79,6 +88,17 @@ type Config struct {
 	// calls to the virtual clock (ModeSim). Disable for deterministic
 	// tests that charge time explicitly via ChargeCompute.
 	MeasureCompute bool
+
+	// Retry arms bounded retries with exponential backoff + jitter for
+	// transient Send/Recv errors (errors wrapping ErrTransient). The zero
+	// value disables retrying: transient errors fail-stop immediately.
+	Retry RetryConfig
+
+	// Fault, when non-nil, wraps the transport in the deterministic
+	// fault-injection layer (rank crash after N ops, message
+	// drop/duplication/delay, transient errors). Used by chaos tests and
+	// the pace -chaos flag; nil in production runs.
+	Fault *FaultPlan
 }
 
 // DefaultSimConfig models a modest cluster interconnect: 50µs latency,
@@ -113,8 +133,68 @@ var ErrTimeout = errors.New("mp: receive timed out")
 
 // ErrRankFailed is returned from blocking communication calls on the
 // surviving ranks after some rank's body returned an error or panicked:
-// the failure is broadcast so no peer hangs waiting for a dead rank.
+// failures are propagated per rank so no peer hangs waiting for a dead one.
+// The concrete error is a *RankFailedError identifying which rank died.
 var ErrRankFailed = errors.New("mp: peer rank failed")
+
+// ErrTransient marks a retryable communication fault (injected by the fault
+// plan or, in principle, raised by a lossy transport). Comm retries it with
+// exponential backoff when Config.Retry is armed; exhausted retries surface
+// the error to the caller (fail-stop).
+var ErrTransient = errors.New("mp: transient communication error")
+
+// ErrInjectedCrash is the sticky error every operation of a rank returns
+// after the fault plan crashed it. The rank's body is expected to propagate
+// it, turning the injected crash into an ordinary rank failure.
+var ErrInjectedCrash = errors.New("mp: injected rank crash")
+
+// RankFailedError reports the death of a specific peer. It wraps
+// ErrRankFailed, so errors.Is(err, ErrRankFailed) still matches; callers that
+// need the identity of the dead rank (the cluster master's recovery path)
+// extract it with errors.As.
+type RankFailedError struct {
+	// Rank is the rank that failed.
+	Rank int
+	// Cause is the failed rank's own error.
+	Cause error
+}
+
+func (e *RankFailedError) Error() string {
+	return fmt.Sprintf("mp: rank %d failed: %v", e.Rank, e.Cause)
+}
+
+// Unwrap makes the error match ErrRankFailed.
+func (e *RankFailedError) Unwrap() error { return ErrRankFailed }
+
+// RetryConfig arms bounded retries with exponential backoff and jitter for
+// transient Send/Recv errors (errors wrapping ErrTransient). Zero value
+// disables retries.
+type RetryConfig struct {
+	// MaxAttempts is the total number of tries per operation; <= 1 disables
+	// retrying.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles per
+	// attempt. 0 derives 1ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff. 0 derives 100ms.
+	MaxDelay time.Duration
+	// Seed makes the jitter deterministic per rank (rank index is mixed in).
+	Seed int64
+}
+
+func (r RetryConfig) baseDelay() time.Duration {
+	if r.BaseDelay > 0 {
+		return r.BaseDelay
+	}
+	return time.Millisecond
+}
+
+func (r RetryConfig) maxDelay() time.Duration {
+	if r.MaxDelay > 0 {
+		return r.MaxDelay
+	}
+	return 100 * time.Millisecond
+}
 
 // transport is the mode-specific engine under a Comm.
 type transport interface {
@@ -192,11 +272,56 @@ type Comm struct {
 	size       int
 	tr         transport
 	defTimeout time.Duration
+	mode       Mode
 
-	// coll accumulates collective tallies. A Comm is owned by its rank's
-	// goroutine, so plain fields suffice (Stats is called by that same
-	// goroutine).
+	// retry / rng implement bounded exponential backoff for transient
+	// errors; retries counts performed retries. A Comm is owned by its
+	// rank's goroutine, so plain fields suffice.
+	retry   RetryConfig
+	rng     *rand.Rand
+	retries int64
+
+	// coll accumulates collective tallies (Stats is called by the owning
+	// goroutine too).
 	coll CollectiveStats
+}
+
+// Retries returns how many transient-error retries this rank performed.
+func (c *Comm) Retries() int64 { return c.retries }
+
+// backoff sleeps before retry attempt number `attempt` (1-based): an
+// exponentially growing delay, capped, with half-range jitter. Under ModeSim
+// the delay is charged to the rank's virtual clock instead of sleeping.
+func (c *Comm) backoff(attempt int) {
+	d := c.retry.baseDelay() << (attempt - 1)
+	if maxD := c.retry.maxDelay(); d > maxD || d <= 0 {
+		d = maxD
+	}
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(c.retry.Seed + int64(c.rank)*0x9E3779B9))
+	}
+	d = d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	if c.mode == ModeSim {
+		c.tr.charge(c.rank, d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// withRetry runs op, retrying errors that wrap ErrTransient with backoff up
+// to Retry.MaxAttempts total tries. Non-transient errors and exhausted
+// retries are returned as-is (fail-stop).
+func (c *Comm) withRetry(op func() error) error {
+	err := op()
+	if err == nil || c.retry.MaxAttempts <= 1 {
+		return err
+	}
+	for attempt := 1; attempt < c.retry.MaxAttempts && errors.Is(err, ErrTransient); attempt++ {
+		c.backoff(attempt)
+		c.retries++
+		err = op()
+	}
+	return err
 }
 
 // collTimer marks the start of a collective; the returned func records one
@@ -233,7 +358,7 @@ func (c *Comm) Send(to, tag int, data []byte) error {
 		cp = make([]byte, len(data))
 		copy(cp, data)
 	}
-	return c.tr.send(c.rank, to, tag, cp)
+	return c.withRetry(func() error { return c.tr.send(c.rank, to, tag, cp) })
 }
 
 // SendOwned is the zero-copy opt-in: it enqueues data without copying and
@@ -243,7 +368,9 @@ func (c *Comm) SendOwned(to, tag int, data []byte) error {
 	if to < 0 || to >= c.size {
 		return fmt.Errorf("mp: send to invalid rank %d", to)
 	}
-	return c.tr.send(c.rank, to, tag, data)
+	// Ownership is only transferred on success: a transient failure leaves
+	// the buffer with the runtime-retry loop, never with a receiver.
+	return c.withRetry(func() error { return c.tr.send(c.rank, to, tag, data) })
 }
 
 // Recv blocks until a message with the given tag arrives from rank `from`
@@ -260,7 +387,13 @@ func (c *Comm) RecvTimeout(from, tag int, timeout time.Duration) (Msg, error) {
 	if from != AnySource && (from < 0 || from >= c.size) {
 		return Msg{}, fmt.Errorf("mp: recv from invalid rank %d", from)
 	}
-	return c.tr.recv(c.rank, from, tag, timeout)
+	var m Msg
+	err := c.withRetry(func() error {
+		var e error
+		m, e = c.tr.recv(c.rank, from, tag, timeout)
+		return e
+	})
+	return m, err
 }
 
 // Probe reports whether a matching message is already available; it never
@@ -533,8 +666,22 @@ func DecodeInt64s(b []byte) ([]int64, error) {
 // Run reports the root-cause error (the failing rank's own error) in
 // preference to the derived ErrRankFailed errors of the survivors.
 func Run(cfg Config, body func(c *Comm) error) error {
+	errs, err := RunRanks(cfg, body)
+	if err != nil {
+		return err
+	}
+	return FirstError(errs)
+}
+
+// RunRanks is Run exposing the full per-rank error vector instead of the
+// aggregated root cause. Fault-tolerant callers (the cluster engine's
+// slave-failure recovery) need the distinction between "the master failed"
+// and "the master completed while some slaves died": Run cannot express it.
+// The returned error is non-nil only for configuration problems, in which
+// case no rank ran.
+func RunRanks(cfg Config, body func(c *Comm) error) ([]error, error) {
 	if cfg.Procs < 1 {
-		return fmt.Errorf("mp: Procs must be >= 1, got %d", cfg.Procs)
+		return nil, fmt.Errorf("mp: Procs must be >= 1, got %d", cfg.Procs)
 	}
 	var tr transport
 	switch cfg.Mode {
@@ -543,7 +690,13 @@ func Run(cfg Config, body func(c *Comm) error) error {
 	case ModeSim:
 		tr = newSimTransport(cfg)
 	default:
-		return fmt.Errorf("mp: unknown mode %d", cfg.Mode)
+		return nil, fmt.Errorf("mp: unknown mode %d", cfg.Mode)
+	}
+	if cfg.Fault != nil {
+		if err := cfg.Fault.Validate(); err != nil {
+			return nil, err
+		}
+		tr = newFaultTransport(tr, cfg)
 	}
 
 	errs := make([]error, cfg.Procs)
@@ -552,7 +705,12 @@ func Run(cfg Config, body func(c *Comm) error) error {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			c := &Comm{rank: rank, size: cfg.Procs, tr: tr, defTimeout: cfg.RecvTimeout}
+			c := &Comm{
+				rank: rank, size: cfg.Procs, tr: tr,
+				defTimeout: cfg.RecvTimeout,
+				mode:       cfg.Mode,
+				retry:      cfg.Retry,
+			}
 			var err error
 			defer func() {
 				if rec := recover(); rec != nil {
@@ -571,6 +729,14 @@ func Run(cfg Config, body func(c *Comm) error) error {
 		}(r)
 	}
 	wg.Wait()
+	return errs, nil
+}
+
+// FirstError aggregates a per-rank error vector the way Run reports it: the
+// first root-cause error (one not derived from a peer's failure) wins;
+// otherwise the first derived ErrRankFailed error; nil when all ranks
+// succeeded.
+func FirstError(errs []error) error {
 	var derived error
 	for _, err := range errs {
 		if err == nil {

@@ -13,6 +13,11 @@ import (
 // Payload ownership is handled one layer up: Comm.Send clones the caller's
 // buffer before it reaches send(), so a mailbox never aliases live sender
 // memory and Msg.Data handed out by recv() is exclusively the receiver's.
+//
+// Failure is tracked per rank: recv/probe against a specific dead source
+// return a *RankFailedError; an any-source receive that would block reports
+// each dead peer exactly once per receiver, so a master can learn "slave s
+// died" without being cut off from the survivors.
 type realTransport struct {
 	start time.Time
 	boxes []*realBox
@@ -20,8 +25,12 @@ type realTransport struct {
 	statsMu sync.Mutex
 	traffic []CommStats
 
-	failMu  sync.Mutex
-	failErr error
+	failMu sync.Mutex
+	// failed[r] is rank r's own error once its body failed; notified[r][d]
+	// records that receiver r was already told about dead rank d via an
+	// any-source receive.
+	failed   []error
+	notified [][]bool
 }
 
 type realBox struct {
@@ -31,11 +40,16 @@ type realBox struct {
 }
 
 func newRealTransport(p int) *realTransport {
-	t := &realTransport{start: time.Now(), boxes: make([]*realBox, p), traffic: make([]CommStats, p)}
+	t := &realTransport{
+		start: time.Now(), boxes: make([]*realBox, p),
+		traffic: make([]CommStats, p),
+		failed:  make([]error, p), notified: make([][]bool, p),
+	}
 	for i := range t.boxes {
 		b := &realBox{}
 		b.cond = sync.NewCond(&b.mu)
 		t.boxes[i] = b
+		t.notified[i] = make([]bool, p)
 	}
 	return t
 }
@@ -58,20 +72,51 @@ func (t *realTransport) send(from, to, tag int, data []byte) error {
 	return nil
 }
 
-// failure returns the broadcast failure error, if any.
-func (t *realTransport) failure() error {
+// pendingFailure returns the failure a blocked receive on `rank` waiting for
+// `from` should surface, or nil. For a specific source it is sticky: every
+// receive from a dead rank errors. For AnySource each dead peer is reported
+// once per receiver; when every peer is dead the error becomes sticky too
+// (nothing can ever arrive).
+func (t *realTransport) pendingFailure(rank, from int) error {
 	t.failMu.Lock()
 	defer t.failMu.Unlock()
-	return t.failErr
+	if from != AnySource {
+		if cause := t.failed[from]; cause != nil && from != rank {
+			return &RankFailedError{Rank: from, Cause: cause}
+		}
+		return nil
+	}
+	firstDead := -1
+	alive := 0
+	for d := range t.failed {
+		if d == rank {
+			continue
+		}
+		if t.failed[d] == nil {
+			alive++
+			continue
+		}
+		if firstDead == -1 {
+			firstDead = d
+		}
+		if !t.notified[rank][d] {
+			t.notified[rank][d] = true
+			return &RankFailedError{Rank: d, Cause: t.failed[d]}
+		}
+	}
+	if alive == 0 && firstDead != -1 {
+		return &RankFailedError{Rank: firstDead, Cause: t.failed[firstDead]}
+	}
+	return nil
 }
 
-// fail records the first rank failure and wakes every blocked receiver.
-// The error is stored before the mailbox locks are touched so there is no
-// lock-order cycle with recv (which holds a box lock while reading it).
+// fail records a rank failure and wakes every blocked receiver. The error is
+// stored before the mailbox locks are touched so there is no lock-order
+// cycle with recv (which holds a box lock while reading it).
 func (t *realTransport) fail(rank int, err error) {
 	t.failMu.Lock()
-	if t.failErr == nil {
-		t.failErr = fmt.Errorf("mp: rank %d failed (%v): %w", rank, err, ErrRankFailed)
+	if t.failed[rank] == nil {
+		t.failed[rank] = err
 	}
 	t.failMu.Unlock()
 	for _, b := range t.boxes {
@@ -121,8 +166,8 @@ func (t *realTransport) recv(rank, from, tag int, timeout time.Duration) (Msg, e
 		}
 		// A delivered message is preferred over failure/timeout reporting;
 		// only a receive that would block surfaces them.
-		if err := t.failure(); err != nil {
-			return Msg{}, fmt.Errorf("mp: rank %d recv aborted: %w", rank, err)
+		if err := t.pendingFailure(rank, from); err != nil {
+			return Msg{}, err
 		}
 		if timeout > 0 && !time.Now().Before(deadline) {
 			return Msg{}, fmt.Errorf("mp: rank %d recv(from %d, tag %d) after %v: %w",
@@ -141,8 +186,16 @@ func (t *realTransport) probe(rank, from, tag int) (bool, error) {
 			return true, nil
 		}
 	}
-	if err := t.failure(); err != nil {
-		return false, fmt.Errorf("mp: rank %d probe aborted: %w", rank, err)
+	// A probe of a specific dead source reports its failure; an any-source
+	// probe stays non-destructive (it must not consume the once-per-rank
+	// failure notifications owed to receives).
+	if from != AnySource {
+		t.failMu.Lock()
+		cause := t.failed[from]
+		t.failMu.Unlock()
+		if cause != nil && from != rank {
+			return false, &RankFailedError{Rank: from, Cause: cause}
+		}
 	}
 	return false, nil
 }

@@ -43,6 +43,7 @@ type simMsg struct {
 }
 
 type simRank struct {
+	id        int
 	clock     time.Duration
 	phase     int
 	resumedAt time.Time
@@ -57,6 +58,15 @@ type simRank struct {
 	hasDeadline bool
 	deadline    time.Duration
 
+	// failed is this rank's own error once its body failed; failedAt is the
+	// virtual time of death, so peers observe the failure no earlier than
+	// it happened (causality is preserved in virtual time). notified[d]
+	// records that this rank's any-source receives already reported dead
+	// rank d once.
+	failed   error
+	failedAt time.Duration
+	notified []bool
+
 	mailbox []simMsg
 	traffic CommStats
 }
@@ -69,7 +79,7 @@ func newSimTransport(cfg Config) *simTransport {
 	t.cond = sync.NewCond(&t.mu)
 	t.ranks = make([]*simRank, cfg.Procs)
 	for i := range t.ranks {
-		t.ranks[i] = &simRank{phase: phaseArena}
+		t.ranks[i] = &simRank{id: i, phase: phaseArena, notified: make([]bool, cfg.Procs)}
 	}
 	return t
 }
@@ -94,9 +104,63 @@ func firstMatch(rk *simRank) (int, *simMsg) {
 	return -1, nil
 }
 
+// failureCandidate returns the dead rank a blocked receive on rk should
+// report, with the virtual time of the notification (no earlier than the
+// death, no earlier than the receiver's own clock). A specific dead source
+// is sticky; for AnySource each dead peer is reported once (earliest death
+// first), turning sticky when every peer is dead. Caller holds mu.
+func (t *simTransport) failureCandidate(rk *simRank) (int, time.Duration, bool) {
+	if !rk.isRecv {
+		return 0, 0, false
+	}
+	best := -1
+	var bestAt time.Duration
+	if rk.waitFrom != AnySource {
+		src := t.ranks[rk.waitFrom]
+		if rk.waitFrom == rk.id || src.failed == nil {
+			return 0, 0, false
+		}
+		best, bestAt = rk.waitFrom, src.failedAt
+	} else {
+		firstDead, alive := -1, 0
+		for d, src := range t.ranks {
+			if d == rk.id {
+				continue
+			}
+			if src.failed == nil {
+				alive++
+				continue
+			}
+			if firstDead == -1 {
+				firstDead = d
+			}
+			if rk.notified[d] {
+				continue
+			}
+			if best == -1 || src.failedAt < bestAt {
+				best, bestAt = d, src.failedAt
+			}
+		}
+		if best == -1 && alive == 0 && firstDead != -1 {
+			// Every peer is dead and all were already reported: nothing
+			// can ever arrive, so the error becomes sticky.
+			best, bestAt = firstDead, t.ranks[firstDead].failedAt
+		}
+		if best == -1 {
+			return 0, 0, false
+		}
+	}
+	if rk.clock > bestAt {
+		bestAt = rk.clock
+	}
+	return best, bestAt, true
+}
+
 // keyOf computes a parked rank's scheduling timestamp. A bounded receive is
 // always eligible: at the earlier of its message-availability time and its
-// virtual deadline (at which it will report a timeout).
+// virtual deadline (at which it will report a timeout). A matching message
+// takes precedence over a peer-failure notification; a receive with neither
+// becomes eligible at the failure-notification time.
 func (t *simTransport) keyOf(rk *simRank) (time.Duration, bool) {
 	if !rk.isRecv {
 		return rk.clock, true
@@ -110,6 +174,12 @@ func (t *simTransport) keyOf(rk *simRank) (time.Duration, bool) {
 			key = rk.deadline
 		}
 		return key, true
+	}
+	if _, fkey, ok := t.failureCandidate(rk); ok {
+		if rk.hasDeadline && rk.deadline < fkey {
+			fkey = rk.deadline
+		}
+		return fkey, true
 	}
 	if rk.hasDeadline {
 		return rk.deadline, true
@@ -258,9 +328,24 @@ func (t *simTransport) recv(rank, from, tag int, timeout time.Duration) (Msg, er
 			return msg, nil
 		}
 	}
+	// No deliverable message: a peer-failure notification is next in line
+	// (bounded receives prefer an earlier deadline below).
+	if d, fkey, ok := t.failureCandidate(rk); ok && (!rk.hasDeadline || fkey <= rk.deadline) {
+		if rk.waitFrom == AnySource {
+			rk.notified[d] = true
+		}
+		if fkey > rk.clock {
+			rk.traffic.RecvWait += fkey - rk.clock
+			rk.clock = fkey
+		}
+		rk.hasDeadline = false
+		cause := t.ranks[d].failed
+		t.leave(rank)
+		return Msg{}, &RankFailedError{Rank: d, Cause: cause}
+	}
 	if !rk.hasDeadline {
-		// Cannot happen: eligibility implies a match and all other
-		// ranks are parked between scheduling and wake-up.
+		// Cannot happen: eligibility implies a match or a failure, and all
+		// other ranks are parked between scheduling and wake-up.
 		t.mu.Unlock()
 		panic("mp: released receiver has no matching message")
 	}
@@ -293,7 +378,18 @@ func (t *simTransport) probe(rank, from, tag int) (bool, error) {
 		cost = 100 * time.Nanosecond
 	}
 	rk.clock += cost
+	// Mirror the real transport: probing a specific dead source with no
+	// message left reports its failure; any-source probes stay silent.
+	var failErr error
+	if m == nil && from != AnySource && from != rank {
+		if src := t.ranks[from]; src.failed != nil && src.failedAt <= rk.clock {
+			failErr = &RankFailedError{Rank: from, Cause: src.failed}
+		}
+	}
 	t.leave(rank)
+	if failErr != nil {
+		return false, failErr
+	}
 	return ok, nil
 }
 
@@ -320,14 +416,20 @@ func (t *simTransport) stats(rank int) CommStats {
 	return t.ranks[rank].traffic
 }
 
-// fail kills the whole simulated machine: every rank parked in (or later
-// entering) a communication call gets an error wrapping ErrRankFailed. The
-// first failure wins; a deadlock already recorded is not overwritten.
+// fail records one rank's death at its current virtual time. Peers observe
+// it through failureCandidate — per rank, not machine-wide — once the
+// scheduler runs again (the dying rank's finish() follows immediately and
+// reschedules).
 func (t *simTransport) fail(rank int, err error) {
 	t.mu.Lock()
-	if t.dead == nil {
-		t.dead = fmt.Errorf("mp: rank %d failed (%v): %w", rank, err, ErrRankFailed)
-		t.cond.Broadcast()
+	rk := t.ranks[rank]
+	if rk.failed == nil {
+		rk.failed = err
+		at := rk.clock
+		if rk.phase == phaseComputing && t.cfg.MeasureCompute {
+			at += time.Duration(float64(time.Since(rk.resumedAt)) * t.cfg.ComputeScale)
+		}
+		rk.failedAt = at
 	}
 	t.mu.Unlock()
 }

@@ -1,0 +1,77 @@
+package unionfind
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Binary layout (version 1, little-endian):
+//
+//	magic "UFv1" | u32 n | u32 count | n × i32 parent | n × u8 rank
+//
+// The format exists for the master's checkpoint file: it must round-trip the
+// exact forest (including interior parent pointers and ranks) so a resumed
+// run continues merging into the same structure.
+
+var ufMagic = [4]byte{'U', 'F', 'v', '1'}
+
+// ErrCorrupt is wrapped by every decode failure.
+var ErrCorrupt = errors.New("unionfind: corrupt serialized data")
+
+// AppendBinary appends the serialized forest to dst and returns it.
+func (u *UF) AppendBinary(dst []byte) []byte {
+	n := len(u.parent)
+	dst = append(dst, ufMagic[:]...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(u.count))
+	for _, p := range u.parent {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(p))
+	}
+	dst = append(dst, u.rank...)
+	return dst
+}
+
+// MarshalBinary serializes the forest.
+func (u *UF) MarshalBinary() ([]byte, error) {
+	return u.AppendBinary(make([]byte, 0, 12+5*len(u.parent))), nil
+}
+
+// UnmarshalBinary replaces u's state with the serialized forest. Corrupted or
+// truncated input returns an error wrapping ErrCorrupt and leaves u
+// untouched; it never panics.
+func (u *UF) UnmarshalBinary(data []byte) error {
+	if len(data) < 12 {
+		return fmt.Errorf("%w: %d bytes, want >= 12", ErrCorrupt, len(data))
+	}
+	if [4]byte(data[:4]) != ufMagic {
+		return fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[:4])
+	}
+	n := int(binary.LittleEndian.Uint32(data[4:8]))
+	count := int(binary.LittleEndian.Uint32(data[8:12]))
+	if want := 12 + 5*n; len(data) != want {
+		return fmt.Errorf("%w: %d bytes for n=%d, want %d", ErrCorrupt, len(data), n, want)
+	}
+	if count < 0 || count > n {
+		return fmt.Errorf("%w: count %d out of [0,%d]", ErrCorrupt, count, n)
+	}
+	parent := make([]int32, n)
+	roots := 0
+	for i := range parent {
+		p := int32(binary.LittleEndian.Uint32(data[12+4*i:]))
+		if p < 0 || int(p) >= n {
+			return fmt.Errorf("%w: parent[%d] = %d out of [0,%d)", ErrCorrupt, i, p, n)
+		}
+		if int(p) == i {
+			roots++
+		}
+		parent[i] = p
+	}
+	if roots != count {
+		return fmt.Errorf("%w: %d roots but count %d", ErrCorrupt, roots, count)
+	}
+	rank := make([]uint8, n)
+	copy(rank, data[12+4*n:])
+	u.parent, u.rank, u.count = parent, rank, count
+	return nil
+}

@@ -1,0 +1,98 @@
+package unionfind
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// buildRandom unions random pairs so the forest has nontrivial interior
+// structure (ranks > 0, uncompressed paths).
+func buildRandom(n int, seed int64) *UF {
+	u := New(n)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n/2; i++ {
+		u.Union(int32(rng.Intn(n)), int32(rng.Intn(n)))
+	}
+	return u
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 500} {
+		u := buildRandom(n, int64(n)+1)
+		data, err := u.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := New(0)
+		if err := got.UnmarshalBinary(data); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if got.Len() != u.Len() || got.Count() != u.Count() {
+			t.Fatalf("n=%d: len/count mismatch: (%d,%d) vs (%d,%d)",
+				n, got.Len(), got.Count(), u.Len(), u.Count())
+		}
+		for i := 0; i < n; i++ {
+			if got.Find(int32(i)) != u.Find(int32(i)) {
+				t.Fatalf("n=%d: element %d changed set", n, i)
+			}
+		}
+		// The restored forest must keep merging correctly.
+		if n >= 2 {
+			want := u.Union(0, int32(n-1))
+			if got.Union(0, int32(n-1)) != want || got.Count() != u.Count() {
+				t.Fatalf("n=%d: post-restore union diverged", n)
+			}
+		}
+	}
+}
+
+func TestSerializeAppendBinary(t *testing.T) {
+	u := buildRandom(20, 3)
+	prefix := []byte("hdr")
+	data := u.AppendBinary(append([]byte{}, prefix...))
+	if string(data[:3]) != "hdr" {
+		t.Fatal("AppendBinary clobbered prefix")
+	}
+	got := New(0)
+	if err := got.UnmarshalBinary(data[3:]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Corrupted or truncated input must return an error wrapping ErrCorrupt —
+// never panic — and must leave the receiver untouched.
+func TestSerializeCorruptInput(t *testing.T) {
+	u := buildRandom(50, 9)
+	good, _ := u.MarshalBinary()
+
+	mutate := func(name string, f func([]byte) []byte) {
+		data := f(append([]byte{}, good...))
+		got := buildRandom(10, 1)
+		wantCount := got.Count()
+		err := got.UnmarshalBinary(data)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: want ErrCorrupt, got %v", name, err)
+		}
+		if got.Len() != 10 || got.Count() != wantCount {
+			t.Errorf("%s: failed decode mutated the receiver", name)
+		}
+	}
+
+	mutate("empty", func(b []byte) []byte { return nil })
+	mutate("short-header", func(b []byte) []byte { return b[:7] })
+	mutate("bad-magic", func(b []byte) []byte { b[0] = 'X'; return b })
+	mutate("truncated-body", func(b []byte) []byte { return b[:len(b)-5] })
+	mutate("trailing-garbage", func(b []byte) []byte { return append(b, 0xFF) })
+	mutate("parent-out-of-range", func(b []byte) []byte {
+		b[12], b[13], b[14], b[15] = 0xFF, 0xFF, 0xFF, 0x7F
+		return b
+	})
+	mutate("count-mismatch", func(b []byte) []byte { b[8]++; return b })
+	// Huge declared n with a short body must fail the length check, not
+	// attempt a giant allocation after reading garbage.
+	mutate("absurd-n", func(b []byte) []byte {
+		b[4], b[5], b[6], b[7] = 0xFF, 0xFF, 0xFF, 0x7F
+		return b[:40]
+	})
+}

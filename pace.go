@@ -48,6 +48,23 @@ type (
 	PhaseEntry = telemetry.PhaseEntry
 	// RankEntry is one row of RunReport.Ranks.
 	RankEntry = telemetry.RankEntry
+
+	// FaultPlan is a deterministic fault-injection schedule for the
+	// message-passing layer: a seeded crash (rank × operation count × tag)
+	// plus probabilistic drop / duplication / delay / transient errors.
+	// Attach one via Options.Fault to chaos-test a run.
+	FaultPlan = mp.FaultPlan
+	// FaultStats counts the faults a FaultPlan actually injected.
+	FaultStats = mp.FaultStats
+	// RetryConfig enables bounded exponential-backoff retries of transient
+	// transport errors.
+	RetryConfig = mp.RetryConfig
+	// Checkpoint is a versioned snapshot of the master's clustering state,
+	// written periodically when Options.CheckpointDir is set and reloadable
+	// with LoadCheckpoint for a resumed run.
+	Checkpoint = cluster.Checkpoint
+	// RecoveryStats reports fault-recovery and checkpoint activity.
+	RecoveryStats = cluster.RecoveryStats
 )
 
 // NewMetricsRegistry returns an empty metrics registry.
@@ -60,6 +77,25 @@ func NewTraceWriter(w io.Writer) *TraceWriter { return telemetry.NewTraceWriter(
 // pprof (/debug/pprof/) for the registry on addr.
 func ServeMetrics(addr string, r *MetricsRegistry) (*MetricsServer, error) {
 	return telemetry.Serve(addr, r)
+}
+
+// LoadCheckpoint reads and verifies the snapshot in dir (written by a run
+// with Options.CheckpointDir set). Use Checkpoint.Validate to confirm it
+// matches the resumed run's inputs and parameters, then seed
+// Options.InitialLabels with ResumeLabels.
+func LoadCheckpoint(dir string) (*Checkpoint, error) {
+	return cluster.LoadCheckpoint(dir)
+}
+
+// ResumeLabels converts a checkpoint's partition into the form
+// Options.InitialLabels expects.
+func ResumeLabels(ck *Checkpoint) []int {
+	l32 := ck.Labels()
+	out := make([]int, len(l32))
+	for i, l := range l32 {
+		out[i] = int(l)
+	}
+	return out
 }
 
 // BenchFileName derives the conventional BENCH_<tool>_<stamp>.json name.
@@ -103,6 +139,33 @@ type Options struct {
 	// unconstrained.
 	InitialLabels []int
 
+	// Recover keeps a parallel run alive when a slave rank dies
+	// mid-protocol: the master reclaims the dead rank's outstanding work
+	// and reassigns its generator shards to survivors. Disabled, any rank
+	// failure fails the whole run.
+	Recover bool
+	// SlaveTimeout bounds how long the master waits for any slave report
+	// before declaring the run wedged; 0 waits forever.
+	SlaveTimeout time.Duration
+	// Fault, when non-nil, injects deterministic faults into the
+	// message-passing layer (chaos testing). See FaultPlan.
+	Fault *FaultPlan
+	// Retry retries transient transport errors (injected or otherwise)
+	// with exponential backoff. The zero value disables retries.
+	Retry RetryConfig
+
+	// CheckpointDir enables periodic checkpointing of the master's
+	// clustering state into this directory ("" disables). To resume a
+	// killed run, reload with LoadCheckpoint and seed InitialLabels with
+	// ResumeLabels.
+	CheckpointDir string
+	// CheckpointInterval is the wall-clock cadence between snapshots;
+	// 0 means 30s.
+	CheckpointInterval time.Duration
+	// CheckpointEvery snapshots every N slave reports instead of on a
+	// timer (useful for tests; 0 uses CheckpointInterval).
+	CheckpointEvery int
+
 	// Metrics, when non-nil, receives live instrumentation from every
 	// pipeline layer: pair counters, MCS-length / grant-E / bucket-size
 	// distributions, WORKBUF occupancy, and per-rank traffic. nil (the
@@ -118,6 +181,7 @@ type Options struct {
 func DefaultOptions() Options {
 	return Options{
 		Processors:    1,
+		Recover:       true,
 		Window:        8,
 		MinMatch:      20,
 		BatchSize:     60,
@@ -155,7 +219,9 @@ type Stats struct {
 	MasterIdle time.Duration
 	// WorkBufHighWater is the peak WORKBUF occupancy (parallel runs).
 	WorkBufHighWater int
-	Phases           PhaseTimes
+	// Recovery reports slave-failure recovery and checkpoint activity.
+	Recovery RecoveryStats
+	Phases   PhaseTimes
 	// PerRank is the per-rank load/communication breakdown, sorted by
 	// rank; sequential runs report a single "seq" row.
 	PerRank []RankStats
@@ -165,7 +231,8 @@ type Stats struct {
 // and how much it communicated. Durations are virtual in simulated runs.
 type RankStats struct {
 	Rank int
-	// Role is "master", "slave", or "seq".
+	// Role is "master", "slave", or "seq"; a slave that died mid-run and
+	// was recovered from appears as "lost" with zeroed counters.
 	Role string
 
 	Partition time.Duration
@@ -226,6 +293,15 @@ func (o Options) toConfig() (cluster.Config, error) {
 	} else {
 		cfg.MP = mp.Config{Procs: o.Processors, Mode: mp.ModeReal}
 	}
+	cfg.MP.Fault = o.Fault
+	cfg.MP.Retry = o.Retry
+	cfg.Recover = o.Recover
+	cfg.SlaveTimeout = o.SlaveTimeout
+	cfg.Checkpoint = cluster.CheckpointConfig{
+		Dir:          o.CheckpointDir,
+		Interval:     o.CheckpointInterval,
+		EveryReports: o.CheckpointEvery,
+	}
 	if o.InitialLabels != nil {
 		cfg.InitialLabels = make([]int32, len(o.InitialLabels))
 		for i, l := range o.InitialLabels {
@@ -281,6 +357,7 @@ func Cluster(ests []string, opt Options) (*Clustering, error) {
 			MasterBusy:       res.Stats.MasterBusy,
 			MasterIdle:       res.Stats.MasterIdle,
 			WorkBufHighWater: res.Stats.WorkBufHighWater,
+			Recovery:         res.Stats.Recovery,
 			Phases: PhaseTimes{
 				Partition: res.Stats.Phases.Partition,
 				Construct: res.Stats.Phases.Construct,
