@@ -4,8 +4,12 @@
 //
 // Usage:
 //
-//	experiments [-exp all|table1|table2|table3|fig6a|fig6b|fig7|fig8|ablations|trim]
+//	experiments [-exp all|table1|table2|table3|fig6a|fig6b|fig7|fig8|ablations|trim|incremental]
 //	            [-scale tiny|small|medium] [-seed 1] [-report out.json]
+//
+// -exp incremental also writes BENCH_incremental.json: a machine-readable
+// comparison of re-clustering a grown collection from scratch against
+// ingesting the new batch into a warm session.
 package main
 
 import (
@@ -20,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1, table2, table3, fig6a, fig6b, fig7, fig8, ablations, trim)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1, table2, table3, fig6a, fig6b, fig7, fig8, ablations, trim, incremental)")
 	scaleName := flag.String("scale", "small", "workload scale (tiny, small, medium)")
 	seed := flag.Int64("seed", 1, "benchmark random seed")
 	reportPath := flag.String("report", "", "write a run-report JSON here ('auto' derives BENCH_experiments_<stamp>.json)")
@@ -39,10 +43,11 @@ func main() {
 		"fig6b":     fig6b,
 		"fig7":      fig7,
 		"fig8":      fig8,
-		"ablations": ablations,
-		"trim":      trimStudy,
+		"ablations":   ablations,
+		"trim":        trimStudy,
+		"incremental": incrementalStudy,
 	}
-	order := []string{"table1", "table2", "table3", "fig6a", "fig6b", "fig7", "fig8", "ablations", "trim"}
+	order := []string{"table1", "table2", "table3", "fig6a", "fig6b", "fig7", "fig8", "ablations", "trim", "incremental"}
 
 	names := order
 	if *exp != "all" {
@@ -226,6 +231,60 @@ func ablations(sc experiments.Scale, seed int64) error {
 		fmt.Printf("%-38s  %10.3f  %12d  %29s\n",
 			r.Variant, r.Time.Seconds(), r.PairsProcessed, qualityCols(r.Quality))
 	}
+	return nil
+}
+
+// incrementalBench is the artifact -exp incremental writes next to stdout.
+const incrementalBench = "BENCH_incremental.json"
+
+func incrementalStudy(sc experiments.Scale, seed int64) error {
+	header(fmt.Sprintf("Incremental ingest — 90%%+10%% of %d ESTs, from scratch vs session", sc.ComponentN))
+	rows, err := experiments.IncrementalStudy(sc.ComponentN, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-26s  %8s  %12s  %12s  %10s  %29s\n",
+		"variant", "n", "generated", "processed", "time", "OQ OV UN CC (%)")
+	for _, r := range rows {
+		q := ""
+		if r.N == sc.ComponentN {
+			q = qualityCols(r.Quality)
+		}
+		fmt.Printf("%-26s  %8d  %12d  %12d  %10.3f  %29s\n",
+			r.Variant, r.N, r.PairsGenerated, r.PairsProcessed, r.Time.Seconds(), q)
+	}
+	incr := rows[len(rows)-1]
+	fmt.Printf("incremental batch: buckets rebuilt=%d reused=%d, stale pairs suppressed=%d\n",
+		incr.BucketsRebuilt, incr.BucketsReused, incr.StaleSuppressed)
+
+	rep := &telemetry.RunReport{
+		Tool: "incremental",
+		Params: map[string]string{
+			"scale": sc.Name,
+			"n":     fmt.Sprintf("%d", sc.ComponentN),
+			"seed":  fmt.Sprintf("%d", seed),
+			"split": "90/10",
+		},
+		Procs:    1,
+		Counters: map[string]float64{},
+	}
+	for _, r := range rows {
+		rep.Phases = append(rep.Phases, telemetry.PhaseEntry{Name: r.Variant, Seconds: r.Time.Seconds()})
+	}
+	scratch := rows[1]
+	rep.WallSeconds = scratch.Time.Seconds() + incr.Time.Seconds()
+	rep.Counters["from_scratch_pairs_generated"] = float64(scratch.PairsGenerated)
+	rep.Counters["from_scratch_pairs_processed"] = float64(scratch.PairsProcessed)
+	rep.Counters["incremental_pairs_generated"] = float64(incr.PairsGenerated)
+	rep.Counters["incremental_pairs_processed"] = float64(incr.PairsProcessed)
+	rep.Counters["incremental_buckets_rebuilt"] = float64(incr.BucketsRebuilt)
+	rep.Counters["incremental_buckets_reused"] = float64(incr.BucketsReused)
+	rep.Counters["incremental_stale_suppressed"] = float64(incr.StaleSuppressed)
+	rep.Stamp()
+	if err := rep.WriteJSON(incrementalBench); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "experiments: wrote incremental comparison to %s\n", incrementalBench)
 	return nil
 }
 

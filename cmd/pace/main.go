@@ -12,6 +12,12 @@
 // HTTP during the run; -trace writes a Chrome trace-event file with one
 // timeline per rank; -report writes a machine-readable BENCH_*.json run
 // report.
+//
+// Incremental clustering: -session dir persists the ESTs and partition in a
+// directory; a later run with -session dir -in batch.fasta -add ingests the
+// new batch incrementally — rebuilding only the GST buckets it touches and
+// generating only pairs the batch can affect — and emits the TSV over every
+// EST the session holds.
 package main
 
 import (
@@ -48,6 +54,8 @@ func main() {
 	ckptInterval := flag.Duration("checkpoint-interval", 0, "wall-clock time between checkpoints (default 30s)")
 	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint every N slave reports instead of on a timer")
 	resume := flag.Bool("resume", false, "resume from the checkpoint in -checkpoint-dir, skipping completed merges")
+	sessionDir := flag.String("session", "", "persistent session directory (session.fasta + pace.ckpt) for incremental clustering")
+	addBatch := flag.Bool("add", false, "ingest -in as a new batch into the -session directory, re-clustering incrementally")
 	flag.Parse()
 
 	if err := validateFlags(flagValues{
@@ -57,6 +65,7 @@ func main() {
 		retries: *retries, ckptDir: *ckptDir,
 		ckptInterval: *ckptInterval, ckptEvery: *ckptEvery,
 		slaveTimeout: *slaveTimeout, resume: *resume,
+		session: *sessionDir, add: *addBatch,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "pace:", err)
 		flag.Usage()
@@ -147,7 +156,12 @@ func main() {
 	}
 
 	t0 := time.Now()
-	cl, err := pace.Cluster(seqs, opt)
+	var cl *pace.Clustering
+	if *sessionDir != "" {
+		cl, recs, seqs, err = runSession(*sessionDir, *addBatch, recs, seqs, opt)
+	} else {
+		cl, err = pace.Cluster(seqs, opt)
+	}
 	wall := time.Since(t0)
 	if err != nil {
 		fatal(err)

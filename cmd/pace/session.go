@@ -1,0 +1,121 @@
+package main
+
+// Session mode: -session names a directory that persists clustering state
+// across command invocations, so new sequencing batches can be ingested
+// incrementally instead of re-clustering the whole collection.
+//
+// The directory holds two files:
+//
+//	session.fasta — every EST the session has ingested, in ingest order
+//	pace.ckpt     — the engine checkpoint of the current partition
+//
+//	pace -session dir -in first.fasta        # initialize with a first batch
+//	pace -session dir -in batch2.fasta -add  # ingest a new batch incrementally
+//
+// Both forms emit the TSV for every EST the session holds, not just the
+// latest batch.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pace"
+)
+
+// sessionFASTA is the EST store inside a session directory; the partition
+// lives next to it in the engine's checkpoint file.
+const sessionFASTA = "session.fasta"
+
+// runSession clusters via a persistent session directory. It returns the
+// clustering plus the full record/sequence lists it covers (old batches
+// first, then recs).
+func runSession(dir string, add bool, recs []pace.Record, seqs []string, opt pace.Options) (*pace.Clustering, []pace.Record, []string, error) {
+	if !add {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, nil, nil, err
+		}
+		sess, err := pace.NewSession(opt)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		cl, err := sess.Add(seqs)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if err := saveSession(dir, sess, recs, seqs); err != nil {
+			return nil, nil, nil, err
+		}
+		fmt.Fprintf(os.Stderr, "pace: session %s initialized with %d ESTs\n", dir, len(seqs))
+		return cl, recs, seqs, nil
+	}
+
+	f, err := os.Open(filepath.Join(dir, sessionFASTA))
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("open session store (did you initialize with -session without -add?): %w", err)
+	}
+	oldRecs, err := pace.ReadFASTA(f)
+	f.Close()
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("read session store: %w", err)
+	}
+	ck, err := pace.LoadCheckpoint(dir)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("load session checkpoint: %w", err)
+	}
+	if err := ck.Validate(len(oldRecs), opt.Window, opt.MinMatch); err != nil {
+		return nil, nil, nil, fmt.Errorf("session checkpoint does not match session store or options: %w", err)
+	}
+	oldSeqs := pace.Sequences(oldRecs)
+	sess, err := pace.ResumeSession(opt, oldSeqs, pace.ResumeLabels(ck))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	cl, err := sess.Add(seqs)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	allRecs := append(oldRecs, recs...)
+	allSeqs := append(oldSeqs, seqs...)
+	if err := saveSession(dir, sess, allRecs, allSeqs); err != nil {
+		return nil, nil, nil, err
+	}
+	inc := cl.Stats.Incremental
+	fmt.Fprintf(os.Stderr, "pace: session %s: %d + %d ESTs, buckets rebuilt=%d reused=%d, fresh pairs=%d, stale pairs suppressed=%d\n",
+		dir, len(oldRecs), len(recs), inc.BucketsRebuilt, inc.BucketsReused, inc.FreshPairs, inc.StaleSuppressed)
+	return cl, allRecs, allSeqs, nil
+}
+
+// saveSession persists the session's EST store (atomic replace, mirroring
+// the checkpoint's write discipline) and its partition checkpoint. The
+// stored sequences are the clustered ones — post-trim when -trim is on — so
+// a later -add resumes over exactly the strings the partition describes.
+func saveSession(dir string, sess *pace.Session, recs []pace.Record, seqs []string) error {
+	out := make([]pace.Record, len(recs))
+	for i, rec := range recs {
+		out[i] = pace.Record{ID: rec.ID, Desc: rec.Desc, Seq: seqs[i]}
+	}
+	tmp, err := os.CreateTemp(dir, sessionFASTA+".tmp*")
+	if err != nil {
+		return err
+	}
+	if err := pace.WriteFASTA(tmp, out); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, sessionFASTA)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return sess.SaveCheckpoint(dir)
+}

@@ -25,6 +25,9 @@ type flagValues struct {
 	ckptEvery    int
 	slaveTimeout time.Duration
 	resume       bool
+
+	session string
+	add     bool
 }
 
 // validateFlags performs the up-front sanity checks. Deeper consistency
@@ -74,6 +77,15 @@ func validateFlags(v flagValues) error {
 	}
 	if v.resume && v.ckptDir == "" {
 		return errors.New("-resume needs -checkpoint-dir")
+	}
+	if v.add && v.session == "" {
+		return errors.New("-add needs -session")
+	}
+	if v.session != "" && v.resume {
+		return errors.New("-session and -resume are mutually exclusive (a session seeds from its own checkpoint)")
+	}
+	if v.session != "" && v.ckptDir != "" {
+		return errors.New("-session and -checkpoint-dir are mutually exclusive (the session directory holds its own checkpoint)")
 	}
 	return nil
 }

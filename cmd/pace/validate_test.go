@@ -44,6 +44,16 @@ func TestValidateFlags(t *testing.T) {
 		{"negative slave timeout", func(v *flagValues) { v.slaveTimeout = -1 }, "-slave-timeout must be >= 0"},
 		{"cadence without dir", func(v *flagValues) { v.ckptEvery = 5 }, "need -checkpoint-dir"},
 		{"resume without dir", func(v *flagValues) { v.resume = true }, "-resume needs -checkpoint-dir"},
+		{"add without session", func(v *flagValues) { v.add = true }, "-add needs -session"},
+		{"session with resume", func(v *flagValues) {
+			v.session = "s"
+			v.resume = true
+			v.ckptDir = "c"
+		}, "-session and -resume"},
+		{"session with checkpoint dir", func(v *flagValues) {
+			v.session = "s"
+			v.ckptDir = "c"
+		}, "-session and -checkpoint-dir"},
 	}
 	for _, tc := range cases {
 		v := okFlags()

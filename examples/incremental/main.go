@@ -2,11 +2,14 @@
 // way to incrementally adjust the EST clusters when a new batch of ESTs is
 // sequenced, instead of clustering all the ESTs from scratch?"
 //
-// This example demonstrates the pragmatic answer shipped with this library:
-// seed the union-find with the previous partition (Options.InitialLabels).
-// Pairs inside already-established clusters are skipped rather than
-// re-aligned, so only work involving the new batch (plus any old-cluster
-// merges the new evidence enables) is spent.
+// This example demonstrates the answer shipped with this library: a
+// persistent Session. Each Add appends a batch as a new generation, rebuilds
+// only the GST buckets the batch's suffixes touch (sequentially, untouched
+// subtrees are reused verbatim from the session's bucket cache), suppresses
+// pairs whose strings both predate the batch — their maximal common
+// substring is a property of the two strings alone, so they were already
+// judged — and seeds the union-find with the previous partition. The labels
+// are identical to a from-scratch run over everything seen so far.
 package main
 
 import (
@@ -29,12 +32,16 @@ func main() {
 	opt := pace.DefaultOptions()
 	oldBatch := 400 // ESTs sequenced previously
 
-	first, err := pace.Cluster(bench.ESTs[:oldBatch], opt)
+	sess, err := pace.NewSession(opt)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("initial batch: %d ESTs -> %d clusters (%d alignments)\n",
-		oldBatch, first.NumClusters, first.Stats.PairsProcessed)
+	first, err := sess.Add(bench.ESTs[:oldBatch])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initial batch: %d ESTs -> %d clusters (%d pairs generated)\n",
+		oldBatch, first.NumClusters, first.Stats.PairsGenerated)
 
 	// A new sequencing batch of 100 ESTs arrives. Option A: redo
 	// everything.
@@ -42,23 +49,26 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("from scratch:  %d ESTs -> %d clusters (%d alignments)\n",
-		len(bench.ESTs), scratch.NumClusters, scratch.Stats.PairsProcessed)
+	fmt.Printf("from scratch:  %d ESTs -> %d clusters (%d pairs generated)\n",
+		len(bench.ESTs), scratch.NumClusters, scratch.Stats.PairsGenerated)
 
-	// Option B: seed with the previous partition.
-	opt.InitialLabels = first.Labels
-	inc, err := pace.Cluster(bench.ESTs, opt)
+	// Option B: ingest just the new batch into the session.
+	inc, err := sess.Add(bench.ESTs[oldBatch:])
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("incremental:   %d ESTs -> %d clusters (%d alignments)\n",
-		len(bench.ESTs), inc.NumClusters, inc.Stats.PairsProcessed)
+	fmt.Printf("incremental:   %d ESTs -> %d clusters (%d pairs generated)\n",
+		sess.NumESTs(), inc.NumClusters, inc.Stats.PairsGenerated)
+	fmt.Printf("               buckets rebuilt %d, reused %d, stale pairs suppressed %d\n",
+		inc.Stats.Incremental.BucketsRebuilt,
+		inc.Stats.Incremental.BucketsReused,
+		inc.Stats.Incremental.StaleSuppressed)
 
 	qs, _ := pace.Evaluate(scratch.Labels, bench.Truth)
-	qi, _ := pace.Evaluate(inc.Labels, bench.Truth)
+	qi, _ := pace.Evaluate(sess.Labels(), bench.Truth)
 	fmt.Printf("\nquality from scratch: %s\n", qs)
 	fmt.Printf("quality incremental:  %s\n", qi)
-	saved := 100 * float64(scratch.Stats.PairsProcessed-inc.Stats.PairsProcessed) /
-		float64(scratch.Stats.PairsProcessed)
-	fmt.Printf("alignments saved by incremental update: %.1f%%\n", saved)
+	saved := 100 * float64(scratch.Stats.PairsGenerated-inc.Stats.PairsGenerated) /
+		float64(scratch.Stats.PairsGenerated)
+	fmt.Printf("pair generations saved by incremental update: %.1f%%\n", saved)
 }

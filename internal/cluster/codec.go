@@ -273,18 +273,18 @@ func decodeWork(b []byte) (work, error) {
 // final gather itself is not included — uniformly across ranks.
 type phaseReport struct {
 	partitionNs, constructNs, sortNs, alignNs, totalNs int64
-	generated, processed, accepted                     int64
+	generated, processed, accepted, stale              int64
 	msgsSent, bytesSent, msgsRecv, bytesRecv           int64
 	recvWaitNs, collOps, collTimeNs, busyNs            int64
 }
 
 // phaseReportWords is the fixed number of int64 fields on the wire.
-const phaseReportWords = 16
+const phaseReportWords = 17
 
 func (p phaseReport) words() [phaseReportWords]int64 {
 	return [phaseReportWords]int64{
 		p.partitionNs, p.constructNs, p.sortNs, p.alignNs, p.totalNs,
-		p.generated, p.processed, p.accepted,
+		p.generated, p.processed, p.accepted, p.stale,
 		p.msgsSent, p.bytesSent, p.msgsRecv, p.bytesRecv,
 		p.recvWaitNs, p.collOps, p.collTimeNs, p.busyNs,
 	}
@@ -307,8 +307,8 @@ func decodePhase(b []byte) (phaseReport, error) {
 	v := func(i int) int64 { return int64(binary.LittleEndian.Uint64(b[8*i:])) }
 	return phaseReport{
 		partitionNs: v(0), constructNs: v(1), sortNs: v(2), alignNs: v(3), totalNs: v(4),
-		generated: v(5), processed: v(6), accepted: v(7),
-		msgsSent: v(8), bytesSent: v(9), msgsRecv: v(10), bytesRecv: v(11),
-		recvWaitNs: v(12), collOps: v(13), collTimeNs: v(14), busyNs: v(15),
+		generated: v(5), processed: v(6), accepted: v(7), stale: v(8),
+		msgsSent: v(9), bytesSent: v(10), msgsRecv: v(11), bytesRecv: v(12),
+		recvWaitNs: v(13), collOps: v(14), collTimeNs: v(15), busyNs: v(16),
 	}, nil
 }

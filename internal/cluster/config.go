@@ -17,6 +17,7 @@ import (
 
 	"pace/internal/align"
 	"pace/internal/mp"
+	"pace/internal/seq"
 	"pace/internal/telemetry"
 )
 
@@ -68,6 +69,24 @@ type Config struct {
 	// start merged, so pairs inside old clusters are skipped rather than
 	// re-aligned. Entries < 0 are unconstrained.
 	InitialLabels []int32
+
+	// FreshGen, when > 0, restricts the run to the pairs a new batch can
+	// affect: only strings of generation >= FreshGen (see seq.SetS.Append)
+	// count as fresh, buckets no fresh suffix falls into are skipped
+	// entirely, and old×old pairs inside rebuilt buckets are suppressed.
+	// A pair's maximal common substring is a property of the two strings
+	// alone, so every suppressed pair was generated — and judged — by the
+	// run that introduced the younger of its strings; with InitialLabels
+	// seeding that run's partition, the final clusters equal a from-scratch
+	// run over the whole set. 0 (the default) clusters everything.
+	FreshGen seq.Gen
+
+	// Cache, when non-nil, carries per-bucket GST state across the
+	// sequential runs of a session: suffix lists grow in place as batches
+	// arrive and untouched subtrees are reused verbatim, so batch k+1 pays
+	// only for the strings and buckets it touches. Sequential engine only
+	// (MP.Procs == 1); the parallel engine re-collects per run.
+	Cache *BucketCache
 
 	// Recover enables slave-failure recovery: when a slave rank dies
 	// mid-protocol the master reclaims its outstanding grants, requeues its
@@ -169,6 +188,12 @@ func (c Config) Validate() error {
 	if c.Band < 1 {
 		return fmt.Errorf("cluster: Band must be >= 1")
 	}
+	if c.FreshGen < 0 {
+		return fmt.Errorf("cluster: FreshGen must be >= 0")
+	}
+	if c.Cache != nil && c.MP.Procs != 1 {
+		return fmt.Errorf("cluster: Cache requires the sequential engine (MP.Procs == 1)")
+	}
 	if err := c.Scoring.Validate(); err != nil {
 		return err
 	}
@@ -256,6 +281,29 @@ type Stats struct {
 	PerRank []RankStats
 	// Recovery tallies fault-recovery and checkpoint activity.
 	Recovery RecoveryStats
+	// Incremental tallies batch-ingest activity; zero unless Config.FreshGen
+	// or Config.Cache was set.
+	Incremental IncrementalStats
+}
+
+// IncrementalStats counts what the incremental machinery saved and did
+// during one batch run (Config.FreshGen > 0 or Config.Cache != nil).
+type IncrementalStats struct {
+	// BucketsRebuilt is the number of GST buckets the batch touched — the
+	// ones whose subtrees were (re)built this run.
+	BucketsRebuilt int64
+	// BucketsReused is the number of non-empty buckets no fresh suffix fell
+	// into: their subtrees (and every pair inside them) carried over from
+	// earlier generations untouched.
+	BucketsReused int64
+	// FreshPairs is the number of promising pairs the restricted generators
+	// emitted — the work actually attributable to the batch. Equals
+	// Stats.PairsGenerated on an incremental run.
+	FreshPairs int64
+	// StaleSuppressed counts old×old pairs individually skipped inside
+	// rebuilt buckets (wholesale group skips are not enumerable and not
+	// counted).
+	StaleSuppressed int64
 }
 
 // RecoveryStats counts what the fault-tolerance machinery did during a run.

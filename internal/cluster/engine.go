@@ -18,17 +18,11 @@ import (
 // process; otherwise rank 0 acts as the master and ranks 1..p-1 as slaves on
 // the configured message-passing machine.
 func Run(ests []seq.Sequence, cfg Config) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
 	set, err := seq.NewSetS(ests)
 	if err != nil {
 		return nil, err
 	}
-	if cfg.MP.Procs == 1 {
-		return runSequential(set, cfg)
-	}
-	return runParallel(set, cfg)
+	return RunSet(set, cfg)
 }
 
 // seedClusters merges ESTs that share a non-negative initial label. Labels
@@ -86,30 +80,22 @@ func runSequential(set *seq.SetS, cfg Config) (*Result, error) {
 	}
 	res := &Result{}
 	st := &res.Stats
-	n2 := seq.StringID(set.NumStrings())
 
 	t0 := time.Now()
-	hist := suffix.Histogram(set, cfg.Window, 0, n2)
-	owner := suffix.Assign(hist, 1)
-	byBucket := suffix.CollectOwned(set, cfg.Window, owner, 0, 0, n2)
-	st.Phases.Partition = time.Since(t0)
-	pr.observeBuckets(hist, suffix.Loads(hist, owner, 1))
-	if tw != nil {
-		tw.Span(0, 0, "partition", "gst", 0, st.Phases.Partition)
-	}
-
-	t1 := time.Now()
-	forest, err := suffix.BuildForest(set, byBucket, cfg.Window)
+	fb, err := buildSequentialForest(set, cfg, st)
 	if err != nil {
 		return nil, err
 	}
-	st.Phases.Construct = time.Since(t1)
+	st.Phases.Partition = fb.partition
+	st.Phases.Construct = fb.construct
+	pr.observeBuckets(fb.hist, suffix.Loads(fb.hist, suffix.Assign(fb.hist, 1), 1))
 	if tw != nil {
-		tw.Span(0, 0, "construct", "gst", t1.Sub(t0), st.Phases.Construct)
+		tw.Span(0, 0, "partition", "gst", 0, st.Phases.Partition)
+		tw.Span(0, 0, "construct", "gst", st.Phases.Partition, st.Phases.Construct)
 	}
 
 	t2 := time.Now()
-	gen, err := pairgen.New(set, forest, cfg.Psi)
+	gen, err := pairgen.NewFresh(set, fb.forest, cfg.Psi, cfg.FreshGen)
 	if err != nil {
 		return nil, err
 	}
@@ -185,6 +171,13 @@ func runSequential(set *seq.SetS, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	st.PairsGenerated = gen.Stats().Generated
+	if cfg.FreshGen > 0 {
+		st.Incremental.FreshPairs = gen.Stats().Generated
+		st.Incremental.StaleSuppressed = gen.Stats().DiscardedStale
+	}
+	if cfg.FreshGen > 0 || cfg.Cache != nil {
+		pr.recordIncremental(st.Incremental)
+	}
 	st.Phases.Total = time.Since(t0)
 	st.PerRank = []RankStats{{
 		Rank: 0, Role: "seq",
@@ -236,7 +229,7 @@ func shareRange(si, slaves, total int) (seq.StringID, seq.StringID) {
 // publish the bucket-size distribution and redistribution skew.
 func prologue(set *seq.SetS, cfg Config, c *mp.Comm) ([]int32, []int64, error) {
 	slaves := c.Size() - 1
-	var hist []int64
+	var hist, freshHist []int64
 	if c.Rank() == 0 {
 		hist = make([]int64, suffix.NumBuckets(cfg.Window))
 	} else {
@@ -247,7 +240,24 @@ func prologue(set *seq.SetS, cfg Config, c *mp.Comm) ([]int32, []int64, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return suffix.Assign(global, slaves), global, nil
+	if cfg.FreshGen == 0 {
+		return suffix.Assign(global, slaves), global, nil
+	}
+	// Incremental run: a second allreduce sums the fresh-suffix histogram,
+	// and only touched buckets get an owner — every pair involving a fresh
+	// string lands in a bucket some fresh suffix falls into, so untouched
+	// buckets are neither shipped nor rebuilt.
+	if c.Rank() == 0 {
+		freshHist = make([]int64, suffix.NumBuckets(cfg.Window))
+	} else {
+		lo, hi := shareRange(c.Rank()-1, slaves, set.NumStrings())
+		freshHist = suffix.HistogramFrom(set, cfg.Window, cfg.FreshGen, lo, hi)
+	}
+	globalFresh, err := c.AllreduceSumInt64(freshHist)
+	if err != nil {
+		return nil, nil, err
+	}
+	return suffix.AssignFresh(global, globalFresh, slaves), global, nil
 }
 
 // fillComm snapshots a rank's communication counters into its phase report,
@@ -334,6 +344,16 @@ func runMaster(set *seq.SetS, cfg Config, c *mp.Comm) (*Result, error) {
 
 	res := &Result{}
 	st := &res.Stats
+	if cfg.FreshGen > 0 {
+		var rebuilt int64
+		for b, h := range global {
+			if h > 0 && owner[b] >= 0 {
+				rebuilt++
+			}
+		}
+		st.Incremental.BucketsRebuilt = rebuilt
+		st.Incremental.BucketsReused = nonEmptyBuckets(global) - rebuilt
+	}
 	uf := unionfind.New(set.NumESTs())
 	seedMerges, err := seedClusters(uf, cfg.InitialLabels)
 	if err != nil {
@@ -731,6 +751,7 @@ func runMaster(set *seq.SetS, cfg Config, c *mp.Comm) (*Result, error) {
 		st.PairsGenerated += ph.generated
 		st.PairsProcessed += ph.processed
 		st.PairsAccepted += ph.accepted
+		st.Incremental.StaleSuppressed += ph.stale
 		st.PerRank = append(st.PerRank, RankStats{
 			Rank: r, Role: role,
 			Partition: time.Duration(ph.partitionNs),
@@ -774,6 +795,10 @@ func runMaster(set *seq.SetS, cfg Config, c *mp.Comm) (*Result, error) {
 	}
 	for _, rs := range st.PerRank {
 		pr.recordComm(rs)
+	}
+	if cfg.FreshGen > 0 {
+		st.Incremental.FreshPairs = st.PairsGenerated
+		pr.recordIncremental(st.Incremental)
 	}
 
 	res.Labels = uf.Labels()
@@ -870,7 +895,7 @@ func runSlave(set *seq.SetS, cfg Config, c *mp.Comm) error {
 	}
 
 	t2 := c.Elapsed()
-	gen0, err := pairgen.New(set, forest, cfg.Psi)
+	gen0, err := pairgen.NewFresh(set, forest, cfg.Psi, cfg.FreshGen)
 	if err != nil {
 		return err
 	}
@@ -1040,6 +1065,7 @@ func runSlave(set *seq.SetS, cfg Config, c *mp.Comm) error {
 		generated:   chain.Generated(),
 		processed:   processed,
 		accepted:    accepted,
+		stale:       chain.Stale(),
 	}
 	fillComm(&mine, c.Stats())
 	// Point-to-point phase report: a collective here would wedge the
@@ -1087,6 +1113,16 @@ func (g *genChain) Generated() int64 {
 	return n
 }
 
+// Stale sums the old×old pairs the chain's generators suppressed in
+// fresh-only mode.
+func (g *genChain) Stale() int64 {
+	var n int64
+	for _, gen := range g.gens {
+		n += gen.Stats().DiscardedStale
+	}
+	return n
+}
+
 // rebuildShard reconstructs a dead slave's bucket shard on a survivor. The
 // rescan visits every string (ascending id, ascending position — the same
 // order exchangeSuffixes produces), so the rebuilt buckets and therefore the
@@ -1109,7 +1145,9 @@ func rebuildShard(set *seq.SetS, cfg Config, owner []int32, sh shard) (*pairgen.
 			return nil, err
 		}
 	}
-	return pairgen.New(set, forest, cfg.Psi)
+	// Fresh-only mode must survive recovery: a rebuilt shard regenerates the
+	// dead slave's restricted pair stream, not the full one.
+	return pairgen.NewFresh(set, forest, cfg.Psi, cfg.FreshGen)
 }
 
 func maxDur(a, b time.Duration) time.Duration {

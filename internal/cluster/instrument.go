@@ -34,6 +34,11 @@ const (
 	mCkptWrites       = "pace_checkpoint_writes_total"
 	mCkptBytes        = "pace_checkpoint_bytes"
 	mCkptNs           = "pace_checkpoint_write_ns"
+
+	mIncrBucketsRebuilt = "pace_incremental_buckets_rebuilt"
+	mIncrBucketsReused  = "pace_incremental_buckets_reused"
+	mIncrFreshPairs     = "pace_incremental_fresh_pairs_total"
+	mIncrStale          = "pace_incremental_stale_suppressed_total"
 )
 
 // probes is the engine's live-instrumentation bundle: pointers resolved once
@@ -66,6 +71,11 @@ type probes struct {
 	ckptWrites       *telemetry.Counter
 	ckptBytes        *telemetry.Gauge
 	ckptNs           *telemetry.Histogram
+
+	incrRebuilt *telemetry.Gauge
+	incrReused  *telemetry.Gauge
+	incrFresh   *telemetry.Counter
+	incrStale   *telemetry.Counter
 }
 
 func newProbes(reg *telemetry.Registry) *probes {
@@ -92,6 +102,10 @@ func newProbes(reg *telemetry.Registry) *probes {
 	reg.Help(mCkptWrites, "Checkpoint snapshots written.")
 	reg.Help(mCkptBytes, "Size of the most recent checkpoint snapshot, bytes.")
 	reg.Help(mCkptNs, "Checkpoint write latency, nanoseconds.")
+	reg.Help(mIncrBucketsRebuilt, "GST buckets the latest incremental batch touched and rebuilt.")
+	reg.Help(mIncrBucketsReused, "Non-empty GST buckets the latest incremental batch left untouched.")
+	reg.Help(mIncrFreshPairs, "Promising pairs emitted by fresh-only incremental runs.")
+	reg.Help(mIncrStale, "Old-by-old pairs suppressed inside rebuilt buckets (already judged).")
 	return &probes{
 		reg:        reg,
 		generated:  reg.Counter(mPairsGenerated),
@@ -115,7 +129,24 @@ func newProbes(reg *telemetry.Registry) *probes {
 		ckptWrites:       reg.Counter(mCkptWrites),
 		ckptBytes:        reg.Gauge(mCkptBytes),
 		ckptNs:           reg.Histogram(mCkptNs, telemetry.ExpBounds(1000, 4, 12)),
+
+		incrRebuilt: reg.Gauge(mIncrBucketsRebuilt),
+		incrReused:  reg.Gauge(mIncrBucketsReused),
+		incrFresh:   reg.Counter(mIncrFreshPairs),
+		incrStale:   reg.Counter(mIncrStale),
 	}
+}
+
+// recordIncremental publishes a batch run's incremental tallies (set once at
+// run end, outside the hot path).
+func (pr *probes) recordIncremental(inc IncrementalStats) {
+	if pr == nil {
+		return
+	}
+	pr.incrRebuilt.Set(inc.BucketsRebuilt)
+	pr.incrReused.Set(inc.BucketsReused)
+	pr.incrFresh.Add(inc.FreshPairs)
+	pr.incrStale.Add(inc.StaleSuppressed)
 }
 
 // observer builds the pairgen hooks backed by this probe set.

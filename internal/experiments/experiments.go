@@ -478,3 +478,99 @@ func TrimStudy(n int, seed int64) ([]TrimRow, error) {
 	}
 	return []TrimRow{raw, clean}, nil
 }
+
+// ------------------------------------------------- Incremental ingest study
+
+// IncrementalRow is one variant of the batch-ingest comparison: the initial
+// collection, a from-scratch re-cluster of the union, and the incremental
+// ingest of the same batch into a warm session.
+type IncrementalRow struct {
+	Variant         string
+	N               int
+	PairsGenerated  int64
+	PairsProcessed  int64
+	Time            time.Duration
+	BucketsRebuilt  int64
+	BucketsReused   int64
+	StaleSuppressed int64
+	Quality         metrics.Quality
+}
+
+// IncrementalStudy measures the paper's closing open problem — the cost of
+// adjusting clusters when a new batch of ESTs is sequenced — on a 90/10
+// split: cluster 90% of the data set as the established collection, then
+// ingest the remaining 10% both from scratch and incrementally. The two
+// union variants must produce the same partition; the interesting axes are
+// pair work and wall time.
+func IncrementalStudy(n int, seed int64) ([]IncrementalRow, error) {
+	b, err := Dataset(n, seed)
+	if err != nil {
+		return nil, err
+	}
+	cut := n * 9 / 10
+	cfg := engineConfig(1)
+
+	set, err := seq.NewSetS(b.ESTs[:cut])
+	if err != nil {
+		return nil, err
+	}
+	cache := cluster.NewBucketCache()
+	c1 := cfg
+	c1.Cache = cache
+	start := time.Now()
+	r1, err := cluster.RunSet(set, c1)
+	if err != nil {
+		return nil, err
+	}
+	initial := IncrementalRow{
+		Variant:        "initial (90%)",
+		N:              cut,
+		PairsGenerated: r1.Stats.PairsGenerated,
+		PairsProcessed: r1.Stats.PairsProcessed,
+		Time:           time.Since(start),
+	}
+
+	start = time.Now()
+	full, err := cluster.Run(b.ESTs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	scratch := IncrementalRow{
+		Variant:        "union from scratch",
+		N:              n,
+		PairsGenerated: full.Stats.PairsGenerated,
+		PairsProcessed: full.Stats.PairsProcessed,
+		Time:           time.Since(start),
+	}
+	if scratch.Quality, err = metrics.Compare(full.Labels, b.Truth); err != nil {
+		return nil, err
+	}
+
+	gen, err := set.Append(b.ESTs[cut:])
+	if err != nil {
+		return nil, err
+	}
+	c2 := cfg
+	c2.Cache = cache
+	c2.FreshGen = gen
+	c2.InitialLabels = r1.Labels
+	start = time.Now()
+	r2, err := cluster.RunSet(set, c2)
+	if err != nil {
+		return nil, err
+	}
+	incr := IncrementalRow{
+		Variant:         "union incremental (+10%)",
+		N:               n,
+		PairsGenerated:  r2.Stats.PairsGenerated,
+		PairsProcessed:  r2.Stats.PairsProcessed,
+		Time:            time.Since(start),
+		BucketsRebuilt:  r2.Stats.Incremental.BucketsRebuilt,
+		BucketsReused:   r2.Stats.Incremental.BucketsReused,
+		StaleSuppressed: r2.Stats.Incremental.StaleSuppressed,
+	}
+	if incr.Quality, err = metrics.Compare(r2.Labels, b.Truth); err != nil {
+		return nil, err
+	}
+	return []IncrementalRow{initial, scratch, incr}, nil
+}

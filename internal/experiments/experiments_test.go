@@ -185,3 +185,30 @@ func TestTrimStudyShape(t *testing.T) {
 		t.Errorf("trimmed quality collapsed: %v", trimmed.Quality)
 	}
 }
+
+func TestIncrementalStudyShape(t *testing.T) {
+	rows, err := IncrementalStudy(120, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	initial, scratch, incr := rows[0], rows[1], rows[2]
+	if incr.PairsGenerated >= scratch.PairsGenerated {
+		t.Errorf("incremental ingest should generate fewer pairs: %d vs %d",
+			incr.PairsGenerated, scratch.PairsGenerated)
+	}
+	// Pair generation partitions exactly across the initial and incremental
+	// runs: every pair is produced once, when its younger string arrives.
+	if initial.PairsGenerated+incr.PairsGenerated != scratch.PairsGenerated {
+		t.Errorf("initial %d + incremental %d != from-scratch %d",
+			initial.PairsGenerated, incr.PairsGenerated, scratch.PairsGenerated)
+	}
+	if incr.Quality != scratch.Quality {
+		t.Errorf("incremental quality %v differs from from-scratch %v", incr.Quality, scratch.Quality)
+	}
+	if incr.BucketsRebuilt <= 0 {
+		t.Errorf("BucketsRebuilt = %d, want > 0", incr.BucketsRebuilt)
+	}
+}

@@ -55,6 +55,12 @@ type Stats struct {
 	// DiscardedSelf counts pairs of a string with its own EST's other
 	// orientation (or itself), which carry no clustering information.
 	DiscardedSelf int64
+	// DiscardedStale counts pairs suppressed by the fresh-only mode because
+	// both strings predate the current batch: their maximal common substring
+	// is a property of the two strings alone, so the pair was already
+	// generated — and judged — in the generation that introduced the younger
+	// of the two.
+	DiscardedStale int64
 	// Entries is the total number of lset entries allocated — the
 	// generator's O(N) working set.
 	Entries int64
@@ -96,6 +102,9 @@ type group struct {
 	char  seq.Code
 	// items indexes into the generator's itemsBuf scratch.
 	lo, hi int32
+	// fresh reports whether any item belongs to the current batch; a pair of
+	// all-stale groups cannot produce a fresh pair and is skipped wholesale.
+	fresh bool
 }
 
 type item struct {
@@ -108,6 +117,10 @@ type Generator struct {
 	set   *seq.SetS
 	psi   int32
 	trees []*treeState
+	// freshID is the fresh-only threshold: pairs whose strings both have an
+	// id below it are suppressed (0 emits everything). Generations are
+	// monotone in string id, so freshness is a single comparison.
+	freshID seq.StringID
 
 	order  []nodeRef
 	cursor int
@@ -152,6 +165,18 @@ func (g *Generator) Observe(o Observer) { g.obs = o }
 // the caller is responsible for that invariant (it is validated by the
 // clustering layer).
 func New(set *seq.SetS, forest []*suffix.Tree, psi int) (*Generator, error) {
+	return NewFresh(set, forest, psi, 0)
+}
+
+// NewFresh builds a generator restricted to pairs involving the current
+// batch: only pairs where at least one string has generation >= fresh are
+// emitted (the paper's Lemmas 1–4 guarantee an old×old pair's maximal common
+// substring — and hence the pair itself — was already produced by the run
+// that introduced the younger string). fresh == 0 emits every pair, exactly
+// like New. Lsets are still built over all suffixes in the forest, so the
+// emitted fresh pairs are identical to what a full run would produce for
+// them, dedup included.
+func NewFresh(set *seq.SetS, forest []*suffix.Tree, psi int, fresh seq.Gen) (*Generator, error) {
 	if psi < 1 {
 		return nil, fmt.Errorf("pairgen: psi must be >= 1, got %d", psi)
 	}
@@ -159,6 +184,9 @@ func New(set *seq.SetS, forest []*suffix.Tree, psi int) (*Generator, error) {
 		set:  set,
 		psi:  int32(psi),
 		mark: make([]int32, set.NumStrings()),
+	}
+	if fresh > 0 {
+		g.freshID = set.GenStartString(fresh)
 	}
 	for _, t := range forest {
 		ts := &treeState{tree: t, lsetIdx: make([]int32, t.Len())}
@@ -294,6 +322,7 @@ func (g *Generator) processNode(ref nodeRef) {
 			prev := int32(-1)
 			cur := l.head
 			lo := int32(len(g.itemsBuf))
+			fresh := false
 			for cur != -1 {
 				e := &ts.pool[cur]
 				if g.mark[e.sid] == g.token {
@@ -311,11 +340,12 @@ func (g *Generator) processNode(ref nodeRef) {
 				}
 				g.mark[e.sid] = g.token
 				g.itemsBuf = append(g.itemsBuf, item{sid: e.sid, pos: e.pos})
+				fresh = fresh || e.sid >= g.freshID
 				prev = cur
 				cur = e.next
 			}
 			if hi := int32(len(g.itemsBuf)); hi > lo {
-				g.groups = append(g.groups, group{child: childOrd, char: ch, lo: lo, hi: hi})
+				g.groups = append(g.groups, group{child: childOrd, char: ch, lo: lo, hi: hi, fresh: fresh})
 			}
 		}
 		childOrd++
@@ -360,14 +390,17 @@ func compatible(a, b group) bool {
 // the node is exhausted.
 func (g *Generator) emit(dst []Pair, want int) []Pair {
 	for len(dst) < want {
-		// Advance to the next compatible group pair if needed.
+		// Advance to the next compatible group pair if needed. Two all-stale
+		// groups cannot produce a fresh pair, so their whole cartesian
+		// product is skipped in O(1).
 		for g.gi < len(g.groups) {
 			if g.gj >= len(g.groups) {
 				g.gi++
 				g.gj = g.gi + 1
 				continue
 			}
-			if !compatible(g.groups[g.gi], g.groups[g.gj]) {
+			if !compatible(g.groups[g.gi], g.groups[g.gj]) ||
+				!(g.groups[g.gi].fresh || g.groups[g.gj].fresh) {
 				g.gj++
 				continue
 			}
@@ -390,6 +423,13 @@ func (g *Generator) emit(dst []Pair, want int) []Pair {
 				g.ii = 0
 				g.gj++
 			}
+		}
+
+		if a.sid < g.freshID && b.sid < g.freshID {
+			// Old×old inside a mixed group pair: already judged in an
+			// earlier generation.
+			g.stats.DiscardedStale++
+			continue
 		}
 
 		if p, ok := g.canonical(a, b); ok {

@@ -429,3 +429,139 @@ func BenchmarkGenerate(b *testing.B) {
 		drain(g, 64)
 	}
 }
+
+// Fresh-only mode over the union forest must emit exactly the full run's
+// pairs that involve at least one fresh string — same tuples, same order —
+// while suppressing every old×old pair (Lemmas 1–4: an old pair's maximal
+// common substring was already produced by the run that introduced it).
+func TestFreshModeEmitsExactlyFreshPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 6; trial++ {
+		old := randomESTs(rng, 5+rng.Intn(4), 40, 80)
+		// Plant overlaps inside the old batch so stale pairs exist.
+		old[1] = append(old[0][10:].Clone(), old[1][:20]...)
+		old[3] = old[2][5:min32(40, len(old[2]))].ReverseComplement()
+		fresh := randomESTs(rng, 2+rng.Intn(3), 40, 80)
+		// Plant overlaps across the generation boundary.
+		fresh[0] = append(old[0][15:].Clone(), fresh[0][:20]...)
+		fresh[1] = old[1][5:min32(40, len(old[1]))].ReverseComplement()
+
+		set, err := seq.NewSetS(old)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen, err := set.Append(fresh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		forest := buildForest(t, set, 6)
+		full, err := New(set, forest, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inc, err := NewFresh(set, forest, 12, gen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		allPairs := drain(full, 17)
+		freshPairs := drain(inc, 17)
+
+		freshID := set.GenStartString(gen)
+		var want []Pair
+		for _, p := range allPairs {
+			if p.S1 >= freshID || p.S2 >= freshID {
+				want = append(want, p)
+			}
+		}
+		if len(freshPairs) != len(want) {
+			t.Fatalf("trial %d: fresh mode emitted %d pairs, want %d", trial, len(freshPairs), len(want))
+		}
+		for i := range want {
+			if freshPairs[i] != want[i] {
+				t.Fatalf("trial %d: pair %d: got %+v want %+v", trial, i, freshPairs[i], want[i])
+			}
+			if freshPairs[i].S1 < freshID && freshPairs[i].S2 < freshID {
+				t.Fatalf("trial %d: stale pair leaked: %+v", trial, freshPairs[i])
+			}
+		}
+		if len(allPairs) > len(freshPairs) {
+			// Stale pairs exist; the generator must have strictly less work
+			// recorded as Generated, accounted between the group-level skip
+			// and the per-pair stale counter.
+			if inc.Stats().Generated >= full.Stats().Generated {
+				t.Fatalf("trial %d: fresh mode did not reduce Generated: %d vs %d",
+					trial, inc.Stats().Generated, full.Stats().Generated)
+			}
+		}
+	}
+}
+
+// fresh == 0 must behave exactly like New (zero-overhead full mode).
+func TestFreshZeroEqualsFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	ests := randomESTs(rng, 8, 40, 80)
+	ests[1] = append(ests[0][10:].Clone(), ests[1][:20]...)
+	set, err := seq.NewSetS(ests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forest := buildForest(t, set, 6)
+	g1, _ := New(set, forest, 12)
+	g2, _ := NewFresh(set, forest, 12, 0)
+	a, b := drain(g1, 8), drain(g2, 8)
+	if len(a) != len(b) {
+		t.Fatalf("count mismatch: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pair %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if g2.Stats().DiscardedStale != 0 {
+		t.Errorf("full mode discarded %d pairs as stale", g2.Stats().DiscardedStale)
+	}
+}
+
+// The stale counter must account per-pair suppression inside mixed group
+// pairs (group-level skips are not counted — they never materialize pairs).
+func TestDiscardedStaleCounted(t *testing.T) {
+	// The fresh string shares left-extension character ('A') and the two
+	// characters after the core with old string 0, so both land in the same
+	// (child, char) group at the core's node — a mixed group. Pairing that
+	// group against old string 1's group materializes the stale pair (0,1),
+	// which must be counted, and the fresh pair (fresh,1), which must emit.
+	core := "ACGTTGCAACGTTGCA"
+	set := mustSet(t,
+		"AAAA"+core+"TTTT",
+		"CCCC"+core+"GGGG")
+	fresh := []seq.Sequence{mustParseSeq(t, "AAAA" + core + "TTAA")}
+	gen, err := set.Append(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forest := buildForest(t, set, 4)
+	inc, err := NewFresh(set, forest, 8, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := drain(inc, 16)
+	freshID := set.GenStartString(gen)
+	for _, p := range pairs {
+		if p.S1 < freshID && p.S2 < freshID {
+			t.Fatalf("stale pair emitted: %+v", p)
+		}
+	}
+	st := inc.Stats()
+	if st.DiscardedStale == 0 {
+		t.Error("expected DiscardedStale > 0 for mixed groups over a shared core")
+	}
+}
+
+func mustParseSeq(t testing.TB, s string) seq.Sequence {
+	t.Helper()
+	q, err := seq.Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}

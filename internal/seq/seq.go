@@ -176,34 +176,107 @@ func (id StringID) IsReverse() bool { return id&1 == 1 }
 // Mate returns the opposite-orientation string of the same EST.
 func (id StringID) Mate() StringID { return id ^ 1 }
 
+// Gen is a batch generation tag. The ESTs of NewSetS are generation 0; each
+// Append call tags its batch with the next generation. Generations are
+// monotone in EST (and therefore string) index, which lets the incremental
+// pipeline test freshness with a single id comparison.
+type Gen int32
+
 // SetS holds the 2n strings S = {e_1, rc(e_1), e_2, rc(e_2), ...} backing the
 // generalized suffix tree. Reverse complements are materialized once so that
 // suffix scanning needs no per-access transformation.
+//
+// The set is appendable: Append adds a new batch of ESTs at the next
+// generation without disturbing existing ids, so suffix buckets, trees and
+// cluster labels built over earlier generations stay valid.
 type SetS struct {
 	ests []Sequence // the n input ESTs
 	strs []Sequence // the 2n strings, indexed by StringID
 	totN int64      // Σ len(e_i): the paper's N
+	// genStart[g] is the index of the first EST of generation g; the batch
+	// spans [genStart[g], genStart[g+1]) with genStart[len] == n implied.
+	genStart []int32
 }
 
-// NewSetS builds S from the input ESTs. Empty ESTs are rejected: they carry
-// no suffixes and would produce degenerate ids downstream.
+// NewSetS builds S from the input ESTs (generation 0). Empty ESTs are
+// rejected: they carry no suffixes and would produce degenerate ids
+// downstream.
 func NewSetS(ests []Sequence) (*SetS, error) {
 	if len(ests) == 0 {
 		return nil, ErrEmptySet
 	}
-	s := &SetS{
-		ests: ests,
-		strs: make([]Sequence, 2*len(ests)),
+	s := &SetS{genStart: []int32{0}}
+	if err := s.append(ests); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// append adds a batch under the already-registered newest generation.
+func (s *SetS) append(ests []Sequence) error {
+	base := len(s.ests)
+	for i, e := range ests {
+		if len(e) == 0 {
+			return fmt.Errorf("seq: EST %d is empty", base+i)
+		}
+		s.ests = append(s.ests, e)
+		s.strs = append(s.strs, e, e.ReverseComplement())
+		s.totN += int64(len(e))
+	}
+	return nil
+}
+
+// Append adds a batch of ESTs as the next generation and returns that
+// generation's tag. Existing StringIDs, ESTIDs and the reverse-complement
+// pairing invariant (s_{2i+1} = rc(s_{2i})) are preserved; the new strings
+// occupy the id range [GenStartString(g), NumStrings()). An empty batch or an
+// empty EST is rejected without mutating the set.
+func (s *SetS) Append(ests []Sequence) (Gen, error) {
+	if len(ests) == 0 {
+		return 0, ErrEmptySet
 	}
 	for i, e := range ests {
 		if len(e) == 0 {
-			return nil, fmt.Errorf("seq: EST %d is empty", i)
+			return 0, fmt.Errorf("seq: EST %d is empty", len(s.ests)+i)
 		}
-		s.strs[2*i] = e
-		s.strs[2*i+1] = e.ReverseComplement()
-		s.totN += int64(len(e))
 	}
-	return s, nil
+	g := Gen(len(s.genStart))
+	s.genStart = append(s.genStart, int32(len(s.ests)))
+	if err := s.append(ests); err != nil {
+		return 0, err
+	}
+	return g, nil
+}
+
+// NumGenerations returns how many batches the set holds (>= 1).
+func (s *SetS) NumGenerations() int { return len(s.genStart) }
+
+// GenStart returns the index of the first EST of generation g; g ==
+// NumGenerations() returns n, so [GenStart(g), GenStart(g+1)) is always the
+// batch's EST range.
+func (s *SetS) GenStart(g Gen) ESTID {
+	if int(g) >= len(s.genStart) {
+		return ESTID(len(s.ests))
+	}
+	return ESTID(s.genStart[g])
+}
+
+// GenStartString returns the first StringID of generation g. Strings with id
+// >= GenStartString(g) are exactly those of generation >= g — the freshness
+// test the incremental pair generator relies on.
+func (s *SetS) GenStartString(g Gen) StringID {
+	return Forward(s.GenStart(g))
+}
+
+// Generation returns the batch generation EST e arrived in.
+func (s *SetS) Generation(e ESTID) Gen {
+	// Generations are few (one per Add); a linear scan is fine.
+	for g := len(s.genStart) - 1; g > 0; g-- {
+		if int32(e) >= s.genStart[g] {
+			return Gen(g)
+		}
+	}
+	return 0
 }
 
 // NumESTs returns n.

@@ -258,3 +258,154 @@ func BenchmarkParse(b *testing.B) {
 		}
 	}
 }
+
+// mustParse converts ASCII to a Sequence or fails the test.
+func mustParse(t *testing.T, s string) Sequence {
+	t.Helper()
+	p, err := Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSetSAppendGenerations(t *testing.T) {
+	set, err := NewSetS([]Sequence{mustParse(t, "ACGTACGT"), mustParse(t, "TTTTGGGG")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := set.Append([]Sequence{mustParse(t, "CCCCAAAA")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := set.Append([]Sequence{mustParse(t, "GATTACAG"), mustParse(t, "ACGTACGT")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != 1 || g2 != 2 {
+		t.Fatalf("generations = %d, %d, want 1, 2", g1, g2)
+	}
+	if set.NumGenerations() != 3 {
+		t.Fatalf("NumGenerations = %d, want 3", set.NumGenerations())
+	}
+	if set.NumESTs() != 5 || set.NumStrings() != 10 {
+		t.Fatalf("n = %d, 2n = %d, want 5, 10", set.NumESTs(), set.NumStrings())
+	}
+	if set.TotalChars() != 5*8 {
+		t.Fatalf("TotalChars = %d, want 40", set.TotalChars())
+	}
+	wantGens := []Gen{0, 0, 1, 2, 2}
+	for e, want := range wantGens {
+		if got := set.Generation(ESTID(e)); got != want {
+			t.Errorf("Generation(%d) = %d, want %d", e, got, want)
+		}
+	}
+	if set.GenStart(0) != 0 || set.GenStart(1) != 2 || set.GenStart(2) != 3 || set.GenStart(3) != 5 {
+		t.Errorf("GenStart boundaries wrong: %d %d %d %d",
+			set.GenStart(0), set.GenStart(1), set.GenStart(2), set.GenStart(3))
+	}
+	if set.GenStartString(2) != Forward(3) {
+		t.Errorf("GenStartString(2) = %d, want %d", set.GenStartString(2), Forward(3))
+	}
+}
+
+// Appending an EST shorter than any realistic bucketing window w must still
+// keep the set consistent: the EST gets ids and an rc mate like any other,
+// and simply contributes no length->=w suffixes downstream.
+func TestSetSAppendShortEST(t *testing.T) {
+	set, err := NewSetS([]Sequence{mustParse(t, "ACGTACGTACGT")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := set.Append([]Sequence{mustParse(t, "ACG")}); err != nil {
+		t.Fatal(err)
+	}
+	short := ESTID(1)
+	if got := set.Str(Forward(short)); !got.Equal(mustParse(t, "ACG")) {
+		t.Errorf("short EST forward string = %v", got)
+	}
+	if got := set.Str(Reverse(short)); !got.Equal(mustParse(t, "CGT")) {
+		t.Errorf("short EST reverse string = %v, want CGT", got)
+	}
+	if set.TotalChars() != 12+3 {
+		t.Errorf("TotalChars = %d, want 15", set.TotalChars())
+	}
+}
+
+// Duplicate ESTs across batches are legitimate (resequenced clones): they get
+// distinct ids and generations while sharing content.
+func TestSetSAppendDuplicateAcrossBatches(t *testing.T) {
+	est := mustParse(t, "ACGTTGCAACGT")
+	set, err := NewSetS([]Sequence{est})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := set.Append([]Sequence{est.Clone()}); err != nil {
+		t.Fatal(err)
+	}
+	if set.NumESTs() != 2 {
+		t.Fatalf("NumESTs = %d, want 2", set.NumESTs())
+	}
+	if !set.EST(0).Equal(set.EST(1)) {
+		t.Error("duplicate ESTs should compare equal")
+	}
+	if set.Generation(0) == set.Generation(1) {
+		t.Error("duplicate ESTs across batches should differ in generation")
+	}
+	if !set.Str(Reverse(0)).Equal(set.Str(Reverse(1))) {
+		t.Error("duplicate ESTs should have equal reverse complements")
+	}
+}
+
+// The paper's pairing invariant s_{2i} = rc(s_{2i-1}) must hold over every
+// string after any number of Append calls.
+func TestSetSAppendPairingInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	randSeq := func(n int) Sequence {
+		s := make(Sequence, n)
+		for i := range s {
+			s[i] = Code(rng.Intn(AlphabetSize))
+		}
+		return s
+	}
+	set, err := NewSetS([]Sequence{randSeq(30), randSeq(17)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for batch := 0; batch < 4; batch++ {
+		ests := make([]Sequence, 1+rng.Intn(3))
+		for i := range ests {
+			ests[i] = randSeq(5 + rng.Intn(40))
+		}
+		if _, err := set.Append(ests); err != nil {
+			t.Fatal(err)
+		}
+		for e := ESTID(0); int(e) < set.NumESTs(); e++ {
+			fwd, rev := set.Str(Forward(e)), set.Str(Reverse(e))
+			if !rev.Equal(fwd.ReverseComplement()) {
+				t.Fatalf("after batch %d: EST %d reverse string is not rc(forward)", batch, e)
+			}
+			if !fwd.Equal(set.EST(e)) {
+				t.Fatalf("after batch %d: EST %d forward string differs from EST()", batch, e)
+			}
+		}
+	}
+}
+
+// Append must reject bad batches without mutating the set.
+func TestSetSAppendRejects(t *testing.T) {
+	set, err := NewSetS([]Sequence{mustParse(t, "ACGTACGT")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := set.Append(nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if _, err := set.Append([]Sequence{mustParse(t, "ACGT"), {}}); err == nil {
+		t.Error("batch with empty EST accepted")
+	}
+	if set.NumESTs() != 1 || set.NumStrings() != 2 || set.NumGenerations() != 1 {
+		t.Errorf("failed Append mutated the set: n=%d 2n=%d gens=%d",
+			set.NumESTs(), set.NumStrings(), set.NumGenerations())
+	}
+}

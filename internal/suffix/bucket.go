@@ -12,6 +12,7 @@
 package suffix
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -21,6 +22,11 @@ import (
 // MaxWindow bounds the bucket-prefix width: 4^12 = 16M buckets is already far
 // beyond what load balancing needs.
 const MaxWindow = 12
+
+// ErrEmptyBucket is returned (wrapped) by Build for a bucket with no
+// suffixes. Callers performing incremental rebuilds match it with errors.Is
+// and skip the bucket.
+var ErrEmptyBucket = errors.New("suffix: empty bucket")
 
 // SuffixRef identifies one suffix: string id and start position.
 type SuffixRef struct {
@@ -68,6 +74,20 @@ func Histogram(set *seq.SetS, w int, lo, hi seq.StringID) []int64 {
 	return hist
 }
 
+// HistogramFrom is Histogram restricted to suffixes of strings with
+// generation >= from: the per-batch contribution an incremental run uses to
+// find the buckets a new batch touches. Generations are monotone in string
+// id, so the restriction is a clamp of the scan range.
+func HistogramFrom(set *seq.SetS, w int, from seq.Gen, lo, hi seq.StringID) []int64 {
+	if s := set.GenStartString(from); s > lo {
+		lo = s
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return Histogram(set, w, lo, hi)
+}
+
 // Assign maps each non-empty bucket to one of p workers such that worker
 // loads (total suffixes) are near-balanced: buckets are taken in decreasing
 // size order and each goes to the currently least-loaded worker (LPT).
@@ -108,6 +128,21 @@ func Assign(hist []int64, p int) []int32 {
 		loads[best] += b.size
 	}
 	return owner
+}
+
+// AssignFresh is Assign restricted to the buckets a new batch touches:
+// buckets with no fresh suffix map to -1 even when non-empty, so untouched
+// subtrees are neither collected nor rebuilt (their pairs were all judged in
+// earlier generations). Touched buckets are balanced by their total (old +
+// fresh) size, which is what the rebuild costs.
+func AssignFresh(hist, freshHist []int64, p int) []int32 {
+	masked := make([]int64, len(hist))
+	for b, f := range freshHist {
+		if f > 0 {
+			masked[b] = hist[b]
+		}
+	}
+	return Assign(masked, p)
 }
 
 // Loads returns the per-worker suffix totals implied by an assignment.
@@ -154,6 +189,20 @@ func CollectOwned(set *seq.SetS, w int, owner []int32, me int32, lo, hi seq.Stri
 		})
 	}
 	return out
+}
+
+// CollectOwnedFrom is CollectOwned restricted to suffixes of strings with
+// generation >= from — the incremental path that gathers only a new batch's
+// suffixes, to be merged into cached per-bucket lists whose older entries are
+// already in place.
+func CollectOwnedFrom(set *seq.SetS, w int, owner []int32, me int32, lo, hi seq.StringID, from seq.Gen) map[int][]SuffixRef {
+	if s := set.GenStartString(from); s > lo {
+		lo = s
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return CollectOwned(set, w, owner, me, lo, hi)
 }
 
 // SortedBucketIDs returns the map's bucket ids in ascending order, for

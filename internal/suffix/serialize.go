@@ -81,6 +81,7 @@ func ReadTree(r io.Reader) (*Tree, error) {
 			return nil, fmt.Errorf("suffix: node %d has invalid RML %d", i, t.Nodes[i].RML)
 		}
 	}
+	t.leaves = t.countLeaves() // cache once so NumLeaves stays O(1)
 	return t, nil
 }
 

@@ -1,11 +1,22 @@
 package suffix
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
 	"pace/internal/seq"
 )
+
+// mustSeq parses one sequence or fails the test.
+func mustSeq(t testing.TB, s string) seq.Sequence {
+	t.Helper()
+	p, err := seq.Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
 
 func mustSet(t testing.TB, strs ...string) *seq.SetS {
 	t.Helper()
@@ -371,5 +382,106 @@ func BenchmarkBuildForest(b *testing.B) {
 		if _, err := BuildForest(set, m, w); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestBuildEmptyBucketSentinel(t *testing.T) {
+	set := mustSet(t, "ACG")
+	_, err := Build(set, 7, nil, 2)
+	if !errors.Is(err, ErrEmptyBucket) {
+		t.Fatalf("Build(empty) = %v, want ErrEmptyBucket", err)
+	}
+}
+
+func TestBuildForestSkipsEmptyBuckets(t *testing.T) {
+	set := mustSet(t, "ACGT")
+	m := map[int][]SuffixRef{
+		0: nil, // legitimately emptied by an incremental rebuild
+		1: {{SID: 0, Pos: 0}},
+		9: {},
+	}
+	forest, err := BuildForest(set, m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(forest) != 1 || forest[0].Bucket != 1 {
+		t.Fatalf("forest = %v, want exactly bucket 1", forest)
+	}
+}
+
+func TestNumLeavesCached(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	set := randomSet(t, rng, 8, 20, 60)
+	for _, tr := range buildAll(t, set, 3) {
+		if tr.leaves == 0 {
+			t.Fatalf("bucket %d: leaf count not cached at build", tr.Bucket)
+		}
+		if got, want := tr.NumLeaves(), tr.countLeaves(); got != want {
+			t.Fatalf("bucket %d: cached NumLeaves %d != scan %d", tr.Bucket, got, want)
+		}
+	}
+	// A hand-assembled tree (no cache) still answers by scanning.
+	hand := &Tree{Nodes: []Node{{Depth: 3, RML: 0, SID: 0, Pos: 0}}}
+	if hand.NumLeaves() != 1 {
+		t.Errorf("hand-made tree NumLeaves = %d, want 1", hand.NumLeaves())
+	}
+}
+
+func TestHistogramFromCountsOnlyFreshSuffixes(t *testing.T) {
+	set := mustSet(t, "ACGTAC", "GGTTAA")
+	gen, err := set.Append([]seq.Sequence{mustSeq(t, "ACACAC")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := 2
+	n2 := seq.StringID(set.NumStrings())
+	all := Histogram(set, w, 0, n2)
+	old := Histogram(set, w, 0, set.GenStartString(gen))
+	fresh := HistogramFrom(set, w, gen, 0, n2)
+	for b := range all {
+		if old[b]+fresh[b] != all[b] {
+			t.Fatalf("bucket %d: old %d + fresh %d != all %d", b, old[b], fresh[b], all[b])
+		}
+	}
+}
+
+func TestAssignFreshSkipsUntouchedBuckets(t *testing.T) {
+	hist := []int64{10, 5, 0, 7}
+	fresh := []int64{0, 2, 0, 1}
+	owner := AssignFresh(hist, fresh, 2)
+	if owner[0] != -1 {
+		t.Errorf("untouched non-empty bucket 0 assigned to %d", owner[0])
+	}
+	if owner[2] != -1 {
+		t.Errorf("empty bucket 2 assigned to %d", owner[2])
+	}
+	if owner[1] < 0 || owner[3] < 0 {
+		t.Errorf("touched buckets unassigned: %v", owner)
+	}
+}
+
+func TestCollectOwnedFromGathersOnlyFreshSuffixes(t *testing.T) {
+	set := mustSet(t, "ACGTACGT", "TTGGCCAA")
+	gen, err := set.Append([]seq.Sequence{mustSeq(t, "CAGTCAGT")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := 2
+	n2 := seq.StringID(set.NumStrings())
+	owner := Assign(Histogram(set, w, 0, n2), 1)
+	freshOnly := CollectOwnedFrom(set, w, owner, 0, 0, n2, gen)
+	firstFresh := set.GenStartString(gen)
+	total := 0
+	for b, refs := range freshOnly {
+		for _, r := range refs {
+			if r.SID < firstFresh {
+				t.Fatalf("bucket %d: collected stale suffix (%d,%d)", b, r.SID, r.Pos)
+			}
+			total++
+		}
+	}
+	// Two fresh strings (forward + rc) of length 8, w=2 → 7 suffixes each.
+	if total != 14 {
+		t.Errorf("collected %d fresh suffixes, want 14", total)
 	}
 }

@@ -31,6 +31,9 @@ type Tree struct {
 	// Nodes are the tree nodes in depth-first (preorder) order; Nodes[0]
 	// is the subtree root.
 	Nodes []Node
+	// leaves caches the leaf count; Build and ReadTree fill it so NumLeaves
+	// need not rescan the node array on every stats or serialization call.
+	leaves int
 }
 
 // Len returns the number of nodes.
@@ -68,8 +71,17 @@ func (t *Tree) PathLabel(set *seq.SetS, i int32) seq.Sequence {
 	return set.Str(n.SID)[n.Pos : n.Pos+n.Depth]
 }
 
-// NumLeaves counts the leaves (i.e. suffixes) in the tree.
+// NumLeaves returns the number of leaves (i.e. suffixes) in the tree. Trees
+// from Build or ReadTree answer from a count cached at construction; a tree
+// assembled by hand falls back to a scan.
 func (t *Tree) NumLeaves() int {
+	if t.leaves > 0 || len(t.Nodes) == 0 {
+		return t.leaves
+	}
+	return t.countLeaves()
+}
+
+func (t *Tree) countLeaves() int {
 	c := 0
 	for i := range t.Nodes {
 		if t.IsLeaf(int32(i)) {
@@ -101,9 +113,13 @@ func (b *builder) charAt(r SuffixRef, d int32) seq.Code {
 // character-at-a-time recursive bucketing: O(sum of suffix lengths) for the
 // bucket, i.e. O(N·l/p) per worker overall — efficient in practice because
 // the average EST length l is independent of n.
+// Building an empty bucket returns ErrEmptyBucket (wrapped with the bucket
+// id); incremental rebuilds legitimately produce such buckets when every
+// cached suffix of a bucket belongs to strings that no longer map to it, and
+// callers are expected to skip them explicitly rather than fail.
 func Build(set *seq.SetS, bucket int, suffixes []SuffixRef, w int) (*Tree, error) {
 	if len(suffixes) == 0 {
-		return nil, fmt.Errorf("suffix: bucket %d has no suffixes", bucket)
+		return nil, fmt.Errorf("suffix: bucket %d: %w", bucket, ErrEmptyBucket)
 	}
 	b := &builder{set: set, nodes: make([]Node, 0, 2*len(suffixes))}
 	for _, r := range suffixes {
@@ -112,7 +128,7 @@ func Build(set *seq.SetS, bucket int, suffixes []SuffixRef, w int) (*Tree, error
 		}
 	}
 	b.build(suffixes, int32(w))
-	return &Tree{Bucket: bucket, Nodes: b.nodes}, nil
+	return &Tree{Bucket: bucket, Nodes: b.nodes, leaves: len(suffixes)}, nil
 }
 
 // emitLeaf appends a leaf for suffix r (depth = full suffix length).
@@ -172,11 +188,15 @@ func (b *builder) build(group []SuffixRef, depth int32) {
 }
 
 // BuildForest builds the subtree of every bucket in the map, in ascending
-// bucket order.
+// bucket order. Buckets whose suffix list is empty are skipped: incremental
+// rebuilds can leave such entries behind, and they carry no subtree.
 func BuildForest(set *seq.SetS, byBucket map[int][]SuffixRef, w int) ([]*Tree, error) {
 	ids := SortedBucketIDs(byBucket)
 	forest := make([]*Tree, 0, len(ids))
 	for _, id := range ids {
+		if len(byBucket[id]) == 0 {
+			continue
+		}
 		t, err := Build(set, id, byBucket[id], w)
 		if err != nil {
 			return nil, err

@@ -65,6 +65,10 @@ type (
 	Checkpoint = cluster.Checkpoint
 	// RecoveryStats reports fault-recovery and checkpoint activity.
 	RecoveryStats = cluster.RecoveryStats
+	// IncrementalStats reports what an incremental batch run skipped and
+	// did: buckets rebuilt vs reused, fresh pairs emitted, old×old pairs
+	// suppressed. See Session.
+	IncrementalStats = cluster.IncrementalStats
 )
 
 // NewMetricsRegistry returns an empty metrics registry.
@@ -221,7 +225,10 @@ type Stats struct {
 	WorkBufHighWater int
 	// Recovery reports slave-failure recovery and checkpoint activity.
 	Recovery RecoveryStats
-	Phases   PhaseTimes
+	// Incremental reports batch-ingest savings (Session runs; zero for
+	// plain one-shot runs).
+	Incremental IncrementalStats
+	Phases      PhaseTimes
 	// PerRank is the per-rank load/communication breakdown, sorted by
 	// rank; sequential runs report a single "seq" row.
 	PerRank []RankStats
@@ -330,20 +337,18 @@ func parseESTs(ests []string) ([]seq.Sequence, error) {
 }
 
 // Cluster partitions the ESTs (DNA strings over ACGT; case-insensitive)
-// into gene-level clusters.
+// into gene-level clusters. It is a one-batch Session: callers expecting
+// more ESTs later should keep a Session and Add batches as they arrive.
 func Cluster(ests []string, opt Options) (*Clustering, error) {
-	parsed, err := parseESTs(ests)
+	s, err := NewSession(opt)
 	if err != nil {
 		return nil, err
 	}
-	cfg, err := opt.toConfig()
-	if err != nil {
-		return nil, err
-	}
-	res, err := cluster.Run(parsed, cfg)
-	if err != nil {
-		return nil, err
-	}
+	return s.Add(ests)
+}
+
+// convertResult translates an engine result into the public Clustering.
+func convertResult(res *cluster.Result) *Clustering {
 	out := &Clustering{
 		Labels:      make([]int, len(res.Labels)),
 		NumClusters: res.NumClusters,
@@ -358,6 +363,7 @@ func Cluster(ests []string, opt Options) (*Clustering, error) {
 			MasterIdle:       res.Stats.MasterIdle,
 			WorkBufHighWater: res.Stats.WorkBufHighWater,
 			Recovery:         res.Stats.Recovery,
+			Incremental:      res.Stats.Incremental,
 			Phases: PhaseTimes{
 				Partition: res.Stats.Phases.Partition,
 				Construct: res.Stats.Phases.Construct,
@@ -387,7 +393,7 @@ func Cluster(ests []string, opt Options) (*Clustering, error) {
 		out.Labels[i] = int(l)
 		out.Clusters[l] = append(out.Clusters[l], i)
 	}
-	return out, nil
+	return out
 }
 
 // BuildReport assembles the machine-readable run report for a clustering

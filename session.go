@@ -1,0 +1,188 @@
+package pace
+
+import (
+	"fmt"
+	"time"
+
+	"pace/internal/cluster"
+	"pace/internal/seq"
+	"pace/internal/telemetry"
+)
+
+// Incremental batch telemetry published by Session.Add when Options.Metrics
+// is set, alongside the engine's pace_incremental_buckets_* gauges and
+// pace_incremental_{fresh_pairs,stale_suppressed}_total counters.
+const (
+	metricBatchesTotal = "pace_incremental_batches_total"
+	metricBatchNs      = "pace_incremental_batch_ns"
+)
+
+// Session is a persistent clustering instance that ingests EST batches
+// incrementally — the paper's closing open problem ("is there a way to
+// incrementally adjust the EST clusters when a new batch of ESTs is
+// sequenced, instead of clustering all the ESTs from scratch?").
+//
+// Each Add appends a batch as a new generation of the sequence set and
+// re-clusters only what the batch can affect: GST buckets no new suffix
+// falls into are skipped (sequentially their cached subtrees are reused
+// verbatim), and inside rebuilt buckets pairs whose strings both predate
+// the batch are suppressed — their maximal common substring is a property
+// of the two strings alone, so they were generated and judged when the
+// younger string arrived, and that verdict is carried forward by seeding
+// the union-find with the previous partition. The resulting labels are
+// identical to clustering all ESTs ingested so far from scratch.
+//
+// A Session is single-goroutine state: do not call its methods
+// concurrently. If an Add fails the session's state is undefined; start a
+// fresh Session (or ResumeSession from the last saved labels).
+type Session struct {
+	opt     Options
+	set     *seq.SetS
+	cache   *cluster.BucketCache
+	labels  []int32
+	last    *Clustering
+	batches int
+}
+
+// NewSession validates the options and returns an empty session. The first
+// Add clusters its batch from scratch; later Adds are incremental.
+func NewSession(opt Options) (*Session, error) {
+	cfg, err := opt.toConfig()
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Session{opt: opt}
+	if opt.Processors == 1 {
+		s.cache = cluster.NewBucketCache()
+	}
+	return s, nil
+}
+
+// ResumeSession rebuilds a session from previously clustered ESTs and their
+// saved labels (e.g. SaveCheckpoint + LoadCheckpoint + ResumeLabels) without
+// re-clustering them: the next Add is incremental from the start.
+func ResumeSession(opt Options, ests []string, labels []int) (*Session, error) {
+	s, err := NewSession(opt)
+	if err != nil {
+		return nil, err
+	}
+	parsed, err := parseESTs(ests)
+	if err != nil {
+		return nil, err
+	}
+	set, err := seq.NewSetS(parsed)
+	if err != nil {
+		return nil, err
+	}
+	if len(labels) != set.NumESTs() {
+		return nil, fmt.Errorf("pace: %d labels for %d ESTs", len(labels), set.NumESTs())
+	}
+	s.set = set
+	s.labels = make([]int32, len(labels))
+	for i, l := range labels {
+		s.labels[i] = int32(l)
+	}
+	if s.cache != nil {
+		if err := s.cache.Warm(set, opt.Window); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Add ingests a batch of ESTs (DNA strings over ACGT; case-insensitive),
+// re-clusters incrementally, and returns the clustering over every EST the
+// session has seen. The returned Stats cover this batch's run only; its
+// Incremental field reports how much work the batch avoided.
+func (s *Session) Add(ests []string) (*Clustering, error) {
+	if len(ests) == 0 {
+		return nil, fmt.Errorf("pace: empty batch")
+	}
+	parsed, err := parseESTs(ests)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := s.opt.toConfig()
+	if err != nil {
+		return nil, err
+	}
+	if s.set == nil {
+		s.set, err = seq.NewSetS(parsed)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		cfg.FreshGen, err = s.set.Append(parsed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	cfg.Cache = s.cache
+	if s.labels != nil {
+		// Seed the prior partition: every old×old verdict carries forward.
+		cfg.InitialLabels = s.labels
+	}
+	t0 := time.Now()
+	res, err := cluster.RunSet(s.set, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.labels = res.Labels
+	s.last = convertResult(res)
+	s.batches++
+	if m := s.opt.Metrics; m != nil {
+		m.Help(metricBatchesTotal, "EST batches ingested by sessions.")
+		m.Help(metricBatchNs, "End-to-end latency of one incremental batch, nanoseconds.")
+		m.Counter(metricBatchesTotal).Inc()
+		m.Histogram(metricBatchNs, telemetry.ExpBounds(1000, 4, 16)).Observe(time.Since(t0).Nanoseconds())
+	}
+	return s.last, nil
+}
+
+// Labels returns a copy of the current partition: one dense cluster label
+// per EST, in ingest order. Nil before the first Add.
+func (s *Session) Labels() []int {
+	if s.labels == nil {
+		return nil
+	}
+	out := make([]int, len(s.labels))
+	for i, l := range s.labels {
+		out[i] = int(l)
+	}
+	return out
+}
+
+// Clustering returns the result of the most recent Add (nil before any).
+// Its Labels and Clusters cover every EST the session holds; its Stats
+// cover only the latest batch's run.
+func (s *Session) Clustering() *Clustering { return s.last }
+
+// NumESTs reports how many ESTs the session holds.
+func (s *Session) NumESTs() int {
+	if s.set == nil {
+		return 0
+	}
+	return s.set.NumESTs()
+}
+
+// Batches reports how many batches have been ingested via Add.
+func (s *Session) Batches() int { return s.batches }
+
+// SaveCheckpoint persists the session's current partition to
+// dir/pace.ckpt using the engine's checkpoint format (atomic replace,
+// CRC-verified). Reload with LoadCheckpoint and re-enter with
+// ResumeSession(opt, ests, ResumeLabels(ck)).
+func (s *Session) SaveCheckpoint(dir string) error {
+	if s.set == nil {
+		return fmt.Errorf("pace: session holds no ESTs")
+	}
+	ck, err := cluster.CheckpointFromLabels(s.set.NumESTs(), s.opt.Window, s.opt.MinMatch, s.labels)
+	if err != nil {
+		return err
+	}
+	_, err = cluster.WriteCheckpoint(dir, ck)
+	return err
+}
