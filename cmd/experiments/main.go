@@ -28,7 +28,18 @@ func main() {
 	scaleName := flag.String("scale", "small", "workload scale (tiny, small, medium)")
 	seed := flag.Int64("seed", 1, "benchmark random seed")
 	reportPath := flag.String("report", "", "write a run-report JSON here ('auto' derives BENCH_experiments_<stamp>.json)")
+	stampStr := flag.String("stamp", "", "fix the report timestamp (RFC 3339) and zero wall_seconds, for byte-reproducible reports")
 	flag.Parse()
+
+	var stamp time.Time
+	if *stampStr != "" {
+		var err error
+		stamp, err = time.Parse(time.RFC3339, *stampStr)
+		if err != nil {
+			fatal(fmt.Errorf("-stamp must be RFC 3339: %v", err))
+		}
+	}
+	repStamp = stamp
 
 	sc, ok := experiments.ScaleByName(*scaleName)
 	if !ok {
@@ -71,14 +82,14 @@ func main() {
 	wall := time.Since(t0)
 
 	if *reportPath != "" {
-		if err := writeReport(*reportPath, *scaleName, *seed, pt, wall); err != nil {
+		if err := writeReport(*reportPath, *scaleName, *seed, pt, wall, stamp); err != nil {
 			fatal(err)
 		}
 	}
 }
 
 // writeReport emits the BENCH_*.json artifact for an experiments run.
-func writeReport(path, scale string, seed int64, pt *telemetry.PhaseTimer, wall time.Duration) error {
+func writeReport(path, scale string, seed int64, pt *telemetry.PhaseTimer, wall time.Duration, stamp time.Time) error {
 	rep := &telemetry.RunReport{
 		Tool: "experiments",
 		Params: map[string]string{
@@ -92,9 +103,18 @@ func writeReport(path, scale string, seed int64, pt *telemetry.PhaseTimer, wall 
 		rep.Phases = append(rep.Phases, telemetry.PhaseEntry{Name: t.Name, Seconds: t.Total.Seconds()})
 	}
 	rep.Phases = append(rep.Phases, telemetry.PhaseEntry{Name: "total", Seconds: wall.Seconds()})
-	rep.Stamp()
+	if stamp.IsZero() {
+		rep.Stamp()
+	} else {
+		rep.StampAt(stamp)
+		rep.WallSeconds = 0
+	}
 	if path == "auto" {
-		path = telemetry.BenchFileName("experiments", time.Now())
+		now := stamp
+		if now.IsZero() {
+			now = time.Now()
+		}
+		path = telemetry.BenchFileName("experiments", now)
 	}
 	if err := rep.WriteJSON(path); err != nil {
 		return err
@@ -280,13 +300,22 @@ func incrementalStudy(sc experiments.Scale, seed int64) error {
 	rep.Counters["incremental_buckets_rebuilt"] = float64(incr.BucketsRebuilt)
 	rep.Counters["incremental_buckets_reused"] = float64(incr.BucketsReused)
 	rep.Counters["incremental_stale_suppressed"] = float64(incr.StaleSuppressed)
-	rep.Stamp()
+	if repStamp.IsZero() {
+		rep.Stamp()
+	} else {
+		rep.StampAt(repStamp)
+		rep.WallSeconds = 0
+	}
 	if err := rep.WriteJSON(incrementalBench); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "experiments: wrote incremental comparison to %s\n", incrementalBench)
 	return nil
 }
+
+// repStamp mirrors the -stamp flag for study functions that write their own
+// report files (the dispatch-table signature has no room to thread it).
+var repStamp time.Time
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "experiments:", err)

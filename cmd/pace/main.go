@@ -56,6 +56,8 @@ func main() {
 	resume := flag.Bool("resume", false, "resume from the checkpoint in -checkpoint-dir, skipping completed merges")
 	sessionDir := flag.String("session", "", "persistent session directory (session.fasta + pace.ckpt) for incremental clustering")
 	addBatch := flag.Bool("add", false, "ingest -in as a new batch into the -session directory, re-clustering incrementally")
+	simDet := flag.Bool("sim-deterministic", false, "with -sim: disable the measured-compute bridge so two identical runs report identical virtual times")
+	stampStr := flag.String("stamp", "", "fix the report timestamp (RFC 3339) and zero wall_seconds, for byte-reproducible reports")
 	flag.Parse()
 
 	if err := validateFlags(flagValues{
@@ -66,6 +68,7 @@ func main() {
 		ckptInterval: *ckptInterval, ckptEvery: *ckptEvery,
 		slaveTimeout: *slaveTimeout, resume: *resume,
 		session: *sessionDir, add: *addBatch,
+		simDeterministic: *simDet, stamp: *stampStr,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "pace:", err)
 		flag.Usage()
@@ -99,6 +102,10 @@ func main() {
 	opt := pace.DefaultOptions()
 	opt.Processors = *procs
 	opt.Simulated = *sim
+	opt.SimDeterministic = *simDet
+	if *stampStr != "" {
+		opt.Stamp, _ = time.Parse(time.RFC3339, *stampStr) // validated above
+	}
 	opt.Window = *window
 	opt.MinMatch = *psi
 	opt.BatchSize = *batch
@@ -275,7 +282,11 @@ func main() {
 	if *reportPath != "" {
 		path := *reportPath
 		if path == "auto" {
-			path = pace.BenchFileName("pace", time.Now())
+			now := opt.Stamp
+			if now.IsZero() {
+				now = time.Now()
+			}
+			path = pace.BenchFileName("pace", now)
 		}
 		if err := rep.WriteJSON(path); err != nil {
 			fatal(err)

@@ -28,6 +28,9 @@ type flagValues struct {
 
 	session string
 	add     bool
+
+	simDeterministic bool
+	stamp            string
 }
 
 // validateFlags performs the up-front sanity checks. Deeper consistency
@@ -86,6 +89,14 @@ func validateFlags(v flagValues) error {
 	}
 	if v.session != "" && v.ckptDir != "" {
 		return errors.New("-session and -checkpoint-dir are mutually exclusive (the session directory holds its own checkpoint)")
+	}
+	if v.simDeterministic && !v.sim {
+		return errors.New("-sim-deterministic needs -sim (the real transport cannot replay time)")
+	}
+	if v.stamp != "" {
+		if _, err := time.Parse(time.RFC3339, v.stamp); err != nil {
+			return fmt.Errorf("-stamp must be RFC 3339 (e.g. 2002-08-20T00:00:00Z): %v", err)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,24 @@
+// Command pacelint runs the project's analyzer suite: the mechanical form
+// of the pipeline's ownership, determinism and wire-format contracts.
+//
+// Standalone:
+//
+//	go run ./cmd/pacelint ./...
+//
+// As a vet tool (analyzes test variants too, cached by the build system):
+//
+//	go build -o /tmp/pacelint ./cmd/pacelint
+//	go vet -vettool=/tmp/pacelint ./...
+//
+// See DESIGN.md §10 for the invariant catalog and the //pacelint:allow
+// directive syntax.
+package main
+
+import (
+	"pace/internal/lint"
+	"pace/internal/lint/analyzers"
+)
+
+func main() {
+	lint.Main(analyzers.All())
+}

@@ -158,18 +158,23 @@ type checkpointer struct {
 	st      *Stats
 	pr      *probes
 
+	// clock is the engine's time base: the sequential wall clock or the
+	// rank's virtual Comm.Elapsed, so snapshot cadence replays identically
+	// in simulation.
+	clock func() time.Duration
+
 	seq     uint64
-	last    time.Time
+	last    time.Duration
 	reports int
 }
 
-func newCheckpointer(cfg Config, numESTs int, st *Stats, pr *probes) *checkpointer {
+func newCheckpointer(cfg Config, numESTs int, st *Stats, pr *probes, clock func() time.Duration) *checkpointer {
 	if cfg.Checkpoint.Dir == "" {
 		return nil
 	}
 	return &checkpointer{
 		cfg: cfg.Checkpoint, numESTs: numESTs, window: cfg.Window, psi: cfg.Psi,
-		st: st, pr: pr, last: time.Now(),
+		st: st, pr: pr, clock: clock, last: clock(),
 	}
 }
 
@@ -185,14 +190,14 @@ func (ck *checkpointer) maybe(uf *unionfind.UF, processed, accepted, skipped, me
 			if ck.reports < ck.cfg.EveryReports {
 				return nil
 			}
-		} else if time.Since(ck.last) < ck.cfg.interval() {
+		} else if ck.clock()-ck.last < ck.cfg.interval() {
 			return nil
 		}
 	}
 	ck.reports = 0
-	ck.last = time.Now()
+	ck.last = ck.clock()
 	ck.seq++
-	t0 := time.Now()
+	t0 := ck.clock()
 	n, err := WriteCheckpoint(ck.cfg.Dir, &Checkpoint{
 		NumESTs: ck.numESTs, Window: ck.window, Psi: ck.psi, Seq: ck.seq,
 		PairsProcessed: processed, PairsAccepted: accepted,
@@ -201,7 +206,7 @@ func (ck *checkpointer) maybe(uf *unionfind.UF, processed, accepted, skipped, me
 	if err != nil {
 		return err
 	}
-	d := time.Since(t0)
+	d := ck.clock() - t0
 	ck.st.Recovery.Checkpoints++
 	ck.st.Recovery.CheckpointBytes += int64(n)
 	ck.st.Recovery.CheckpointTime += d

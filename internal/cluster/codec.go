@@ -142,7 +142,7 @@ func (r *reader) done() error {
 		return r.err
 	}
 	if r.off != len(r.b) {
-		return fmt.Errorf("cluster: %d trailing bytes in message", len(r.b)-r.off)
+		return fmt.Errorf("cluster: %d trailing bytes at offset %d", len(r.b)-r.off, r.off)
 	}
 	return nil
 }
@@ -183,17 +183,22 @@ func appendReport(b []byte, rep report) []byte {
 func decodeReport(b []byte) (report, error) {
 	r := reader{b: b}
 	flags := r.u32()
+	if r.err == nil && flags&^7 != 0 {
+		return report{}, fmt.Errorf("cluster: unknown report flag bits %#x", flags&^7)
+	}
 	rep := report{passive: flags&1 != 0, hasNextWork: flags&2 != 0, ackWork: flags&4 != 0}
 	nRes := r.u32()
 	if r.err == nil && int(nRes) > len(b)/12 {
 		return report{}, fmt.Errorf("cluster: result count %d exceeds message size", nRes)
 	}
 	for i := uint32(0); i < nRes && r.err == nil; i++ {
-		rep.results = append(rep.results, alignResult{
-			estI:     seq.ESTID(r.u32()),
-			estJ:     seq.ESTID(r.u32()),
-			accepted: r.u32() != 0,
-		})
+		res := alignResult{estI: seq.ESTID(r.u32()), estJ: seq.ESTID(r.u32())}
+		acc := r.u32()
+		if r.err == nil && acc > 1 {
+			return report{}, fmt.Errorf("cluster: result %d has non-boolean accepted value %d at offset %d", i, acc, r.off-4)
+		}
+		res.accepted = acc == 1
+		rep.results = append(rep.results, res)
 	}
 	nPairs := r.u32()
 	if r.err == nil && int(nPairs) > len(b)/20 {
@@ -240,6 +245,9 @@ func appendWork(b []byte, w work) []byte {
 func decodeWork(b []byte) (work, error) {
 	r := reader{b: b}
 	flags := r.u32()
+	if r.err == nil && flags&^3 != 0 {
+		return work{}, fmt.Errorf("cluster: unknown work flag bits %#x", flags&^3)
+	}
 	w := work{stop: flags&1 != 0, e: int32(r.u32())}
 	nPairs := r.u32()
 	if r.err == nil && int(nPairs) > len(b)/20 {
@@ -250,6 +258,9 @@ func decodeWork(b []byte) (work, error) {
 	}
 	if flags&2 != 0 {
 		nSh := r.u32()
+		if r.err == nil && nSh == 0 {
+			return work{}, fmt.Errorf("cluster: recover flag set but zero shards")
+		}
 		if r.err == nil && int(nSh) > len(b)/12 {
 			return work{}, fmt.Errorf("cluster: shard count %d exceeds message size", nSh)
 		}
@@ -301,8 +312,12 @@ func encodePhase(p phaseReport) []byte {
 }
 
 func decodePhase(b []byte) (phaseReport, error) {
-	if len(b) != 8*phaseReportWords {
-		return phaseReport{}, fmt.Errorf("cluster: phase report has %d bytes, want %d", len(b), 8*phaseReportWords)
+	const want = 8 * phaseReportWords
+	if len(b) < want {
+		return phaseReport{}, fmt.Errorf("cluster: phase report truncated at offset %d, want %d bytes", len(b), want)
+	}
+	if len(b) > want {
+		return phaseReport{}, fmt.Errorf("cluster: phase report has %d trailing bytes at offset %d", len(b)-want, want)
 	}
 	v := func(i int) int64 { return int64(binary.LittleEndian.Uint64(b[8*i:])) }
 	return phaseReport{

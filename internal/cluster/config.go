@@ -258,8 +258,9 @@ type Stats struct {
 	PairsSkipped int64
 	// Merges counts union operations that actually joined two clusters.
 	Merges int64
-	// MasterBusy is the wall-clock time the master spent processing
-	// messages (the paper reports it stays under 2% of the total).
+	// MasterBusy is the time the master spent processing messages, on the
+	// master rank's clock — virtual time under simulation, wall time on the
+	// real transport (the paper reports it stays under 2% of the total).
 	MasterBusy time.Duration
 	// WorkBufHighWater is the maximum number of pairs the master's WORKBUF
 	// ever held. The flow-control invariant asserts it never exceeds

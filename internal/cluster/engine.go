@@ -69,6 +69,18 @@ func alignPairs(set *seq.SetS, ext *align.Extender, cfg Config, pairs []pairgen.
 	return out, nil
 }
 
+// wallElapsed returns a monotonic clock counting from now. It is the
+// sequential engine's time base: that path runs outside the mp machine, so
+// real time is — by definition — its only clock.
+func wallElapsed() func() time.Duration {
+	//pacelint:allow walltime the sequential engine has no virtual clock; wall time is its time base
+	t0 := time.Now()
+	return func() time.Duration {
+		//pacelint:allow walltime the sequential engine has no virtual clock; wall time is its time base
+		return time.Since(t0)
+	}
+}
+
 // runSequential is the single-process engine: generate batches in decreasing
 // order, skip same-cluster pairs, align, merge.
 func runSequential(set *seq.SetS, cfg Config) (*Result, error) {
@@ -81,8 +93,9 @@ func runSequential(set *seq.SetS, cfg Config) (*Result, error) {
 	res := &Result{}
 	st := &res.Stats
 
-	t0 := time.Now()
-	fb, err := buildSequentialForest(set, cfg, st)
+	clk := wallElapsed()
+	t0 := clk()
+	fb, err := buildSequentialForest(set, cfg, st, clk)
 	if err != nil {
 		return nil, err
 	}
@@ -94,15 +107,15 @@ func runSequential(set *seq.SetS, cfg Config) (*Result, error) {
 		tw.Span(0, 0, "construct", "gst", st.Phases.Partition, st.Phases.Construct)
 	}
 
-	t2 := time.Now()
+	t2 := clk()
 	gen, err := pairgen.NewFresh(set, fb.forest, cfg.Psi, cfg.FreshGen)
 	if err != nil {
 		return nil, err
 	}
-	gen.Observe(pr.observer())
-	st.Phases.Sort = time.Since(t2)
+	gen.Observe(pr.observer(clk))
+	st.Phases.Sort = clk() - t2
 	if tw != nil {
-		tw.Span(0, 0, "sort", "pairgen", t2.Sub(t0), st.Phases.Sort)
+		tw.Span(0, 0, "sort", "pairgen", t2-t0, st.Phases.Sort)
 	}
 
 	ext, err := align.NewExtender(cfg.Scoring, cfg.Band)
@@ -118,14 +131,14 @@ func runSequential(set *seq.SetS, cfg Config) (*Result, error) {
 	if pr != nil {
 		pr.seedMerges.Set(seedMerges)
 	}
-	ck := newCheckpointer(cfg, set.NumESTs(), st, pr)
+	ck := newCheckpointer(cfg, set.NumESTs(), st, pr, clk)
 	buf := make([]pairgen.Pair, 0, cfg.BatchSize)
 	for {
 		buf = gen.Next(buf[:0], cfg.BatchSize)
 		if len(buf) == 0 {
 			break
 		}
-		tBatch := time.Since(t0)
+		tBatch := clk() - t0
 		var batchAlign time.Duration
 		for _, p := range buf {
 			i, j := p.ESTs()
@@ -136,9 +149,9 @@ func runSequential(set *seq.SetS, cfg Config) (*Result, error) {
 				}
 				continue
 			}
-			tA := time.Now()
+			tA := clk()
 			r, err := ext.Extend(set.Str(p.S1), set.Str(p.S2), p.Pos1, p.Pos2, p.MatchLen)
-			batchAlign += time.Since(tA)
+			batchAlign += clk() - tA
 			if err != nil {
 				return nil, err
 			}
@@ -178,7 +191,7 @@ func runSequential(set *seq.SetS, cfg Config) (*Result, error) {
 	if cfg.FreshGen > 0 || cfg.Cache != nil {
 		pr.recordIncremental(st.Incremental)
 	}
-	st.Phases.Total = time.Since(t0)
+	st.Phases.Total = clk() - t0
 	st.PerRank = []RankStats{{
 		Rank: 0, Role: "seq",
 		Partition: st.Phases.Partition, Construct: st.Phases.Construct,
@@ -363,7 +376,7 @@ func runMaster(set *seq.SetS, cfg Config, c *mp.Comm) (*Result, error) {
 	if pr != nil {
 		pr.seedMerges.Set(seedMerges)
 	}
-	ck := newCheckpointer(cfg, set.NumESTs(), st, pr)
+	ck := newCheckpointer(cfg, set.NumESTs(), st, pr, c.Elapsed)
 
 	slaves := c.Size() - 1
 	p := c.Size()
@@ -597,17 +610,17 @@ func runMaster(set *seq.SetS, cfg Config, c *mp.Comm) (*Result, error) {
 			if !cfg.Recover || !errors.As(err, &rf) || rf.Rank < 1 || rf.Rank > slaves || states[rf.Rank].dead {
 				return nil, err
 			}
-			busy := time.Now()
+			busy := c.Elapsed()
 			if err := handleDeath(rf.Rank); err != nil {
 				return nil, err
 			}
-			st.MasterBusy += time.Since(busy)
+			st.MasterBusy += c.Elapsed() - busy
 			if done() {
 				break
 			}
 			continue
 		}
-		busy := time.Now()
+		busy := c.Elapsed()
 		s := m.From
 		states[s].owes--
 		rep, err := decodeReport(m.Data)
@@ -713,7 +726,7 @@ func runMaster(set *seq.SetS, cfg Config, c *mp.Comm) (*Result, error) {
 		if err := reactivate(); err != nil {
 			return nil, err
 		}
-		st.MasterBusy += time.Since(busy)
+		st.MasterBusy += c.Elapsed() - busy
 		if done() {
 			break
 		}
@@ -899,7 +912,7 @@ func runSlave(set *seq.SetS, cfg Config, c *mp.Comm) error {
 	if err != nil {
 		return err
 	}
-	gen0.Observe(pr.observer())
+	gen0.Observe(pr.observer(c.Elapsed))
 	// The chain starts with this slave's own partition; recovery appends
 	// rebuilt dead-slave shards to it.
 	chain := &genChain{gens: []*pairgen.Generator{gen0}}
@@ -1024,7 +1037,7 @@ func runSlave(set *seq.SetS, cfg Config, c *mp.Comm) error {
 			if err != nil {
 				return err
 			}
-			g.Observe(pr.observer())
+			g.Observe(pr.observer(c.Elapsed))
 			chain.add(g)
 			dR := c.Elapsed() - tR
 			tConstruct += dR

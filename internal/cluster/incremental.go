@@ -118,10 +118,10 @@ type forestBuild struct {
 //     subtrees cannot contain a fresh pair.
 //
 // Incremental bucket counts land in st.Incremental.
-func buildSequentialForest(set *seq.SetS, cfg Config, st *Stats) (*forestBuild, error) {
+func buildSequentialForest(set *seq.SetS, cfg Config, st *Stats, clk func() time.Duration) (*forestBuild, error) {
 	fb := &forestBuild{}
 	n2 := seq.StringID(set.NumStrings())
-	t0 := time.Now()
+	t0 := clk()
 
 	if bc := cfg.Cache; bc != nil {
 		touched, err := bc.absorb(set, cfg.Window, n2)
@@ -129,8 +129,8 @@ func buildSequentialForest(set *seq.SetS, cfg Config, st *Stats) (*forestBuild, 
 			return nil, err
 		}
 		fb.hist = bc.histogram(cfg.Window)
-		fb.partition = time.Since(t0)
-		t1 := time.Now()
+		fb.partition = clk() - t0
+		t1 := clk()
 		for _, b := range touched {
 			tr, err := suffix.Build(set, b, bc.byBucket[b], cfg.Window)
 			if errors.Is(err, suffix.ErrEmptyBucket) {
@@ -142,7 +142,7 @@ func buildSequentialForest(set *seq.SetS, cfg Config, st *Stats) (*forestBuild, 
 			bc.trees[b] = tr
 			fb.forest = append(fb.forest, tr)
 		}
-		fb.construct = time.Since(t1)
+		fb.construct = clk() - t1
 		st.Incremental.BucketsRebuilt = int64(len(fb.forest))
 		st.Incremental.BucketsReused = nonEmptyBuckets(fb.hist) - int64(len(fb.forest))
 		return fb, nil
@@ -158,15 +158,15 @@ func buildSequentialForest(set *seq.SetS, cfg Config, st *Stats) (*forestBuild, 
 	}
 	byBucket := suffix.CollectOwned(set, cfg.Window, owner, 0, 0, n2)
 	fb.hist = hist
-	fb.partition = time.Since(t0)
+	fb.partition = clk() - t0
 
-	t1 := time.Now()
+	t1 := clk()
 	forest, err := suffix.BuildForest(set, byBucket, cfg.Window)
 	if err != nil {
 		return nil, err
 	}
 	fb.forest = forest
-	fb.construct = time.Since(t1)
+	fb.construct = clk() - t1
 	if cfg.FreshGen > 0 {
 		st.Incremental.BucketsRebuilt = int64(len(forest))
 		st.Incremental.BucketsReused = nonEmptyBuckets(hist) - int64(len(forest))

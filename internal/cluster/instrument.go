@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"time"
 
 	"pace/internal/pairgen"
 	"pace/internal/telemetry"
@@ -149,12 +150,14 @@ func (pr *probes) recordIncremental(inc IncrementalStats) {
 	pr.incrStale.Add(inc.StaleSuppressed)
 }
 
-// observer builds the pairgen hooks backed by this probe set.
-func (pr *probes) observer() pairgen.Observer {
+// observer builds the pairgen hooks backed by this probe set, timing
+// batches against clk (the engine's time base — virtual on ranks, wall on
+// the sequential path; nil falls back to wall time inside pairgen).
+func (pr *probes) observer(clk func() time.Duration) pairgen.Observer {
 	if pr == nil {
 		return pairgen.Observer{}
 	}
-	return pairgen.Observer{MCSLen: pr.mcsLen, BatchNs: pr.batchNs, Generated: pr.generated}
+	return pairgen.Observer{MCSLen: pr.mcsLen, BatchNs: pr.batchNs, Clock: clk, Generated: pr.generated}
 }
 
 // observeBuckets records the non-empty bucket sizes and the redistribution

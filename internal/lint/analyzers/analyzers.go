@@ -1,0 +1,83 @@
+// Package analyzers holds the five pacelint checks. Each one mechanizes a
+// contract earlier PRs established by convention and guarded only with
+// tests:
+//
+//   - sendowned: the mp copy-on-send / SendOwned buffer-ownership contract.
+//   - walltime: no wall-clock reads in the virtual-time packages.
+//   - tagconst: message tags are named tag* constants, unique per package.
+//   - codecwords: fixed-width wire structs, their words() arrays and their
+//     *Words constants stay in agreement.
+//   - atomichygiene: a field accessed atomically is accessed atomically
+//     everywhere.
+//
+// The catalog (contract, rationale, allow-directive syntax) lives in
+// DESIGN.md §10.
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pace/internal/lint"
+)
+
+// All returns the full pacelint suite in stable order.
+func All() []*lint.Analyzer {
+	return []*lint.Analyzer{
+		SendOwned,
+		Walltime,
+		TagConst,
+		CodecWords,
+		AtomicHygiene,
+	}
+}
+
+// commMethod resolves call to a method of the given name on the
+// message-passing endpoint type Comm (package mp — matched by package name
+// so test fixtures can supply their own mp). It returns false for anything
+// else.
+func commMethod(info *types.Info, call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Comm" && obj.Pkg() != nil && obj.Pkg().Name() == "mp"
+}
+
+// identObj resolves an expression to the object of its base identifier,
+// looking through slice expressions (v, v[1:], v[a:b:c] all alias the same
+// backing array).
+func identObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil {
+				return obj
+			}
+			return info.Defs[x]
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"pace/internal/lint"
+)
+
+// AtomicHygiene flags struct fields that are accessed both through
+// sync/atomic (atomic.AddInt64(&s.f, 1), atomic.LoadUint32(&s.f), ...) and
+// through plain selector reads/writes in the same package. A single
+// non-atomic access to an atomically updated counter is a data race the
+// race detector only catches when the interleaving happens to fire; the
+// analyzer catches it structurally. The cure is either full atomic
+// discipline or the typed wrappers (atomic.Int64 et al.) that the telemetry
+// and fault-stats code already use.
+//
+// Plain accesses under an explicit lock are invisible to the analyzer; the
+// few legitimate mixed patterns (e.g. a constructor writing before the
+// struct is shared) carry //pacelint:allow atomichygiene <reason>.
+var AtomicHygiene = &lint.Analyzer{
+	Name: "atomichygiene",
+	Doc:  "a field accessed via sync/atomic must not also be accessed non-atomically",
+	Run:  runAtomicHygiene,
+}
+
+func runAtomicHygiene(pass *lint.Pass) error {
+	info := pass.TypesInfo
+
+	// Pass 1: fields that appear as &x.f in a sync/atomic call, keyed by the
+	// field object. Remember one call site for the report.
+	atomicFields := map[*types.Var]ast.Node{}
+	// Selector nodes that are part of the atomic call itself (must not be
+	// re-reported in pass 2).
+	atomicSites := map[*ast.SelectorExpr]bool{}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				fld := selectedField(info, sel)
+				if fld == nil {
+					continue
+				}
+				if _, seen := atomicFields[fld]; !seen {
+					atomicFields[fld] = call
+				}
+				atomicSites[sel] = true
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: plain selector accesses to those fields.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			// Composite literal with field keys: Stats{f: 0} is
+			// initialization before sharing, not an access.
+			if kv, ok := n.(*ast.KeyValueExpr); ok {
+				if _, isIdent := kv.Key.(*ast.Ident); isIdent {
+					ast.Inspect(kv.Value, func(m ast.Node) bool { return inspectPlain(pass, info, atomicFields, atomicSites, m) })
+					return false
+				}
+			}
+			return inspectPlain(pass, info, atomicFields, atomicSites, n)
+		})
+	}
+	return nil
+}
+
+func inspectPlain(pass *lint.Pass, info *types.Info, atomicFields map[*types.Var]ast.Node, atomicSites map[*ast.SelectorExpr]bool, n ast.Node) bool {
+	sel, ok := n.(*ast.SelectorExpr)
+	if !ok || atomicSites[sel] {
+		return true
+	}
+	fld := selectedField(info, sel)
+	if fld == nil {
+		return true
+	}
+	site, hot := atomicFields[fld]
+	if !hot {
+		return true
+	}
+	pos := pass.Fset.Position(site.Pos())
+	pass.Reportf(sel.Pos(),
+		"non-atomic access to %s.%s, which is accessed atomically at %s:%d; use sync/atomic everywhere or a typed atomic.%s",
+		fieldOwnerName(fld), fld.Name(), shortFile(pos.Filename), pos.Line, suggestTyped(fld))
+	return true
+}
+
+// isAtomicCall reports whether call is a direct call into sync/atomic's
+// package-level functions (Add*, Load*, Store*, Swap*, CompareAndSwap*).
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	// Methods of atomic.Int64 et al. are already safe; only the raw
+	// package-level functions take &field.
+	sig := fn.Type().(*types.Signature)
+	return sig.Recv() == nil
+}
+
+// selectedField resolves sel to the struct field it selects, or nil.
+func selectedField(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj().(*types.Var)
+}
+
+func fieldOwnerName(fld *types.Var) string {
+	if fld.Pkg() == nil {
+		return "?"
+	}
+	// Best effort: find the named type in the package scope that owns the
+	// field. Falls back to the package name.
+	scope := fld.Pkg().Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == fld {
+				return tn.Name()
+			}
+		}
+	}
+	return fld.Pkg().Name()
+}
+
+func suggestTyped(fld *types.Var) string {
+	t := fld.Type().String()
+	switch {
+	case strings.HasSuffix(t, "int64"):
+		return "Int64"
+	case strings.HasSuffix(t, "int32"):
+		return "Int32"
+	case strings.HasSuffix(t, "uint64"):
+		return "Uint64"
+	case strings.HasSuffix(t, "uint32"):
+		return "Uint32"
+	default:
+		return "Value"
+	}
+}
+
+func shortFile(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

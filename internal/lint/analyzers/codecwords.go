@@ -1,0 +1,161 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"pace/internal/lint"
+)
+
+// CodecWords guards the fixed-width wire structs (cluster.phaseReport and
+// any future sibling): a struct T with a method
+//
+//	func (T) words() [N]E
+//
+// must keep three quantities in agreement — the number of fields of T, the
+// array length N (which must be spelled as a named *Words constant, the
+// wire-format version knob), and the composite literal the method returns,
+// which must mention every field of T exactly once. This is the drift class
+// PR-4's 16→17-word phaseReport bump could have introduced silently: a new
+// struct field that never reaches the wire, or a words() array padded with
+// stale entries.
+var CodecWords = &lint.Analyzer{
+	Name: "codecwords",
+	Doc:  "fixed-width wire structs must agree with their words() array and *Words constant",
+	Run:  runCodecWords,
+}
+
+func runCodecWords(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Name.Name != "words" {
+				continue
+			}
+			checkWordsMethod(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkWordsMethod(pass *lint.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	// Receiver struct type.
+	fn, ok := info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	sig := fn.Type().(*types.Signature)
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	// Result must be a single fixed-length array.
+	if sig.Results().Len() != 1 {
+		return
+	}
+	arr, ok := sig.Results().At(0).Type().Underlying().(*types.Array)
+	if !ok {
+		return
+	}
+	n := arr.Len()
+	nFields := int64(st.NumFields())
+
+	if nFields != n {
+		pass.Reportf(fd.Name.Pos(),
+			"%s has %d fields but words() returns [%d]%s: wire width and struct drifted apart",
+			named.Obj().Name(), nFields, n, arr.Elem())
+	}
+
+	// The array length must be spelled as a named *Words constant so the
+	// codec, the constant and the struct version together.
+	if lenExpr := wordsLenExpr(fd); lenExpr != nil {
+		if !isWordsConst(info, lenExpr) {
+			pass.Reportf(lenExpr.Pos(),
+				"words() array length must be a named *Words constant (the wire-format width), not %s", exprString(lenExpr))
+		}
+	}
+
+	// The returned composite literal must cover every field exactly once.
+	checkWordsLiteral(pass, fd, named, st)
+}
+
+// wordsLenExpr digs the array length expression out of the declared result
+// type.
+func wordsLenExpr(fd *ast.FuncDecl) ast.Expr {
+	if fd.Type.Results == nil || len(fd.Type.Results.List) != 1 {
+		return nil
+	}
+	at, ok := fd.Type.Results.List[0].Type.(*ast.ArrayType)
+	if !ok {
+		return nil
+	}
+	return at.Len
+}
+
+func isWordsConst(info *types.Info, e ast.Expr) bool {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return false
+	}
+	obj := info.Uses[id]
+	_, isConst := obj.(*types.Const)
+	return isConst && strings.HasSuffix(obj.Name(), "Words")
+}
+
+func checkWordsLiteral(pass *lint.Pass, fd *ast.FuncDecl, named *types.Named, st *types.Struct) {
+	fieldSet := map[string]bool{}
+	for i := 0; i < st.NumFields(); i++ {
+		fieldSet[st.Field(i).Name()] = true
+	}
+	counts := map[string]int{}
+	var lit *ast.CompositeLit
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			return true
+		}
+		if cl, ok := ret.Results[0].(*ast.CompositeLit); ok {
+			lit = cl
+		}
+		return true
+	})
+	if lit == nil {
+		return // computed some other way; width check above still applies
+	}
+	for _, elt := range lit.Elts {
+		sel, ok := ast.Unparen(elt).(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		if fieldSet[sel.Sel.Name] {
+			counts[sel.Sel.Name]++
+		}
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		name := st.Field(i).Name()
+		switch counts[name] {
+		case 1:
+		case 0:
+			pass.Reportf(lit.Pos(),
+				"field %s.%s never reaches the wire: words() omits it", named.Obj().Name(), name)
+		default:
+			pass.Reportf(lit.Pos(),
+				"field %s.%s is encoded %d times in words()", named.Obj().Name(), name, counts[name])
+		}
+	}
+}

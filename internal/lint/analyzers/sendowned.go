@@ -1,0 +1,243 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pace/internal/lint"
+)
+
+// SendOwned enforces the PR-1 ownership contract of Comm.SendOwned: the
+// call transfers the buffer to the runtime (and ultimately the receiver),
+// so the caller must neither touch the buffer afterwards nor retain an
+// alias that outlives the function.
+//
+// Within each function, for a SendOwned whose payload is a local variable
+// (or a slice of one), the analyzer flags:
+//
+//   - any later use of that variable (read, write, re-slice, append) that
+//     is not preceded by a full reassignment, and
+//   - any retention that lets the buffer escape: returning it, storing it
+//     into a field, map, slice element or package-level variable, or
+//     appending it to another slice.
+//
+// Payloads built in-place (function call results, literals) are untracked:
+// with no name there is nothing to misuse. The analysis is per-function and
+// flow-insensitive across branches; genuinely safe patterns it cannot see
+// are annotated //pacelint:allow sendowned <reason>.
+var SendOwned = &lint.Analyzer{
+	Name: "sendowned",
+	Doc:  "flags use or retention of a buffer after it was handed to Comm.SendOwned",
+	Run:  runSendOwned,
+}
+
+func runSendOwned(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkSendOwnedFunc(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkSendOwnedFunc(pass *lint.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	// Pass 1: collect SendOwned payload variables in this function body
+	// (nested function literals analyze their own bodies; skip them here).
+	type handoff struct {
+		obj  types.Object
+		call *ast.CallExpr
+	}
+	var handoffs []handoff
+	inspectShallow(body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 3 || !commMethod(info, call, "SendOwned") {
+			return
+		}
+		if obj := identObj(info, call.Args[2]); obj != nil && isLocalVar(obj) {
+			handoffs = append(handoffs, handoff{obj: obj, call: call})
+		}
+	})
+	if len(handoffs) == 0 {
+		return
+	}
+
+	for _, h := range handoffs {
+		// kills: positions where the variable is wholly reassigned from an
+		// expression not derived from itself — ownership of a *new* buffer.
+		var kills []ast.Node
+		inspectShallow(body, func(n ast.Node) {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || resolveIdent(info, id) != h.obj {
+					continue
+				}
+				if i < len(as.Rhs) && !usesObj(info, as.Rhs[i], h.obj) {
+					kills = append(kills, as)
+				}
+			}
+		})
+		killedBefore := func(n ast.Node) bool {
+			for _, k := range kills {
+				if k.Pos() > h.call.End() && k.End() <= n.Pos() {
+					return true
+				}
+			}
+			return false
+		}
+
+		// Pass 2a: uses after the handoff.
+		inspectShallow(body, func(n ast.Node) {
+			id, ok := n.(*ast.Ident)
+			if !ok || resolveIdent(info, id) != h.obj {
+				return
+			}
+			if id.Pos() <= h.call.End() {
+				return // the handoff itself, or earlier
+			}
+			if withinKill(kills, id) || killedBefore(id) {
+				return
+			}
+			pass.Reportf(id.Pos(),
+				"%s is used after being passed to SendOwned (ownership transferred to the runtime); use Send, or stop touching the buffer", id.Name)
+		})
+
+		// Pass 2b: retention anywhere in the function — an alias that
+		// outlives the call races with the receiver.
+		reportEscapes(pass, body, h.obj, h.call)
+	}
+}
+
+// withinKill reports whether id is part of a kill assignment's LHS.
+func withinKill(kills []ast.Node, id *ast.Ident) bool {
+	for _, k := range kills {
+		as := k.(*ast.AssignStmt)
+		for _, lhs := range as.Lhs {
+			if l, ok := lhs.(*ast.Ident); ok && l.Pos() == id.Pos() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func reportEscapes(pass *lint.Pass, body *ast.BlockStmt, obj types.Object, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	inspectShallow(body, func(n ast.Node) {
+		switch st := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range st.Results {
+				if identObj(info, res) == obj {
+					pass.Reportf(res.Pos(),
+						"%s is returned but also passed to SendOwned: the buffer escapes while the runtime owns it", obj.Name())
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range st.Rhs {
+				escapes := identObj(info, rhs) == obj && i < len(st.Lhs) && !isLocalIdentExpr(info, st.Lhs[i])
+				if !escapes {
+					// x = append(dst, v...) style retention.
+					if c, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(info, c) {
+						for _, arg := range c.Args[1:] {
+							if identObj(info, arg) == obj {
+								escapes = true
+							}
+						}
+					}
+				}
+				if escapes {
+					pass.Reportf(rhs.Pos(),
+						"%s is stored beyond this function but also passed to SendOwned: the buffer escapes while the runtime owns it", obj.Name())
+				}
+			}
+		case *ast.SendStmt:
+			if identObj(info, st.Value) == obj {
+				pass.Reportf(st.Value.Pos(),
+					"%s is sent on a channel but also passed to SendOwned: the buffer escapes while the runtime owns it", obj.Name())
+			}
+		}
+	})
+	_ = call
+}
+
+// isLocalIdentExpr reports whether e is a plain identifier naming a
+// function-local variable (assignment to it does not leak the value).
+func isLocalIdentExpr(info *types.Info, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if id.Name == "_" {
+		return true
+	}
+	obj := resolveIdent(info, id)
+	return obj != nil && isLocalVar(obj)
+}
+
+func isBuiltinAppend(info *types.Info, c *ast.CallExpr) bool {
+	id, ok := c.Fun.(*ast.Ident)
+	if !ok || len(c.Args) < 2 {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// usesObj reports whether expression e mentions obj anywhere.
+func usesObj(info *types.Info, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && resolveIdent(info, id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func resolveIdent(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// isLocalVar reports whether obj is a variable declared inside a function
+// (parameters included): its scope is narrower than the package scope.
+func isLocalVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	return v.Parent() == nil || v.Parent() != v.Pkg().Scope()
+}
+
+// inspectShallow walks n but does not descend into nested function
+// literals: their bodies are separate analysis scopes.
+func inspectShallow(root ast.Node, fn func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != root {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}

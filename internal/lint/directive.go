@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Allow directives, the escape hatch every analyzer honors:
+//
+//	//pacelint:allow <analyzer> <reason>
+//
+// suppresses <analyzer>'s findings on the directive's own line and on the
+// line immediately below it (so a directive can sit at the end of the
+// offending line or on its own line just above), and
+//
+//	//pacelint:allow-file <analyzer> <reason>
+//
+// suppresses them for the whole file. The reason is mandatory: a directive
+// without one is reported as a finding of the pseudo-analyzer "pacelint",
+// so suppressions stay self-documenting.
+
+const (
+	directiveLine = "//pacelint:allow "
+	directiveFile = "//pacelint:allow-file "
+)
+
+// allowIndex records which (analyzer, file, line) triples are suppressed.
+type allowIndex struct {
+	// lines maps analyzer -> filename -> suppressed line set.
+	lines map[string]map[string]map[int]bool
+	// files maps analyzer -> filename set.
+	files map[string]map[string]bool
+}
+
+func (ix *allowIndex) add(analyzer, file string, line int) {
+	if ix.lines[analyzer] == nil {
+		ix.lines[analyzer] = map[string]map[int]bool{}
+	}
+	if ix.lines[analyzer][file] == nil {
+		ix.lines[analyzer][file] = map[int]bool{}
+	}
+	ix.lines[analyzer][file][line] = true
+}
+
+func (ix *allowIndex) addFile(analyzer, file string) {
+	if ix.files[analyzer] == nil {
+		ix.files[analyzer] = map[string]bool{}
+	}
+	ix.files[analyzer][file] = true
+}
+
+func (ix *allowIndex) allows(analyzer string, posn token.Position) bool {
+	if ix.files[analyzer][posn.Filename] {
+		return true
+	}
+	return ix.lines[analyzer][posn.Filename][posn.Line]
+}
+
+// buildAllowIndex scans every comment in the package for directives. It
+// returns the index plus diagnostics for malformed directives (missing
+// analyzer name or reason).
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) (*allowIndex, []Diagnostic) {
+	ix := &allowIndex{
+		lines: map[string]map[string]map[int]bool{},
+		files: map[string]map[string]bool{},
+	}
+	var bad []Diagnostic
+	malformed := func(pos token.Pos, what string) {
+		bad = append(bad, Diagnostic{
+			Pos:      fset.Position(pos),
+			Analyzer: "pacelint",
+			Message:  "malformed directive: " + what,
+		})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				var fileWide bool
+				var rest string
+				switch {
+				case strings.HasPrefix(text, directiveFile):
+					fileWide, rest = true, text[len(directiveFile):]
+				case strings.HasPrefix(text, directiveLine):
+					rest = text[len(directiveLine):]
+				case strings.HasPrefix(text, "//pacelint:"):
+					malformed(c.Pos(), "want //pacelint:allow <analyzer> <reason> or //pacelint:allow-file <analyzer> <reason>")
+					continue
+				default:
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					malformed(c.Pos(), "missing analyzer name")
+					continue
+				}
+				if len(fields) < 2 {
+					malformed(c.Pos(), "missing reason after analyzer name (suppressions must say why)")
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				if fileWide {
+					ix.addFile(fields[0], posn.Filename)
+					continue
+				}
+				ix.add(fields[0], posn.Filename, posn.Line)
+				ix.add(fields[0], posn.Filename, posn.Line+1)
+			}
+		}
+	}
+	return ix, bad
+}

@@ -1,0 +1,137 @@
+// Package lint is a self-contained static-analysis framework in the spirit
+// of golang.org/x/tools/go/analysis, built only on the standard library so
+// the repo stays dependency-free. It exists to carry pacelint: the suite of
+// project-specific analyzers that mechanically enforce the pipeline's
+// ownership, determinism and wire-format contracts (see DESIGN.md §10).
+//
+// The framework has three entry points:
+//
+//   - Standalone: `pacelint ./...` loads packages itself (via `go list
+//     -export`) and analyzes their non-test sources.
+//   - Vet tool: `go vet -vettool=$(which pacelint) ./...` — the binary
+//     speaks cmd/go's unitchecker protocol (-V=full, -flags, vet.cfg), so
+//     vet drives it over every package *including test variants*.
+//   - Tests: linttest runs an analyzer over fixture modules with
+//     analysistest-style `// want "regexp"` expectations.
+//
+// Findings are suppressed with scoped directives:
+//
+//	//pacelint:allow <analyzer> <reason>       (this line and the next)
+//	//pacelint:allow-file <analyzer> <reason>  (the whole file)
+//
+// A directive without a reason is itself a finding.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in allow directives.
+	Name string
+	// Doc is the one-line contract the analyzer enforces.
+	Doc string
+	// SkipTests excludes _test.go files from the analysis (used by checks
+	// whose contracts only bind production code, e.g. walltime).
+	SkipTests bool
+	// Run reports findings via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	allow *allowIndex
+	out   *[]Diagnostic
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos unless an allow directive for this
+// analyzer covers the position.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	posn := p.Fset.Position(pos)
+	if p.allow != nil && p.allow.allows(p.Analyzer.Name, posn) {
+		return
+	}
+	*p.out = append(*p.out, Diagnostic{
+		Pos:      posn,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// SkipFile reports whether the analyzer should ignore the file holding pos.
+func (p *Pass) SkipFile(pos token.Pos) bool {
+	return p.Analyzer.SkipTests && isTestFile(p.Fset.Position(pos).Filename)
+}
+
+func isTestFile(name string) bool { return strings.HasSuffix(name, "_test.go") }
+
+// AnalyzePackage runs the analyzers over one loaded package and returns the
+// surviving findings, sorted by position. Malformed pacelint directives are
+// reported under the pseudo-analyzer "pacelint".
+func AnalyzePackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	allow, bad := buildAllowIndex(pkg.Fset, pkg.Files)
+	diags = append(diags, bad...)
+	for _, a := range analyzers {
+		files := pkg.Files
+		if a.SkipTests {
+			files = nonTestFiles(pkg.Fset, pkg.Files)
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			allow:     allow,
+			out:       &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.PkgPath, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+func nonTestFiles(fset *token.FileSet, files []*ast.File) []*ast.File {
+	out := make([]*ast.File, 0, len(files))
+	for _, f := range files {
+		if !isTestFile(fset.Position(f.Pos()).Filename) {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Main is the shared entry point for cmd/pacelint. It dispatches between
+// the three invocation styles:
+//
+//	pacelint ./...                      standalone, loads packages itself
+//	go vet -vettool=$(pacelint) ./...   unitchecker protocol (vet.cfg files)
+//	pacelint -V=full / -flags           cmd/go tool handshake
+func Main(analyzers []*Analyzer) {
+	var (
+		vFlag     = flag.String("V", "", "print version and exit (cmd/go tool handshake)")
+		flagsFlag = flag.Bool("flags", false, "print analyzer flags as JSON and exit (cmd/go tool handshake)")
+		jsonFlag  = flag.Bool("json", false, "emit diagnostics as JSON")
+		listFlag  = flag.Bool("list", false, "list the analyzers and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: pacelint [packages]\n       go vet -vettool=$(command -v pacelint) [packages]\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	switch {
+	case *vFlag != "":
+		// cmd/go requires the first line to be "<name> version <ver>"; the
+		// build ID suffix keeps vet's action cache honest across rebuilds.
+		fmt.Printf("pacelint version %s buildID=%s\n", version(), buildID())
+		os.Exit(0)
+	case *flagsFlag:
+		// No per-analyzer flags yet: report none so cmd/go forwards none.
+		fmt.Println("[]")
+		os.Exit(0)
+	case *listFlag:
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		os.Exit(0)
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		unitcheckerMain(args[0], analyzers, *jsonFlag)
+		return
+	}
+	standaloneMain(args, analyzers, *jsonFlag)
+}
+
+func standaloneMain(patterns []string, analyzers []*Analyzer, asJSON bool) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := LoadPackages(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := AnalyzePackage(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		all = append(all, diags...)
+	}
+	emit(all, asJSON)
+	if len(all) > 0 {
+		os.Exit(2)
+	}
+}
+
+func emit(diags []Diagnostic, asJSON bool) {
+	if asJSON {
+		fmt.Println(diagsJSON(diags))
+		return
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s [%s]\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+	}
+}

@@ -1,0 +1,54 @@
+// Fixtures for the atomichygiene analyzer: a field accessed via sync/atomic
+// must not also be accessed non-atomically.
+package atomichygiene
+
+import "sync/atomic"
+
+type stats struct {
+	hits   int64
+	misses int64
+	cold   int64
+}
+
+func (s *stats) hit() {
+	atomic.AddInt64(&s.hits, 1)
+	atomic.AddInt64(&s.misses, 1)
+}
+
+func (s *stats) loadHits() int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+
+func (s *stats) racyRead() int64 {
+	return s.hits // want "non-atomic access to stats.hits"
+}
+
+func (s *stats) racyWrite() {
+	s.misses = 0 // want "non-atomic access to stats.misses"
+}
+
+// Conforming: cold is never touched atomically, plain access is fine.
+func (s *stats) coldAccess() int64 {
+	s.cold++
+	return s.cold
+}
+
+// Conforming: composite-literal keys initialize before the value is shared.
+func fresh() *stats {
+	return &stats{hits: 0, misses: 0}
+}
+
+// Conforming: typed atomics need no analyzer — methods cannot be bypassed.
+type typedStats struct {
+	hits atomic.Int64
+}
+
+func (s *typedStats) hit() { s.hits.Add(1) }
+
+// Conforming: annotated — constructor writes before the struct escapes.
+func seeded(n int64) *stats {
+	s := new(stats)
+	//pacelint:allow atomichygiene construction-time write before the struct is shared
+	s.hits = n
+	return s
+}

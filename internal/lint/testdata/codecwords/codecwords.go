@@ -1,0 +1,62 @@
+// Fixtures for the codecwords analyzer: a fixed-width wire struct, its
+// words() array and its *Words constant must agree, and every field must be
+// encoded exactly once.
+package codecwords
+
+const goodWords = 3
+
+type good struct {
+	a, b int64
+	c    int64
+}
+
+func (r good) words() [goodWords]int64 {
+	return [goodWords]int64{r.a, r.b, r.c}
+}
+
+const narrowWords = 2
+
+// narrow gained a field that never reaches the wire.
+type narrow struct {
+	a, b int64
+	c    int64
+}
+
+func (r narrow) words() [narrowWords]int64 { // want "has 3 fields but words\(\) returns \[2\]int64"
+	return [narrowWords]int64{r.a, r.b} // want "field narrow.c never reaches the wire"
+}
+
+const dupWords = 3
+
+// dup encodes one field twice and drops another.
+type dup struct {
+	a, b, c int64
+}
+
+func (r dup) words() [dupWords]int64 {
+	return [dupWords]int64{r.a, r.a, r.b} // want "field dup.a is encoded 2 times" "field dup.c never reaches the wire"
+}
+
+type bare struct {
+	a, b int64
+}
+
+// The width must be spelled as a named *Words constant, not a literal: the
+// constant is the wire-format version knob the codec and tests share.
+func (r bare) words() [2]int64 { // want "must be a named \*Words constant"
+	return [2]int64{r.a, r.b}
+}
+
+const wideLen = 2
+
+type aliased struct {
+	a, b int64
+}
+
+// Named constant, but not the *Words naming convention.
+func (r aliased) words() [wideLen]int64 { // want "must be a named \*Words constant"
+	return [wideLen]int64{r.a, r.b}
+}
+
+// Not named words: out of scope for the analyzer.
+func (r bare) values() []int64 { return []int64{r.a, r.b} }

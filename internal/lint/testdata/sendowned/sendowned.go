@@ -1,0 +1,88 @@
+// Fixtures for the sendowned analyzer: uses and retention of a buffer
+// after it was handed to Comm.SendOwned.
+package sendowned
+
+import "fixture/mp"
+
+var global []byte
+
+var sink chan []byte
+
+const tagWork = 2
+
+func useAfterSend(c *mp.Comm) {
+	buf := make([]byte, 8)
+	c.SendOwned(1, tagWork, buf)
+	buf[0] = 1 // want "used after being passed to SendOwned"
+}
+
+func readAfterSend(c *mp.Comm) byte {
+	buf := make([]byte, 8)
+	c.SendOwned(1, tagWork, buf)
+	return buf[0] // want "used after being passed to SendOwned"
+}
+
+func sliceHandoff(c *mp.Comm) {
+	buf := make([]byte, 8)
+	c.SendOwned(1, tagWork, buf[:4])
+	_ = buf[2] // want "used after being passed to SendOwned"
+}
+
+func escapeReturn(c *mp.Comm) []byte {
+	buf := make([]byte, 8)
+	if len(buf) > 4 {
+		return buf // want "escapes while the runtime owns it"
+	}
+	c.SendOwned(1, tagWork, buf)
+	return nil
+}
+
+func escapeGlobal(c *mp.Comm) {
+	buf := make([]byte, 8)
+	global = buf // want "stored beyond this function"
+	c.SendOwned(1, tagWork, buf)
+}
+
+func escapeChannel(c *mp.Comm) {
+	buf := make([]byte, 8)
+	c.SendOwned(1, tagWork, buf)
+	sink <- buf // want "sent on a channel" "used after being passed"
+}
+
+func escapeAppend(c *mp.Comm) {
+	buf := make([]byte, 8)
+	global = append(global, buf...) // want "stored beyond this function"
+	c.SendOwned(1, tagWork, buf)
+}
+
+// Conforming: reassigning the variable to a fresh buffer ends the
+// obligation — the runtime owns the old allocation, we own the new one.
+func killThenReuse(c *mp.Comm) {
+	buf := make([]byte, 8)
+	c.SendOwned(1, tagWork, buf)
+	buf = make([]byte, 8)
+	buf[0] = 1
+	c.SendOwned(1, tagWork, buf)
+}
+
+// Conforming: payload built in place; nothing to misuse afterwards.
+func freshPayload(c *mp.Comm, encode func() []byte) {
+	c.SendOwned(1, tagWork, encode())
+}
+
+// Conforming: Send copies, so the scratch buffer is reusable.
+func sendCopies(c *mp.Comm) {
+	buf := make([]byte, 8)
+	c.Send(1, tagWork, buf)
+	buf[0] = 1
+	c.Send(1, tagWork, buf)
+}
+
+// Conforming: annotated — the analyzer is flow-insensitive and cannot see
+// every safe pattern; the escape hatch documents why this one is safe.
+func allowed(c *mp.Comm) {
+	buf := make([]byte, 8)
+	c.SendOwned(1, tagWork, buf)
+	//pacelint:allow sendowned send is the last touch on this code path in real mode
+	buf[0] = 1
+}

@@ -1,0 +1,10 @@
+//pacelint:allow-file walltime this file models a real-transport shim that is wall-clock by design
+
+// Conforming via file-wide allow: every wall-clock read here is suppressed.
+package walltime
+
+import "time"
+
+func realNow() time.Time { return time.Now() }
+
+func realSleep(d time.Duration) { time.Sleep(d) }

@@ -1,0 +1,41 @@
+// Fixtures for the walltime analyzer. The test points WalltimeScope at
+// this package; in the real tree the scope is the virtual-time packages
+// (internal/mp, internal/cluster, internal/telemetry).
+package walltime
+
+import "time"
+
+func bad() time.Time {
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+	return time.Now()            // want "time.Now reads the wall clock"
+}
+
+func badSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since reads the wall clock"
+}
+
+func badTicker() {
+	tick := time.NewTicker(time.Second) // want "time.NewTicker reads the wall clock"
+	defer tick.Stop()
+	select {
+	case <-time.After(time.Second): // want "time.After reads the wall clock"
+	case <-tick.C:
+	}
+}
+
+// Conforming: conversions and constructors that do not read the clock.
+func legal() (time.Duration, time.Time) {
+	d := 5 * time.Millisecond
+	return d, time.Unix(0, 0)
+}
+
+// Conforming: annotated — e.g. a real-transport backoff that is wall-clock
+// by design.
+func allowedInline() {
+	time.Sleep(time.Millisecond) //pacelint:allow walltime real-mode backoff is wall-clock by design
+}
+
+func allowedAbove() time.Time {
+	//pacelint:allow walltime measured-compute bridge charges real elapsed time
+	return time.Now()
+}

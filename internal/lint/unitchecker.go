@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime/debug"
+	"strings"
+)
+
+// vetConfig mirrors the JSON cmd/go writes to $WORK/.../vet.cfg for each
+// package when a -vettool is set: the unitchecker protocol of
+// golang.org/x/tools/go/analysis/unitchecker, re-implemented here on the
+// standard library. Fields we do not consume are still listed so the file
+// decodes strictly.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheckerMain analyzes the single package described by cfgPath and
+// exits: 0 clean, 2 with findings on stderr (the exit protocol go vet
+// expects from an analysis tool).
+func unitcheckerMain(cfgPath string, analyzers []*Analyzer, asJSON bool) {
+	cfg, err := readVetConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// pacelint carries no cross-package facts, but cmd/go caches the vetx
+	// file as the action's output: it must exist even when empty, and for
+	// VetxOnly dependency passes it is the only work to do.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if cfg.VetxOnly {
+		os.Exit(0)
+	}
+
+	pkg, err := typecheckVetUnit(cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			os.Exit(0)
+		}
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	diags, err := AnalyzePackage(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	emit(diags, asJSON)
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+func readVetConfig(path string) (*vetConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading vet config: %w", err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("lint: parsing %s: %w", path, err)
+	}
+	return &cfg, nil
+}
+
+// typecheckVetUnit parses and type-checks the unit the way cmd/go compiled
+// it: imports resolve through ImportMap (vendoring, test variants) into the
+// per-package export files of PackageFile.
+func typecheckVetUnit(cfg *vetConfig) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := NewInfo()
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, compilerName(cfg), lookup),
+	}
+	if v := cfg.GoVersion; v != "" {
+		conf.GoVersion = v
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", cfg.ImportPath, err)
+	}
+	return &Package{PkgPath: cfg.ImportPath, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+func compilerName(cfg *vetConfig) string {
+	if cfg.Compiler != "" {
+		return cfg.Compiler
+	}
+	return "gc"
+}
+
+func diagsJSON(diags []Diagnostic) string {
+	type jd struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	out := make([]jd, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jd{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message})
+	}
+	b, _ := json.MarshalIndent(out, "", "  ")
+	return string(b)
+}
+
+func version() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "(devel)"
+}
+
+// buildID folds the VCS state into the -V=full line so cmd/go's vet action
+// cache invalidates when the tool changes.
+func buildID() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	var rev, mod string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			mod = s.Value
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	if mod == "true" {
+		rev += "+dirty"
+	}
+	return strings.TrimSpace(rev)
+}

@@ -201,6 +201,7 @@ func (t *faultTransport) send(from, to, tag int, data []byte) error {
 		if t.mode == ModeSim {
 			t.inner.charge(from, t.plan.delay())
 		} else {
+			//pacelint:allow walltime ModeReal delay injection stalls the goroutine for real
 			time.Sleep(t.plan.delay())
 		}
 	}

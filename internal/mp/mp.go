@@ -305,6 +305,7 @@ func (c *Comm) backoff(attempt int) {
 		c.tr.charge(c.rank, d)
 		return
 	}
+	//pacelint:allow walltime ModeReal backoff sleeps for real; the sim branch above charges virtual time
 	time.Sleep(d)
 }
 

@@ -1,3 +1,5 @@
+//pacelint:allow-file walltime the real transport runs ranks on actual goroutines and is wall-clock by design
+
 package mp
 
 import (

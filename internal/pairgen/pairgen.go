@@ -151,6 +151,10 @@ type Observer struct {
 	MCSLen *telemetry.Histogram
 	// BatchNs observes the latency of each Next call, in nanoseconds.
 	BatchNs *telemetry.Histogram
+	// Clock supplies the elapsed time base for BatchNs; nil means wall
+	// time. Deterministic sim runs inject the engine's clock so latency
+	// observations replay identically.
+	Clock func() time.Duration
 	// Generated counts canonical pairs emitted.
 	Generated *telemetry.Counter
 }
@@ -275,8 +279,12 @@ func (g *Generator) Remaining() bool {
 // A return with no appended pairs means the generator is exhausted.
 func (g *Generator) Next(dst []Pair, max int) []Pair {
 	if g.obs.BatchNs != nil {
-		start := time.Now()
-		defer func() { g.obs.BatchNs.Observe(time.Since(start).Nanoseconds()) }()
+		clk := g.obs.Clock
+		if clk == nil {
+			clk = telemetry.NewWallClock().Elapsed
+		}
+		start := clk()
+		defer func() { g.obs.BatchNs.Observe((clk() - start).Nanoseconds()) }()
 	}
 	want := len(dst) + max
 	for len(dst) < want {

@@ -1,0 +1,44 @@
+package telemetry
+
+import "time"
+
+// Clock abstracts the time source behind phase timers and report stamps so
+// the whole telemetry layer can run off the mp machine's virtual clocks (or
+// a fixed stamp) and produce byte-identical BENCH reports across sim-mode
+// runs. Production defaults to the wall clock; determinism-sensitive paths
+// inject Comm.Elapsed or a FixedClock.
+type Clock interface {
+	// Now is the absolute time used for stamps and file names.
+	Now() time.Time
+	// Elapsed is the monotonic reading used for spans.
+	Elapsed() time.Duration
+}
+
+// WallClock is the production Clock: real time. It is the single sanctioned
+// wall-clock read in this package; everything else takes a Clock or an
+// elapsed func.
+type wallClock struct{ t0 time.Time }
+
+// NewWallClock returns a Clock whose Elapsed counts from construction.
+func NewWallClock() Clock {
+	//pacelint:allow walltime the one sanctioned wall-clock source telemetry defaults to
+	return wallClock{t0: time.Now()}
+}
+
+func (c wallClock) Now() time.Time {
+	//pacelint:allow walltime the one sanctioned wall-clock source telemetry defaults to
+	return time.Now()
+}
+
+func (c wallClock) Elapsed() time.Duration {
+	//pacelint:allow walltime the one sanctioned wall-clock source telemetry defaults to
+	return time.Since(c.t0)
+}
+
+// FixedClock is a Clock frozen at a given instant: Elapsed is always zero
+// and Now always returns the stamp. Sim-mode deterministic runs use it so
+// two identical runs emit byte-identical reports.
+type FixedClock struct{ Stamp time.Time }
+
+func (c FixedClock) Now() time.Time        { return c.Stamp }
+func (c FixedClock) Elapsed() time.Duration { return 0 }

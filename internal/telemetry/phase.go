@@ -36,8 +36,7 @@ type phaseFrame struct {
 // time since construction.
 func NewPhaseTimer(clock func() time.Duration) *PhaseTimer {
 	if clock == nil {
-		t0 := time.Now()
-		clock = func() time.Duration { return time.Since(t0) }
+		clock = NewWallClock().Elapsed
 	}
 	return &PhaseTimer{clock: clock, total: map[string]time.Duration{}}
 }

@@ -77,7 +77,12 @@ type RankEntry struct {
 func Seconds(d time.Duration) float64 { return d.Seconds() }
 
 // Stamp fills Timestamp with the current UTC time.
-func (r *RunReport) Stamp() { r.Timestamp = time.Now().UTC().Format(time.RFC3339) }
+func (r *RunReport) Stamp() { r.StampAt(NewWallClock().Now()) }
+
+// StampAt fills Timestamp from an injected instant — the deterministic
+// variant: sim-mode runs pass a fixed stamp so reports are byte-identical
+// across reruns.
+func (r *RunReport) StampAt(now time.Time) { r.Timestamp = now.UTC().Format(time.RFC3339) }
 
 // AttachCounters snapshots reg into Counters (nil reg is a no-op).
 func (r *RunReport) AttachCounters(reg *Registry) {

@@ -1,0 +1,71 @@
+package unionfind
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzUFv1 drives UnmarshalBinary with arbitrary bytes. Invariants: no
+// panic, every failure wraps ErrCorrupt, and every accepted input
+// round-trips byte-for-byte through MarshalBinary (the format has a single
+// canonical encoding per forest).
+func FuzzUFv1(f *testing.F) {
+	small := New(4)
+	small.Union(0, 1)
+	merged := New(8)
+	merged.Union(0, 1)
+	merged.Union(1, 2)
+	merged.Union(5, 6)
+	for _, u := range []*UF{New(0), New(1), small, merged} {
+		enc, _ := u.MarshalBinary()
+		f.Add(enc)
+	}
+	enc, _ := merged.MarshalBinary()
+	f.Add(enc[:len(enc)-3])                       // truncated mid-rank
+	f.Add(append(append([]byte{}, enc...), 0, 1)) // trailing bytes
+	f.Add([]byte("UFv2????????"))                 // wrong magic version
+	f.Fuzz(func(t *testing.T, b []byte) {
+		var u UF
+		if err := u.UnmarshalBinary(b); err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("decode error does not wrap ErrCorrupt: %v", err)
+			}
+			return
+		}
+		got, _ := u.MarshalBinary()
+		if !bytes.Equal(got, b) {
+			t.Fatalf("round-trip mismatch:\n in  %x\n out %x", b, got)
+		}
+	})
+}
+
+// TestUFv1StrictLength pins the truncated/trailing split: both directions
+// are rejected, and the error names the offending offset.
+func TestUFv1StrictLength(t *testing.T) {
+	u := New(3)
+	u.Union(0, 2)
+	enc, _ := u.MarshalBinary()
+
+	var dst UF
+	err := dst.UnmarshalBinary(append(append([]byte{}, enc...), 0xEE))
+	if err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	if !errors.Is(err, ErrCorrupt) || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("want trailing-bytes ErrCorrupt, got %v", err)
+	}
+	// 12 + 5*3 = 27: the first trailing byte sits at offset 27.
+	if !strings.Contains(err.Error(), "offset 27") {
+		t.Fatalf("error does not name the offending offset: %v", err)
+	}
+
+	err = dst.UnmarshalBinary(enc[:len(enc)-2])
+	if err == nil {
+		t.Fatal("truncated input accepted")
+	}
+	if !errors.Is(err, ErrCorrupt) || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("want truncated ErrCorrupt, got %v", err)
+	}
+}

@@ -50,7 +50,10 @@ func (u *UF) UnmarshalBinary(data []byte) error {
 	n := int(binary.LittleEndian.Uint32(data[4:8]))
 	count := int(binary.LittleEndian.Uint32(data[8:12]))
 	if want := 12 + 5*n; len(data) != want {
-		return fmt.Errorf("%w: %d bytes for n=%d, want %d", ErrCorrupt, len(data), n, want)
+		if len(data) < want {
+			return fmt.Errorf("%w: truncated at offset %d for n=%d, want %d bytes", ErrCorrupt, len(data), n, want)
+		}
+		return fmt.Errorf("%w: %d trailing bytes at offset %d for n=%d", ErrCorrupt, len(data)-want, want, n)
 	}
 	if count < 0 || count > n {
 		return fmt.Errorf("%w: count %d out of [0,%d]", ErrCorrupt, count, n)

@@ -116,6 +116,17 @@ type Options struct {
 	// machine (virtual clocks, modeled interconnect) instead of real
 	// goroutine concurrency. Stats report virtual times.
 	Simulated bool
+	// SimDeterministic makes a Simulated run fully reproducible by
+	// disabling the simulator's measured-compute bridge (which charges
+	// real CPU time into the virtual clocks): two identical runs then
+	// produce identical virtual times, stats and reports. Ignored unless
+	// Simulated.
+	SimDeterministic bool
+	// Stamp, when non-zero, replaces the report's wall-clock timestamp
+	// and zeroes the WallSeconds field in BuildReport, making sim-mode
+	// BENCH reports byte-identical across reruns. The zero value keeps
+	// the real clock.
+	Stamp time.Time
 
 	// Window is the suffix-bucketing prefix width w (paper: 8).
 	Window int
@@ -297,6 +308,9 @@ func (o Options) toConfig() (cluster.Config, error) {
 	cfg.Criteria.MinScoreRatio = o.MinScoreRatio
 	if o.Simulated {
 		cfg.MP = mp.DefaultSimConfig(o.Processors)
+		if o.SimDeterministic {
+			cfg.MP.MeasureCompute = false
+		}
 	} else {
 		cfg.MP = mp.Config{Procs: o.Processors, Mode: mp.ModeReal}
 	}
@@ -445,6 +459,11 @@ func BuildReport(cl *Clustering, opt Options, tool, dataset string, numESTs int,
 		})
 	}
 	rep.AttachCounters(opt.Metrics)
-	rep.Stamp()
+	if opt.Stamp.IsZero() {
+		rep.Stamp()
+	} else {
+		rep.StampAt(opt.Stamp)
+		rep.WallSeconds = 0
+	}
 	return rep
 }

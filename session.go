@@ -2,7 +2,6 @@ package pace
 
 import (
 	"fmt"
-	"time"
 
 	"pace/internal/cluster"
 	"pace/internal/seq"
@@ -125,7 +124,14 @@ func (s *Session) Add(ests []string) (*Clustering, error) {
 		// Seed the prior partition: every old×old verdict carries forward.
 		cfg.InitialLabels = s.labels
 	}
-	t0 := time.Now()
+	// Batch latency runs on the telemetry clock: wall time normally, the
+	// frozen clock when the session is configured for reproducible reports
+	// (Options.Stamp), so deterministic runs emit identical counters.
+	clk := telemetry.NewWallClock().Elapsed
+	if !s.opt.Stamp.IsZero() {
+		clk = telemetry.FixedClock{}.Elapsed
+	}
+	t0 := clk()
 	res, err := cluster.RunSet(s.set, cfg)
 	if err != nil {
 		return nil, err
@@ -137,7 +143,7 @@ func (s *Session) Add(ests []string) (*Clustering, error) {
 		m.Help(metricBatchesTotal, "EST batches ingested by sessions.")
 		m.Help(metricBatchNs, "End-to-end latency of one incremental batch, nanoseconds.")
 		m.Counter(metricBatchesTotal).Inc()
-		m.Histogram(metricBatchNs, telemetry.ExpBounds(1000, 4, 16)).Observe(time.Since(t0).Nanoseconds())
+		m.Histogram(metricBatchNs, telemetry.ExpBounds(1000, 4, 16)).Observe((clk() - t0).Nanoseconds())
 	}
 	return s.last, nil
 }
