@@ -4,7 +4,8 @@ package main
 // across command invocations, so new sequencing batches can be ingested
 // incrementally instead of re-clustering the whole collection.
 //
-// The directory holds two files:
+// The directory holds two files, managed by internal/serve's state
+// machinery (shared with the paced server):
 //
 //	session.fasta — every EST the session has ingested, in ingest order
 //	pace.ckpt     — the engine checkpoint of the current partition
@@ -13,19 +14,18 @@ package main
 //	pace -session dir -in batch2.fasta -add  # ingest a new batch incrementally
 //
 // Both forms emit the TSV for every EST the session holds, not just the
-// latest batch.
+// latest batch. The pair is written in crash-safe order (store first, then
+// checkpoint) and cross-checked at resume: a directory whose store and
+// checkpoint disagree fails with serve.ErrStateMismatch and a recovery
+// hint instead of a confusing downstream error.
 
 import (
 	"fmt"
 	"os"
-	"path/filepath"
 
 	"pace"
+	"pace/internal/serve"
 )
-
-// sessionFASTA is the EST store inside a session directory; the partition
-// lives next to it in the engine's checkpoint file.
-const sessionFASTA = "session.fasta"
 
 // runSession clusters via a persistent session directory. It returns the
 // clustering plus the full record/sequence lists it covers (old batches
@@ -50,24 +50,16 @@ func runSession(dir string, add bool, recs []pace.Record, seqs []string, opt pac
 		return cl, recs, seqs, nil
 	}
 
-	f, err := os.Open(filepath.Join(dir, sessionFASTA))
+	st, err := serve.LoadState(dir, opt)
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("open session store (did you initialize with -session without -add?): %w", err)
+		if os.IsNotExist(err) {
+			return nil, nil, nil, fmt.Errorf("open session store (did you initialize with -session without -add?): %w", err)
+		}
+		return nil, nil, nil, err
 	}
-	oldRecs, err := pace.ReadFASTA(f)
-	f.Close()
-	if err != nil {
-		return nil, nil, nil, fmt.Errorf("read session store: %w", err)
-	}
-	ck, err := pace.LoadCheckpoint(dir)
-	if err != nil {
-		return nil, nil, nil, fmt.Errorf("load session checkpoint: %w", err)
-	}
-	if err := ck.Validate(len(oldRecs), opt.Window, opt.MinMatch); err != nil {
-		return nil, nil, nil, fmt.Errorf("session checkpoint does not match session store or options: %w", err)
-	}
+	oldRecs := st.Recs
 	oldSeqs := pace.Sequences(oldRecs)
-	sess, err := pace.ResumeSession(opt, oldSeqs, pace.ResumeLabels(ck))
+	sess, err := st.Resume(opt)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -86,36 +78,14 @@ func runSession(dir string, add bool, recs []pace.Record, seqs []string, opt pac
 	return cl, allRecs, allSeqs, nil
 }
 
-// saveSession persists the session's EST store (atomic replace, mirroring
-// the checkpoint's write discipline) and its partition checkpoint. The
-// stored sequences are the clustered ones — post-trim when -trim is on — so
-// a later -add resumes over exactly the strings the partition describes.
+// saveSession persists the session's EST store and partition checkpoint in
+// crash-safe order (store first — see serve.SaveState). The stored
+// sequences are the clustered ones — post-trim when -trim is on — so a
+// later -add resumes over exactly the strings the partition describes.
 func saveSession(dir string, sess *pace.Session, recs []pace.Record, seqs []string) error {
 	out := make([]pace.Record, len(recs))
 	for i, rec := range recs {
 		out[i] = pace.Record{ID: rec.ID, Desc: rec.Desc, Seq: seqs[i]}
 	}
-	tmp, err := os.CreateTemp(dir, sessionFASTA+".tmp*")
-	if err != nil {
-		return err
-	}
-	if err := pace.WriteFASTA(tmp, out); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := os.Rename(tmp.Name(), filepath.Join(dir, sessionFASTA)); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return sess.SaveCheckpoint(dir)
+	return serve.SaveState(dir, sess, out)
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"pace"
+	"pace/internal/serve"
 )
 
 func normalize(labels []int) []int {
@@ -45,7 +46,7 @@ func TestRunSessionRoundTrip(t *testing.T) {
 	if len(recs1) != cut || len(seqs1) != cut || len(cl1.Labels) != cut {
 		t.Fatalf("initial session covers %d/%d/%d, want %d", len(recs1), len(seqs1), len(cl1.Labels), cut)
 	}
-	if _, err := os.Stat(filepath.Join(dir, sessionFASTA)); err != nil {
+	if _, err := os.Stat(filepath.Join(dir, serve.FASTAFile)); err != nil {
 		t.Fatalf("session store not written: %v", err)
 	}
 
@@ -79,7 +80,7 @@ func TestRunSessionRoundTrip(t *testing.T) {
 
 	// The updated store must cover the union, so a third batch resumes over
 	// all 40 ESTs.
-	f, err := os.Open(filepath.Join(dir, sessionFASTA))
+	f, err := os.Open(filepath.Join(dir, serve.FASTAFile))
 	if err != nil {
 		t.Fatal(err)
 	}

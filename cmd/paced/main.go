@@ -1,0 +1,168 @@
+// Command paced is the multi-tenant clustering server: a long-running
+// daemon wrapping pace.Session behind an HTTP API, so many independent EST
+// collections can be clustered incrementally by many clients at once.
+//
+// Usage:
+//
+//	paced -addr :8080 -data /var/lib/paced [-metrics-addr :9090] [engine flags]
+//
+// API (see internal/serve):
+//
+//	POST   /v1/sessions                 create a session {"id","tenant"}
+//	GET    /v1/sessions                 list sessions
+//	GET    /v1/sessions/{id}            session info
+//	DELETE /v1/sessions/{id}            delete a session and its state
+//	POST   /v1/sessions/{id}/batches    ingest a batch (FASTA or JSON)
+//	GET    /v1/sessions/{id}/labels     labels as TSV (?format=json)
+//	GET    /healthz                     liveness and drain state
+//
+// Concurrency: each session is serialized (pace.Session is
+// single-goroutine), different sessions cluster in parallel, and batch
+// ingestion is bounded by an admission queue — -admit requests in service,
+// -queue waiting, everything beyond rejected with 429 so clients back off.
+//
+// Durability: with -data, every session persists a crash-consistent state
+// directory after each batch (EST store first, checkpoint second — the
+// order whose crash windows are recoverable). On start paced resumes every
+// session it finds; a torn directory fails with serve.ErrStateMismatch and
+// a recovery hint rather than resuming silently wrong.
+//
+// Shutdown: SIGTERM/SIGINT drains gracefully — new work is refused (503),
+// in-flight batches finish (bounded by -drain-timeout), every session is
+// saved, then the listeners close.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pace"
+	"pace/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	dataDir := flag.String("data", "", "state root directory; each session persists under <data>/<id> (empty = in-memory only)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics, expvar and pprof on this address")
+	procs := flag.Int("p", 1, "ranks per session run (1 = sequential, >=2 = master+slaves)")
+	sim := flag.Bool("sim", false, "run sessions on the simulated parallel machine")
+	window := flag.Int("w", 8, "suffix bucketing window w")
+	psi := flag.Int("psi", 20, "promising pair threshold ψ")
+	batch := flag.Int("batch", 60, "pairs per master-slave interaction")
+	maxSessions := flag.Int("max-sessions", 64, "server-wide live session quota")
+	maxPerTenant := flag.Int("max-per-tenant", 16, "per-tenant live session quota")
+	maxESTs := flag.Int("max-ests", 0, "per-session EST capacity (0 = unlimited)")
+	admit := flag.Int("admit", 8, "batch requests serviced concurrently")
+	queue := flag.Int("queue", 0, "batch requests allowed to wait for a slot (default 2x -admit)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline")
+	flag.Parse()
+
+	opt := pace.DefaultOptions()
+	opt.Processors = *procs
+	opt.Simulated = *sim
+	opt.Window = *window
+	opt.MinMatch = *psi
+	opt.BatchSize = *batch
+
+	var metrics *pace.MetricsRegistry
+	var metricsSrv *pace.MetricsServer
+	if *metricsAddr != "" {
+		metrics = pace.NewMetricsRegistry()
+		opt.Metrics = metrics
+		srv, err := pace.ServeMetrics(*metricsAddr, metrics)
+		if err != nil {
+			fatal(err)
+		}
+		metricsSrv = srv
+		fmt.Fprintf(os.Stderr, "paced: serving metrics on http://%s/metrics\n", srv.Addr())
+	}
+
+	mgr, err := serve.NewManager(serve.Config{
+		Options:              opt,
+		DataDir:              *dataDir,
+		MaxSessions:          *maxSessions,
+		MaxSessionsPerTenant: *maxPerTenant,
+		MaxESTsPerSession:    *maxESTs,
+		Admission:            serve.AdmissionConfig{Grants: *admit, Queue: *queue},
+		Metrics:              metrics,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *dataDir != "" {
+		n, err := mgr.ResumeAll()
+		if err != nil {
+			fatal(fmt.Errorf("resume: %w", err))
+		}
+		if n > 0 {
+			fmt.Fprintf(os.Stderr, "paced: resumed %d session(s) from %s\n", n, *dataDir)
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	srv := &http.Server{Handler: serve.NewHandler(mgr)}
+	serveErr := make(chan error, 1)
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			serveErr <- err
+		}
+		close(serveErr)
+	}()
+	fmt.Fprintf(os.Stderr, "paced: listening on http://%s\n", ln.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+
+	var metricsErr <-chan error
+	if metricsSrv != nil {
+		metricsErr = metricsSrv.Err()
+	}
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "paced: %v: draining (deadline %v)\n", sig, *drainTimeout)
+	case err, ok := <-serveErr:
+		if ok && err != nil {
+			fatal(fmt.Errorf("http server: %w", err))
+		}
+		return
+	case err, ok := <-metricsErr:
+		if ok && err != nil {
+			fatal(fmt.Errorf("metrics server: %w", err))
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Order: refuse and finish batch work (saving every session), then
+	// close the API listener, then the telemetry endpoint.
+	if err := mgr.Drain(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "paced: drain:", err)
+		defer os.Exit(1)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "paced: shutdown:", err)
+		defer os.Exit(1)
+	}
+	if metricsSrv != nil {
+		if err := metricsSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "paced: metrics shutdown:", err)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "paced: drained, bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paced:", err)
+	os.Exit(1)
+}

@@ -79,6 +79,33 @@ func (bc *BucketCache) absorb(set *seq.SetS, w int, hi seq.StringID) ([]int, err
 	return ids, nil
 }
 
+// Truncate rolls the cache back so it covers only strings with id < hi —
+// the inverse of absorb for a failed batch run. Suffix lists are appended
+// in ascending string-id order, so every ref of a dropped string sits at
+// the tail of its bucket's list; those tails are trimmed, buckets left
+// empty are deleted, and the cached subtree of every trimmed bucket is
+// discarded (it was built over suffixes that no longer exist — the next
+// batch run rebuilds it from the restored list). Subtrees of untouched
+// buckets stay valid verbatim. A no-op when hi >= the scanned high mark.
+func (bc *BucketCache) Truncate(hi seq.StringID) {
+	if hi >= bc.scanned {
+		return
+	}
+	for b, refs := range bc.byBucket {
+		cut := sort.Search(len(refs), func(i int) bool { return refs[i].SID >= hi })
+		if cut == len(refs) {
+			continue
+		}
+		delete(bc.trees, b)
+		if cut == 0 {
+			delete(bc.byBucket, b)
+			continue
+		}
+		bc.byBucket[b] = refs[:cut:cut]
+	}
+	bc.scanned = hi
+}
+
 // Warm scans every string of set into the cache without building any
 // subtrees — the state a resumed session needs so that its next batch
 // rebuilds only the buckets the batch touches. Subtrees are built lazily:

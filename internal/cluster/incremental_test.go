@@ -167,6 +167,106 @@ func TestBucketCacheConsistency(t *testing.T) {
 	}
 }
 
+// TestBucketCacheTruncateRollsBackAbsorb proves cache truncation is the
+// exact inverse of absorbing a batch: lists shrink back to the prefix run's
+// state, subtrees of touched buckets are discarded (they index dead
+// suffixes), untouched subtrees survive verbatim, and a re-run of the batch
+// after rollback reproduces the from-scratch partition and pair counts —
+// the retried-Add-equals-first-attempt contract at the engine level.
+func TestBucketCacheTruncateRollsBackAbsorb(t *testing.T) {
+	b := benchSet(t, 60, 4, 13)
+	cfg := DefaultConfig(1)
+	cfg.Window, cfg.Psi = 6, 18
+
+	full, err := Run(b.ESTs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cut := len(b.ESTs) - 3
+	set, err := seq.NewSetS(b.ESTs[:cut])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewBucketCache()
+	c1 := cfg
+	c1.Cache = cache
+	r1, err := RunSet(set, c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bucketsBefore := cache.Buckets()
+	lenBefore := make(map[int]int, len(cache.byBucket))
+	for bkt, refs := range cache.byBucket {
+		lenBefore[bkt] = len(refs)
+	}
+	treesBefore := make(map[int]*suffix.Tree, len(cache.trees))
+	for bkt, tr := range cache.trees {
+		treesBefore[bkt] = tr
+	}
+
+	// Absorb the tail batch (as a failed run would have), then roll back.
+	gen, err := set.Append(b.ESTs[cut:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := cfg
+	c2.Cache = cache
+	c2.FreshGen = gen
+	c2.InitialLabels = r1.Labels
+	if _, err := RunSet(set, c2); err != nil {
+		t.Fatal(err)
+	}
+	cache.Truncate(seq.Forward(seq.ESTID(cut)))
+	if err := set.Truncate(cut); err != nil {
+		t.Fatal(err)
+	}
+
+	if cache.Strings() != 2*cut {
+		t.Fatalf("truncated cache scanned %d strings, want %d", cache.Strings(), 2*cut)
+	}
+	if cache.Buckets() != bucketsBefore {
+		t.Errorf("truncated cache holds %d buckets, want %d", cache.Buckets(), bucketsBefore)
+	}
+	for bkt, refs := range cache.byBucket {
+		if len(refs) != lenBefore[bkt] {
+			t.Errorf("bucket %d has %d refs after rollback, want %d", bkt, len(refs), lenBefore[bkt])
+		}
+	}
+	for bkt, tr := range cache.trees {
+		if treesBefore[bkt] != tr {
+			t.Errorf("bucket %d kept a subtree built over rolled-back suffixes", bkt)
+		}
+	}
+
+	// The retried batch must behave exactly like a first attempt.
+	gen2, err := set.Append(b.ESTs[cut:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen2 != gen {
+		t.Fatalf("retried Append got generation %d, want %d", gen2, gen)
+	}
+	c3 := cfg
+	c3.Cache = cache
+	c3.FreshGen = gen2
+	c3.InitialLabels = r1.Labels
+	r3, err := RunSet(set, c3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := normalizeLabels(r3.Labels), normalizeLabels(full.Labels)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("retried run's partition differs from from-scratch at EST %d", i)
+		}
+	}
+	if sum := r1.Stats.PairsGenerated + r3.Stats.PairsGenerated; sum != full.Stats.PairsGenerated {
+		t.Errorf("prefix %d + retried %d pairs != from-scratch %d",
+			r1.Stats.PairsGenerated, r3.Stats.PairsGenerated, full.Stats.PairsGenerated)
+	}
+}
+
 // TestCheckpointFromLabels round-trips a finished partition through the
 // session checkpoint constructor.
 func TestCheckpointFromLabels(t *testing.T) {

@@ -248,6 +248,34 @@ func (s *SetS) Append(ests []Sequence) (Gen, error) {
 	return g, nil
 }
 
+// Truncate rolls the set back to its first n ESTs, discarding later ESTs,
+// their strings, and any generation that starts at or beyond n. It is the
+// inverse of Append for a failed batch: a session whose clustering run
+// errors after appending can restore the set to exactly its pre-Append
+// state, so a retried Append is indistinguishable from a first attempt.
+// n must lie in [1, NumESTs()].
+func (s *SetS) Truncate(n int) error {
+	if n < 1 || n > len(s.ests) {
+		return fmt.Errorf("seq: Truncate to %d ESTs outside [1, %d]", n, len(s.ests))
+	}
+	for _, e := range s.ests[n:] {
+		s.totN -= int64(len(e))
+	}
+	// Zero dropped slots so the backing arrays don't pin dead sequences.
+	for i := n; i < len(s.ests); i++ {
+		s.ests[i] = nil
+	}
+	for i := 2 * n; i < len(s.strs); i++ {
+		s.strs[i] = nil
+	}
+	s.ests = s.ests[:n]
+	s.strs = s.strs[:2*n]
+	for len(s.genStart) > 1 && int(s.genStart[len(s.genStart)-1]) >= n {
+		s.genStart = s.genStart[:len(s.genStart)-1]
+	}
+	return nil
+}
+
 // NumGenerations returns how many batches the set holds (>= 1).
 func (s *SetS) NumGenerations() int { return len(s.genStart) }
 

@@ -309,6 +309,109 @@ func TestSetSAppendGenerations(t *testing.T) {
 	}
 }
 
+// TestSetSTruncateRollsBackAppend proves Truncate is Append's exact inverse:
+// after append-then-truncate the set is indistinguishable from one that
+// never appended, and a re-append reproduces the original generation tag,
+// ids and strings — the contract Session.Add's failure rollback relies on.
+func TestSetSTruncateRollsBackAppend(t *testing.T) {
+	base := []Sequence{mustParse(t, "ACGTACGT"), mustParse(t, "TTTTGGGG"), mustParse(t, "CCCCAAAA")}
+	set, err := NewSetS(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pristine, err := NewSetS(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	batch := []Sequence{mustParse(t, "GATTACAG"), mustParse(t, "ACGTTGCA")}
+	g, err := set.Append(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Truncate(len(base)); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+
+	if set.NumESTs() != pristine.NumESTs() || set.NumStrings() != pristine.NumStrings() {
+		t.Fatalf("truncated set has n=%d 2n=%d, want %d %d",
+			set.NumESTs(), set.NumStrings(), pristine.NumESTs(), pristine.NumStrings())
+	}
+	if set.TotalChars() != pristine.TotalChars() {
+		t.Errorf("TotalChars = %d, want %d", set.TotalChars(), pristine.TotalChars())
+	}
+	if set.NumGenerations() != pristine.NumGenerations() {
+		t.Errorf("NumGenerations = %d, want %d", set.NumGenerations(), pristine.NumGenerations())
+	}
+	for id := 0; id < set.NumStrings(); id++ {
+		if !set.Str(StringID(id)).Equal(pristine.Str(StringID(id))) {
+			t.Errorf("string %d differs after rollback", id)
+		}
+	}
+
+	g2, err := set.Append(batch)
+	if err != nil {
+		t.Fatalf("re-Append after Truncate: %v", err)
+	}
+	if g2 != g {
+		t.Errorf("re-Append generation = %d, want %d (same as first attempt)", g2, g)
+	}
+	if set.NumESTs() != len(base)+len(batch) {
+		t.Errorf("NumESTs after re-Append = %d, want %d", set.NumESTs(), len(base)+len(batch))
+	}
+	if got := set.Str(Forward(ESTID(len(base)))); !got.Equal(batch[0]) {
+		t.Errorf("re-appended string content differs: %v", got)
+	}
+	if set.GenStartString(g2) != Forward(ESTID(len(base))) {
+		t.Errorf("GenStartString(%d) = %d, want %d", g2, set.GenStartString(g2), Forward(ESTID(len(base))))
+	}
+}
+
+// TestSetSTruncateMultipleGenerations drops two generations at once and
+// checks the generation table shrinks with them.
+func TestSetSTruncateMultipleGenerations(t *testing.T) {
+	set, err := NewSetS([]Sequence{mustParse(t, "ACGTACGT")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := set.Append([]Sequence{mustParse(t, "TTTTGGGG")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := set.Append([]Sequence{mustParse(t, "CCCCAAAA")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Truncate(1); err != nil {
+		t.Fatal(err)
+	}
+	if set.NumGenerations() != 1 || set.NumESTs() != 1 || set.TotalChars() != 8 {
+		t.Errorf("after Truncate(1): gens=%d n=%d N=%d, want 1 1 8",
+			set.NumGenerations(), set.NumESTs(), set.TotalChars())
+	}
+	if got := set.Generation(0); got != 0 {
+		t.Errorf("Generation(0) = %d, want 0", got)
+	}
+}
+
+// TestSetSTruncateRejects covers the range guard.
+func TestSetSTruncateRejects(t *testing.T) {
+	set, err := NewSetS([]Sequence{mustParse(t, "ACGTACGT"), mustParse(t, "TTTTGGGG")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Truncate(0); err == nil {
+		t.Error("Truncate(0): want error")
+	}
+	if err := set.Truncate(3); err == nil {
+		t.Error("Truncate beyond NumESTs: want error")
+	}
+	if err := set.Truncate(2); err != nil {
+		t.Errorf("Truncate(NumESTs): %v, want nil (no-op)", err)
+	}
+	if set.NumESTs() != 2 {
+		t.Errorf("no-op Truncate changed the set: n=%d", set.NumESTs())
+	}
+}
+
 // Appending an EST shorter than any realistic bucketing window w must still
 // keep the set consistent: the EST gets ids and an rc mate like any other,
 // and simply contributes no length->=w suffixes downstream.

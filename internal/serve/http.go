@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"pace"
+)
+
+// NewHandler exposes the manager's session lifecycle over HTTP:
+//
+//	POST   /v1/sessions                 {"id":"...","tenant":"..."} → 201
+//	GET    /v1/sessions                 list sessions
+//	GET    /v1/sessions/{id}            one session's info
+//	DELETE /v1/sessions/{id}            drop a session and its state
+//	POST   /v1/sessions/{id}/batches    ingest a batch (JSON or FASTA body)
+//	GET    /v1/sessions/{id}/labels     current labels (?format=tsv|json)
+//	GET    /healthz                     liveness + drain state
+//
+// A batch body is either JSON {"ests":[{"id":"...","seq":"ACGT..."},...]}
+// or raw FASTA when Content-Type is text/x-fasta (or the body starts
+// with '>'). Backpressure surfaces as 429 (admission queue full), drain
+// as 503.
+func NewHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			ID     string `json:"id"`
+			Tenant string `json:"tenant"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, fmt.Errorf("serve: invalid request body: %w", err))
+			return
+		}
+		info, err := m.Create(req.ID, req.Tenant)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, info)
+	})
+	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"sessions": m.List()})
+	})
+	mux.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		info, err := m.Info(r.PathValue("id"))
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+	mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := m.Delete(r.PathValue("id")); err != nil {
+			httpError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /v1/sessions/{id}/batches", func(w http.ResponseWriter, r *http.Request) {
+		recs, err := decodeBatch(r)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		res, err := m.Add(r.Context(), r.PathValue("id"), recs)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("GET /v1/sessions/{id}/labels", func(w http.ResponseWriter, r *http.Request) {
+		recs, labels, err := m.Labels(r.PathValue("id"))
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		switch format := r.URL.Query().Get("format"); format {
+		case "", "tsv":
+			w.Header().Set("Content-Type", "text/tab-separated-values; charset=utf-8")
+			for i, rec := range recs {
+				fmt.Fprintf(w, "%s\t%d\n", rec.ID, labels[i])
+			}
+		case "json":
+			type row struct {
+				ID    string `json:"id"`
+				Label int    `json:"label"`
+			}
+			rows := make([]row, len(recs))
+			for i, rec := range recs {
+				rows[i] = row{ID: rec.ID, Label: labels[i]}
+			}
+			writeJSON(w, http.StatusOK, map[string]any{"labels": rows})
+		default:
+			httpError(w, fmt.Errorf("serve: unknown format %q (want tsv or json)", format))
+		}
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		status := "ok"
+		code := http.StatusOK
+		if m.isDraining() {
+			status = "draining"
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, map[string]any{
+			"status":    status,
+			"sessions":  len(m.List()),
+			"admission": m.Admission().Stats(),
+		})
+	})
+	return mux
+}
+
+// decodeBatch parses a batch request body as JSON records or FASTA.
+func decodeBatch(r *http.Request) ([]pace.Record, error) {
+	ct := r.Header.Get("Content-Type")
+	if strings.Contains(ct, "json") {
+		var req struct {
+			ESTs []pace.Record `json:"ests"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			return nil, fmt.Errorf("serve: invalid batch body: %w", err)
+		}
+		return req.ESTs, nil
+	}
+	recs, err := pace.ReadFASTA(r.Body)
+	if err != nil {
+		return nil, fmt.Errorf("serve: invalid FASTA batch: %w", err)
+	}
+	return recs, nil
+}
+
+// httpError maps manager errors to HTTP statuses and a JSON error body.
+func httpError(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrExists):
+		code = http.StatusConflict
+	case errors.Is(err, ErrBusy), errors.Is(err, ErrQuota):
+		code = http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, ErrTooLarge):
+		code = http.StatusRequestEntityTooLarge
+	case errors.Is(err, ErrStateMismatch):
+		code = http.StatusConflict
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

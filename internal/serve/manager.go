@@ -1,0 +1,566 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"sync"
+	"time"
+
+	"pace"
+	"pace/internal/telemetry"
+)
+
+// Manager lifecycle errors, mapped to HTTP statuses by the handler.
+var (
+	// ErrNotFound names a session id with no live session.
+	ErrNotFound = errors.New("serve: session not found")
+	// ErrExists rejects creating an id that is already live.
+	ErrExists = errors.New("serve: session already exists")
+	// ErrQuota rejects a create that would exceed the server-wide or
+	// per-tenant session quota.
+	ErrQuota = errors.New("serve: session quota exceeded")
+	// ErrDraining rejects mutating requests while the server drains.
+	ErrDraining = errors.New("serve: server is draining")
+	// ErrTooLarge rejects a batch that would exceed MaxESTsPerSession.
+	ErrTooLarge = errors.New("serve: batch exceeds session capacity")
+)
+
+// Server-level metric families. Per-session series carry a session label.
+const (
+	metricSessions       = "pace_server_sessions"
+	metricAdmInService   = "pace_server_admission_in_service"
+	metricAdmWaiting     = "pace_server_admission_waiting"
+	metricAdmHighWater   = "pace_server_admission_high_water"
+	metricAdmAdmitted    = "pace_server_admitted_total"
+	metricAdmRejected    = "pace_server_rejected_total"
+	metricSessionESTs    = "pace_server_session_ests"
+	metricSessionBatches = "pace_server_session_batches_total"
+)
+
+// Config parameterizes a Manager.
+type Config struct {
+	// Options is the clustering configuration every session runs with.
+	// Sessions created over HTTP all share it, so their checkpoints all
+	// validate against the same fingerprint at resume.
+	Options pace.Options
+	// DataDir is the durability root: each session owns the state
+	// directory DataDir/<id>. Empty runs fully in memory.
+	DataDir string
+	// MaxSessions bounds live sessions server-wide (default 64).
+	MaxSessions int
+	// MaxSessionsPerTenant bounds live sessions per tenant (default 16).
+	MaxSessionsPerTenant int
+	// MaxESTsPerSession bounds a session's total EST count; a batch that
+	// would exceed it is rejected whole (0 = unlimited).
+	MaxESTsPerSession int
+	// Admission bounds concurrent batch ingestion.
+	Admission AdmissionConfig
+	// Metrics, when non-nil, receives server gauges/counters (with
+	// per-session labels) alongside the engine's own families.
+	Metrics *telemetry.Registry
+}
+
+func (c Config) maxSessions() int {
+	if c.MaxSessions > 0 {
+		return c.MaxSessions
+	}
+	return 64
+}
+
+func (c Config) maxPerTenant() int {
+	if c.MaxSessionsPerTenant > 0 {
+		return c.MaxSessionsPerTenant
+	}
+	return 16
+}
+
+// session is one managed session. mu serializes every touch of sess/recs:
+// pace.Session is documented single-goroutine, so the manager owns exactly
+// one lock per session and all request handling runs under it.
+type session struct {
+	meta Meta
+	dir  string // state directory; "" when the manager is memory-only
+
+	mu   sync.Mutex
+	sess *pace.Session
+	recs []pace.Record
+	gone bool // deleted while another request held the pointer
+}
+
+// Manager owns the live sessions behind the HTTP API: creation and quotas,
+// per-session serialization, bounded admission of batch work, durability
+// via SaveState/LoadState, and graceful drain.
+type Manager struct {
+	cfg Config
+	adm *Admission
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	draining bool
+}
+
+// NewManager validates the configuration and returns an empty manager.
+func NewManager(cfg Config) (*Manager, error) {
+	if _, err := pace.NewSession(cfg.Options); err != nil {
+		return nil, fmt.Errorf("serve: session options: %w", err)
+	}
+	if cfg.DataDir != "" {
+		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	m := &Manager{
+		cfg:      cfg,
+		adm:      NewAdmission(cfg.Admission),
+		sessions: make(map[string]*session),
+	}
+	if r := cfg.Metrics; r != nil {
+		r.Help(metricSessions, "Live sessions owned by the manager.")
+		r.Help(metricAdmAdmitted, "Requests granted an admission slot.")
+		r.Help(metricAdmRejected, "Requests rejected with a full admission queue (HTTP 429).")
+		r.Help(metricSessionESTs, "ESTs held per session.")
+		r.Help(metricSessionBatches, "Batches ingested per session.")
+	}
+	return m, nil
+}
+
+// idPattern keeps session ids and tenants path- and label-safe: they name
+// state directories and Prometheus label values.
+var idPattern = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]{0,63}$`)
+
+func validateID(kind, id string) error {
+	if !idPattern.MatchString(id) || id == "." || id == ".." {
+		return fmt.Errorf("serve: invalid %s %q: want 1-64 chars of [a-zA-Z0-9._-], starting alphanumeric", kind, id)
+	}
+	return nil
+}
+
+// Info is a session's externally visible state.
+type Info struct {
+	ID          string `json:"id"`
+	Tenant      string `json:"tenant,omitempty"`
+	NumESTs     int    `json:"num_ests"`
+	Batches     int    `json:"batches"`
+	NumClusters int    `json:"num_clusters"`
+}
+
+func (s *session) infoLocked() Info {
+	in := Info{
+		ID:      s.meta.ID,
+		Tenant:  s.meta.Tenant,
+		NumESTs: s.sess.NumESTs(),
+		Batches: s.sess.Batches(),
+	}
+	if cl := s.sess.Clustering(); cl != nil {
+		in.NumClusters = cl.NumClusters
+	} else if labels := s.sess.Labels(); labels != nil {
+		// Resumed sessions know their partition but not the last run.
+		max := -1
+		for _, l := range labels {
+			if l > max {
+				max = l
+			}
+		}
+		in.NumClusters = max + 1
+	}
+	return in
+}
+
+// Create registers an empty session for a tenant, enforcing quotas, and
+// persists its metadata when durability is on.
+func (m *Manager) Create(id, tenant string) (Info, error) {
+	if err := validateID("session id", id); err != nil {
+		return Info{}, err
+	}
+	if tenant == "" {
+		tenant = "default"
+	}
+	if err := validateID("tenant", tenant); err != nil {
+		return Info{}, err
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		return Info{}, ErrDraining
+	}
+	if _, ok := m.sessions[id]; ok {
+		return Info{}, fmt.Errorf("%w: %s", ErrExists, id)
+	}
+	if len(m.sessions) >= m.cfg.maxSessions() {
+		return Info{}, fmt.Errorf("%w: server holds %d sessions", ErrQuota, len(m.sessions))
+	}
+	own := 0
+	for _, s := range m.sessions {
+		if s.meta.Tenant == tenant {
+			own++
+		}
+	}
+	if own >= m.cfg.maxPerTenant() {
+		return Info{}, fmt.Errorf("%w: tenant %s holds %d sessions", ErrQuota, tenant, own)
+	}
+
+	sess, err := pace.NewSession(m.cfg.Options)
+	if err != nil {
+		return Info{}, err
+	}
+	s := &session{meta: Meta{ID: id, Tenant: tenant}, sess: sess}
+	if m.cfg.DataDir != "" {
+		s.dir = filepath.Join(m.cfg.DataDir, id)
+		if err := os.MkdirAll(s.dir, 0o755); err != nil {
+			return Info{}, err
+		}
+		if err := WriteMeta(s.dir, s.meta); err != nil {
+			return Info{}, err
+		}
+	}
+	m.sessions[id] = s
+	m.gauge(metricSessions).Set(int64(len(m.sessions)))
+	return Info{ID: id, Tenant: tenant}, nil
+}
+
+// lookup fetches a live session.
+func (m *Manager) lookup(id string) (*session, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return s, nil
+}
+
+// List returns every live session's info, sorted by id.
+func (m *Manager) List() []Info {
+	m.mu.Lock()
+	all := make([]*session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		all = append(all, s)
+	}
+	m.mu.Unlock()
+	out := make([]Info, 0, len(all))
+	for _, s := range all {
+		s.mu.Lock()
+		if !s.gone {
+			out = append(out, s.infoLocked())
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Info returns one session's info.
+func (m *Manager) Info(id string) (Info, error) {
+	s, err := m.lookup(id)
+	if err != nil {
+		return Info{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.gone {
+		return Info{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return s.infoLocked(), nil
+}
+
+// Delete removes a session and its state directory. An Add in flight on
+// the session finishes first (it holds the session lock); later requests
+// that still hold the pointer see gone and report not-found.
+func (m *Manager) Delete(id string) error {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	if ok {
+		delete(m.sessions, id)
+		m.gauge(metricSessions).Set(int64(len(m.sessions)))
+	}
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gone = true
+	if s.dir != "" {
+		return os.RemoveAll(s.dir)
+	}
+	return nil
+}
+
+// BatchResult reports one ingested batch.
+type BatchResult struct {
+	Info Info `json:"session"`
+	// BatchESTs is the batch's size; the remaining fields describe the
+	// incremental run it triggered.
+	BatchESTs       int   `json:"batch_ests"`
+	PairsGenerated  int64 `json:"pairs_generated"`
+	FreshPairs      int64 `json:"fresh_pairs"`
+	StaleSuppressed int64 `json:"stale_suppressed"`
+	BucketsRebuilt  int64 `json:"buckets_rebuilt"`
+	BucketsReused   int64 `json:"buckets_reused"`
+}
+
+// Add ingests a batch into a session: admission first (bounded queue,
+// ErrBusy when full), then the session lock, then the incremental run and
+// a durable state save. Records with empty IDs are assigned est<n> names.
+//
+// Failure semantics ride on Session.Add's atomicity: a failed run leaves
+// the session untouched, so the client can retry the identical request. A
+// run that succeeds but fails to persist returns an error too — the
+// in-memory state is ahead of disk, and the next successful Add (or the
+// shutdown drain) rewrites the full state and heals the gap.
+func (m *Manager) Add(ctx context.Context, id string, recs []pace.Record) (*BatchResult, error) {
+	if len(recs) == 0 {
+		return nil, errors.New("serve: empty batch")
+	}
+	if m.isDraining() {
+		return nil, ErrDraining
+	}
+	s, err := m.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.adm.Acquire(ctx); err != nil {
+		m.pushAdmissionMetrics()
+		return nil, err
+	}
+	defer func() {
+		m.adm.Release()
+		m.pushAdmissionMetrics()
+	}()
+	m.pushAdmissionMetrics()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.gone {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if max := m.cfg.MaxESTsPerSession; max > 0 && s.sess.NumESTs()+len(recs) > max {
+		return nil, fmt.Errorf("%w: %d + %d ESTs > limit %d", ErrTooLarge, s.sess.NumESTs(), len(recs), max)
+	}
+	base := s.sess.NumESTs()
+	seqs := make([]string, len(recs))
+	for i := range recs {
+		if recs[i].ID == "" {
+			recs[i].ID = fmt.Sprintf("est%06d", base+i)
+		}
+		seqs[i] = recs[i].Seq
+	}
+	cl, err := s.sess.Add(seqs)
+	if err != nil {
+		return nil, err
+	}
+	s.recs = append(s.recs, recs...)
+	if s.dir != "" {
+		if err := SaveState(s.dir, s.sess, s.recs); err != nil {
+			return nil, fmt.Errorf("serve: batch clustered but not persisted (will heal on next save): %w", err)
+		}
+	}
+	if r := m.cfg.Metrics; r != nil {
+		lbl := telemetry.Label{Key: "session", Value: id}
+		r.Gauge(metricSessionESTs, lbl).Set(int64(s.sess.NumESTs()))
+		r.Counter(metricSessionBatches, lbl).Inc()
+	}
+	inc := cl.Stats.Incremental
+	return &BatchResult{
+		Info:            s.infoLocked(),
+		BatchESTs:       len(recs),
+		PairsGenerated:  cl.Stats.PairsGenerated,
+		FreshPairs:      inc.FreshPairs,
+		StaleSuppressed: inc.StaleSuppressed,
+		BucketsRebuilt:  inc.BucketsRebuilt,
+		BucketsReused:   inc.BucketsReused,
+	}, nil
+}
+
+// Labels returns the session's records and current labels, aligned.
+func (m *Manager) Labels(id string) ([]pace.Record, []int, error) {
+	s, err := m.lookup(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.gone {
+		return nil, nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	recs := append([]pace.Record(nil), s.recs...)
+	return recs, s.sess.Labels(), nil
+}
+
+// Save persists a session's state now (no-op without a data dir). Add
+// already saves after every batch; Save exists for drains and tests.
+func (m *Manager) Save(id string) error {
+	s, err := m.lookup(id)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.gone {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return s.saveLocked()
+}
+
+func (s *session) saveLocked() error {
+	if s.dir == "" || s.sess.NumESTs() == 0 {
+		return nil
+	}
+	return SaveState(s.dir, s.sess, s.recs)
+}
+
+// ResumeAll restores every session found under DataDir, cross-checking
+// each state pair (ErrStateMismatch on a torn or edited directory). The
+// resumed sessions are proven label-identical to their pre-restart selves
+// by the state pair's construction: the store orders the ESTs and the
+// checkpointed union-find fixes the partition over exactly those ESTs.
+func (m *Manager) ResumeAll() (int, error) {
+	if m.cfg.DataDir == "" {
+		return 0, nil
+	}
+	entries, err := os.ReadDir(m.cfg.DataDir)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, ent := range entries {
+		if !ent.IsDir() {
+			continue
+		}
+		dir := filepath.Join(m.cfg.DataDir, ent.Name())
+		if _, err := os.Stat(filepath.Join(dir, FASTAFile)); errors.Is(err, os.ErrNotExist) {
+			// A created-but-never-fed session: resume it empty if it has
+			// metadata, otherwise it is not ours to manage.
+			if err := m.resumeEmpty(dir, ent.Name()); err != nil {
+				return n, err
+			}
+			n++
+			continue
+		}
+		st, err := LoadState(dir, m.cfg.Options)
+		if err != nil {
+			return n, fmt.Errorf("serve: resume %s: %w", ent.Name(), err)
+		}
+		sess, err := st.Resume(m.cfg.Options)
+		if err != nil {
+			return n, fmt.Errorf("serve: resume %s: %w", ent.Name(), err)
+		}
+		meta := st.Meta
+		if meta.ID == "" {
+			meta.ID = ent.Name()
+		}
+		if meta.Tenant == "" {
+			meta.Tenant = "default"
+		}
+		m.mu.Lock()
+		m.sessions[meta.ID] = &session{meta: meta, dir: dir, sess: sess, recs: st.Recs}
+		m.gauge(metricSessions).Set(int64(len(m.sessions)))
+		m.mu.Unlock()
+		if r := m.cfg.Metrics; r != nil {
+			r.Gauge(metricSessionESTs, telemetry.Label{Key: "session", Value: meta.ID}).Set(int64(sess.NumESTs()))
+		}
+		n++
+	}
+	return n, nil
+}
+
+func (m *Manager) resumeEmpty(dir, name string) error {
+	meta := Meta{ID: name, Tenant: "default"}
+	if data, err := os.ReadFile(filepath.Join(dir, MetaFile)); err == nil {
+		if err := unmarshalMeta(data, &meta); err != nil {
+			return fmt.Errorf("serve: resume %s: %w", name, err)
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	sess, err := pace.NewSession(m.cfg.Options)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.sessions[meta.ID] = &session{meta: meta, dir: dir, sess: sess}
+	m.gauge(metricSessions).Set(int64(len(m.sessions)))
+	m.mu.Unlock()
+	return nil
+}
+
+// Drain performs the graceful-shutdown sequence: refuse new work, wait
+// (bounded by ctx) for in-flight batches to finish, then save every
+// session. It returns the first save error but keeps saving the rest.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	m.draining = true
+	all := make([]*session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		all = append(all, s)
+	}
+	m.mu.Unlock()
+
+	for !m.adm.Idle() {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("serve: drain: in-flight work outlived the deadline: %w", ctx.Err())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+
+	var firstErr error
+	for _, s := range all {
+		s.mu.Lock()
+		if !s.gone {
+			if err := s.saveLocked(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		s.mu.Unlock()
+	}
+	return firstErr
+}
+
+func (m *Manager) isDraining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// Admission exposes the admission controller (handler metrics, tests).
+func (m *Manager) Admission() *Admission { return m.adm }
+
+// gauge is a nil-safe registry accessor for unlabeled server gauges.
+func (m *Manager) gauge(family string) *telemetry.Gauge {
+	if m.cfg.Metrics == nil {
+		return &telemetry.Gauge{}
+	}
+	return m.cfg.Metrics.Gauge(family)
+}
+
+func (m *Manager) pushAdmissionMetrics() {
+	r := m.cfg.Metrics
+	if r == nil {
+		return
+	}
+	st := m.adm.Stats()
+	r.Gauge(metricAdmInService).Set(int64(st.InService))
+	r.Gauge(metricAdmWaiting).Set(int64(st.Waiting))
+	r.Gauge(metricAdmHighWater).Set(int64(st.HighWater))
+	setCounter(r.Counter(metricAdmAdmitted), st.Admitted)
+	setCounter(r.Counter(metricAdmRejected), st.Rejected)
+}
+
+// setCounter advances a monotonic counter to an absolute value.
+func setCounter(c *telemetry.Counter, want int64) {
+	if d := want - c.Value(); d > 0 {
+		c.Add(d)
+	}
+}
+
+func unmarshalMeta(data []byte, m *Meta) error {
+	return json.Unmarshal(data, m)
+}

@@ -1,6 +1,8 @@
 package telemetry
 
 import (
+	"context"
+	"errors"
 	"expvar"
 	"fmt"
 	"io"
@@ -147,6 +149,7 @@ func publishExpvar(r *Registry) {
 type Server struct {
 	srv *http.Server
 	ln  net.Listener
+	err chan error
 }
 
 // Serve exposes the registry over HTTP on addr (e.g. "localhost:9090"):
@@ -174,13 +177,43 @@ func Serve(addr string, r *Registry) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	s := &Server{srv: &http.Server{Handler: mux}, ln: ln}
-	go func() { _ = s.srv.Serve(ln) }()
+	s := &Server{srv: &http.Server{Handler: mux}, ln: ln, err: make(chan error, 1)}
+	go func() {
+		// A listener that dies mid-run must not be silent: anything other
+		// than the orderly Close/Shutdown sentinel is surfaced on Err.
+		err := s.srv.Serve(ln)
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.err <- err
+		}
+		close(s.err)
+	}()
 	return s, nil
 }
 
 // Addr returns the bound address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops serving.
+// Err reports serve failures: if the HTTP server stops for any reason other
+// than Close/Shutdown (e.g. the listener dies mid-run), the error is sent
+// here. The channel is closed when serving ends, so a receive that yields a
+// zero error means an orderly stop. Long-running daemons should select on
+// it next to their signal handling.
+func (s *Server) Err() <-chan error { return s.err }
+
+// Shutdown stops serving gracefully: the listener closes immediately, then
+// in-flight requests are allowed to finish until ctx expires (at which
+// point they are cut off as in Close). Safe to call multiple times.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		// Deadline hit with requests still in flight: hard-stop them.
+		if cerr := s.srv.Close(); cerr != nil {
+			return cerr
+		}
+	}
+	return err
+}
+
+// Close stops serving immediately, dropping in-flight requests. Prefer
+// Shutdown for a graceful drain.
 func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestServerErrSurfacesListenerDeath kills the listener out from under a
+// running server and asserts the serve-loop error reaches Err instead of
+// vanishing — the silent-listener-death bug.
+func TestServerErrSurfacesListenerDeath(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.ln.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err, ok := <-srv.Err():
+		if !ok || err == nil {
+			t.Fatal("listener death produced no error on Err")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Err never reported the dead listener")
+	}
+}
+
+// TestServerErrClosesOnOrderlyShutdown asserts an orderly Shutdown yields a
+// closed-without-error Err channel, so daemons can select on it without
+// misreading their own drain as a failure.
+func TestServerErrClosesOnOrderlyShutdown(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	select {
+	case err, ok := <-srv.Err():
+		if ok && err != nil {
+			t.Fatalf("orderly shutdown surfaced error: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Err not closed after Shutdown")
+	}
+}
+
+// TestServerShutdownServesInFlight asserts requests accepted before
+// Shutdown complete during the drain window.
+func TestServerShutdownServesInFlight(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("pace_test_total").Inc()
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) == 0 || resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics fetch: status %d, %d bytes", resp.StatusCode, len(body))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown after request: %v", err)
+	}
+	// Shutdown is idempotent.
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+}

@@ -32,8 +32,10 @@ const (
 // identical to clustering all ESTs ingested so far from scratch.
 //
 // A Session is single-goroutine state: do not call its methods
-// concurrently. If an Add fails the session's state is undefined; start a
-// fresh Session (or ResumeSession from the last saved labels).
+// concurrently. Add is failure-atomic: if a batch run fails, the appended
+// generation is rolled back and the session is exactly as it was before
+// the call — Labels, NumESTs and Batches are unchanged, and retrying the
+// same Add is equivalent to a first attempt.
 type Session struct {
 	opt     Options
 	set     *seq.SetS
@@ -92,10 +94,20 @@ func ResumeSession(opt Options, ests []string, labels []int) (*Session, error) {
 	return s, nil
 }
 
+// runSet is swappable in tests to inject a failure at the latest possible
+// point of a batch run — after the set append and cache absorption — so the
+// rollback path can be exercised deterministically.
+var runSet = cluster.RunSet
+
 // Add ingests a batch of ESTs (DNA strings over ACGT; case-insensitive),
 // re-clusters incrementally, and returns the clustering over every EST the
 // session has seen. The returned Stats cover this batch's run only; its
 // Incremental field reports how much work the batch avoided.
+//
+// Add is failure-atomic: on any error the session is left exactly as it
+// was before the call (the appended generation and any bucket-cache
+// absorption are rolled back), so a retried Add behaves like a first
+// attempt — the guarantee a server needs to retry failed requests.
 func (s *Session) Add(ests []string) (*Clustering, error) {
 	if len(ests) == 0 {
 		return nil, fmt.Errorf("pace: empty batch")
@@ -108,12 +120,14 @@ func (s *Session) Add(ests []string) (*Clustering, error) {
 	if err != nil {
 		return nil, err
 	}
+	prevESTs := 0
 	if s.set == nil {
 		s.set, err = seq.NewSetS(parsed)
 		if err != nil {
 			return nil, err
 		}
 	} else {
+		prevESTs = s.set.NumESTs()
 		cfg.FreshGen, err = s.set.Append(parsed)
 		if err != nil {
 			return nil, err
@@ -132,8 +146,9 @@ func (s *Session) Add(ests []string) (*Clustering, error) {
 		clk = telemetry.FixedClock{}.Elapsed
 	}
 	t0 := clk()
-	res, err := cluster.RunSet(s.set, cfg)
+	res, err := runSet(s.set, cfg)
 	if err != nil {
+		s.rollback(prevESTs)
 		return nil, err
 	}
 	s.labels = res.Labels
@@ -146,6 +161,28 @@ func (s *Session) Add(ests []string) (*Clustering, error) {
 		m.Histogram(metricBatchNs, telemetry.ExpBounds(1000, 4, 16)).Observe((clk() - t0).Nanoseconds())
 	}
 	return s.last, nil
+}
+
+// rollback undoes a failed batch: the sequence set is truncated to its
+// pre-Add EST count and the bucket cache forgets every suffix (and every
+// subtree rebuilt over a suffix) of the discarded generation. Labels, the
+// last clustering and the batch counter were never touched — they move
+// only after a successful run — so the session is exactly its pre-Add
+// self and the next Add re-runs the batch as if the failure never happened.
+func (s *Session) rollback(prevESTs int) {
+	if prevESTs == 0 {
+		// The failed batch was the session's first: back to empty.
+		s.set = nil
+		if s.cache != nil {
+			s.cache.Truncate(0)
+		}
+		return
+	}
+	// prevESTs is a prior NumESTs of this set, so it is always in range.
+	_ = s.set.Truncate(prevESTs)
+	if s.cache != nil {
+		s.cache.Truncate(seq.Forward(seq.ESTID(prevESTs)))
+	}
 }
 
 // Labels returns a copy of the current partition: one dense cluster label

@@ -1,9 +1,14 @@
 package pace
 
 import (
+	"errors"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"pace/internal/cluster"
+	"pace/internal/seq"
 )
 
 // sessionNormalize renumbers labels by first occurrence so two partitions
@@ -155,6 +160,188 @@ func TestSessionPrefixSplitEquivalence(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// failRunSet swaps the session's engine entry point for one that performs
+// the complete batch run — mutating the sequence set and bucket cache
+// exactly as a real run would — and then reports failure. This is the
+// latest possible failure point of an Add, so it exercises the full
+// rollback. Restored via t.Cleanup.
+func failRunSet(t *testing.T) {
+	t.Helper()
+	orig := runSet
+	runSet = func(set *seq.SetS, cfg cluster.Config) (*cluster.Result, error) {
+		if _, err := cluster.RunSet(set, cfg); err != nil {
+			return nil, err
+		}
+		return nil, errors.New("injected post-run failure")
+	}
+	t.Cleanup(func() { runSet = orig })
+}
+
+// TestSessionAddFailureAtomicRetry is the failure-atomicity gate: an Add
+// that fails after mutating the engine state must leave NumESTs, Batches
+// and Labels untouched, and a retried identical Add must succeed with
+// labels equal to a never-failed run — on both the sequential (cached) and
+// simulated parallel engines.
+func TestSessionAddFailureAtomicRetry(t *testing.T) {
+	b := testBenchmark(t, 60, 4, 23)
+	cut := 45
+	for _, mode := range []string{"seq", "sim"} {
+		t.Run(mode, func(t *testing.T) {
+			opt := sessionOptions(t, mode)
+
+			// Control: the same two batches through a session that never fails.
+			control, err := NewSession(opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := control.Add(b.ESTs[:cut]); err != nil {
+				t.Fatal(err)
+			}
+			controlCl, err := control.Add(b.ESTs[cut:])
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			sess, err := NewSession(opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sess.Add(b.ESTs[:cut]); err != nil {
+				t.Fatal(err)
+			}
+			labelsBefore := sess.Labels()
+
+			failRunSet(t)
+			if _, err := sess.Add(b.ESTs[cut:]); err == nil {
+				t.Fatal("injected failure did not surface")
+			}
+			if sess.NumESTs() != cut {
+				t.Errorf("failed Add changed NumESTs: %d, want %d", sess.NumESTs(), cut)
+			}
+			if sess.Batches() != 1 {
+				t.Errorf("failed Add changed Batches: %d, want 1", sess.Batches())
+			}
+			if !sameLabels(sess.Labels(), labelsBefore) {
+				t.Error("failed Add changed Labels")
+			}
+
+			runSet = cluster.RunSet
+			cl, err := sess.Add(b.ESTs[cut:])
+			if err != nil {
+				t.Fatalf("retried Add: %v", err)
+			}
+			if got, want := sessionNormalize(cl.Labels), sessionNormalize(controlCl.Labels); !sameLabels(got, want) {
+				t.Errorf("retried Add labels differ from never-failed run\n got: %v\nwant: %v", got, want)
+			}
+			if cl.Stats.PairsGenerated != controlCl.Stats.PairsGenerated {
+				t.Errorf("retried Add generated %d pairs, never-failed run generated %d",
+					cl.Stats.PairsGenerated, controlCl.Stats.PairsGenerated)
+			}
+			if cl.Stats.Incremental.BucketsRebuilt != controlCl.Stats.Incremental.BucketsRebuilt ||
+				cl.Stats.Incremental.BucketsReused != controlCl.Stats.Incremental.BucketsReused {
+				t.Errorf("retried Add bucket work (rebuilt=%d reused=%d) differs from never-failed (rebuilt=%d reused=%d)",
+					cl.Stats.Incremental.BucketsRebuilt, cl.Stats.Incremental.BucketsReused,
+					controlCl.Stats.Incremental.BucketsRebuilt, controlCl.Stats.Incremental.BucketsReused)
+			}
+		})
+	}
+}
+
+// TestSessionFirstAddFailureAtomic covers the rollback of a failed *first*
+// Add: the session must return to the empty state and accept a retry.
+func TestSessionFirstAddFailureAtomic(t *testing.T) {
+	b := testBenchmark(t, 40, 3, 31)
+	opt := sessionOptions(t, "seq")
+	sess, err := NewSession(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failRunSet(t)
+	if _, err := sess.Add(b.ESTs); err == nil {
+		t.Fatal("injected failure did not surface")
+	}
+	if sess.NumESTs() != 0 || sess.Batches() != 0 || sess.Labels() != nil {
+		t.Fatalf("failed first Add left state behind: n=%d batches=%d labels=%v",
+			sess.NumESTs(), sess.Batches(), sess.Labels())
+	}
+
+	runSet = cluster.RunSet
+	cl, err := sess.Add(b.ESTs)
+	if err != nil {
+		t.Fatalf("retried first Add: %v", err)
+	}
+	scratch, err := Cluster(b.ESTs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sessionNormalize(cl.Labels), sessionNormalize(scratch.Labels); !sameLabels(got, want) {
+		t.Error("retried first Add labels differ from from-scratch run")
+	}
+}
+
+// TestSessionAddCheckpointFailureRollsBack drives an organic mid-run
+// failure (no hook): the engine's periodic checkpoint write fails because a
+// plain file squats on the checkpoint directory path, after the batch has
+// already been absorbed into the set and cache. The session must roll back
+// and, once the path is cleared, the retried Add must match a never-failed
+// control.
+func TestSessionAddCheckpointFailureRollsBack(t *testing.T) {
+	b := testBenchmark(t, 40, 3, 31)
+	cut := 30
+	opt := sessionOptions(t, "seq")
+	ckptPath := filepath.Join(t.TempDir(), "ckpt")
+	opt.CheckpointDir = ckptPath
+	opt.CheckpointEvery = 1
+
+	control, err := NewSession(sessionOptions(t, "seq"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := control.Add(b.ESTs[:cut]); err != nil {
+		t.Fatal(err)
+	}
+	controlCl, err := control.Add(b.ESTs[cut:])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sess, err := NewSession(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Add(b.ESTs[:cut]); err != nil {
+		t.Fatal(err)
+	}
+	// Squat on the checkpoint path so the next run's snapshot write fails.
+	if err := os.RemoveAll(ckptPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(ckptPath, []byte("squatter"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Add(b.ESTs[cut:]); err == nil {
+		t.Fatal("Add with unwritable checkpoint dir: want error")
+	}
+	if sess.NumESTs() != cut || sess.Batches() != 1 {
+		t.Errorf("failed Add left state behind: n=%d batches=%d", sess.NumESTs(), sess.Batches())
+	}
+
+	if err := os.Remove(ckptPath); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := sess.Add(b.ESTs[cut:])
+	if err != nil {
+		t.Fatalf("retried Add after clearing checkpoint path: %v", err)
+	}
+	if got, want := sessionNormalize(cl.Labels), sessionNormalize(controlCl.Labels); !sameLabels(got, want) {
+		t.Error("retried Add labels differ from never-failed control")
+	}
+	if cl.Stats.PairsGenerated != controlCl.Stats.PairsGenerated {
+		t.Errorf("retried Add generated %d pairs, control %d",
+			cl.Stats.PairsGenerated, controlCl.Stats.PairsGenerated)
 	}
 }
 
