@@ -144,6 +144,7 @@ func main() {
 	// alone, so the report's counter snapshot is populated.
 	if *metricsAddr != "" || *reportPath != "" {
 		opt.Metrics = pace.NewMetricsRegistry()
+		pace.RegisterBuildInfo(opt.Metrics)
 	}
 	if *metricsAddr != "" {
 		srv, err := pace.ServeMetrics(*metricsAddr, opt.Metrics)
@@ -175,12 +176,13 @@ func main() {
 	}
 	if opt.Trace != nil {
 		if err := opt.Trace.Close(); err != nil {
-			fatal(err)
+			fatal(fmt.Errorf("trace stream: %w (%d events dropped; %s is incomplete)",
+				err, opt.Trace.Dropped(), *tracePath))
 		}
 		if err := traceFile.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "pace: wrote trace to %s\n", *tracePath)
+		fmt.Fprintf(os.Stderr, "pace: wrote trace to %s (%d events)\n", *tracePath, opt.Trace.Events())
 	}
 
 	dst := os.Stdout

@@ -30,6 +30,14 @@
 // Shutdown: SIGTERM/SIGINT drains gracefully — new work is refused (503),
 // in-flight batches finish (bounded by -drain-timeout), every session is
 // saved, then the listeners close.
+//
+// Observability: structured logs on stderr (-log-format json|text,
+// -log-level), one access line plus engine lifecycle lines per request,
+// all carrying the request's X-Request-ID (client-supplied or minted).
+// -trace streams a Chrome trace: HTTP request spans and per-batch spans on
+// the server's process lane, each session's engine timelines on its own.
+// -metrics-addr serves Prometheus metrics including per-route latency,
+// admission queue wait, per-session batch latency and pace_build_info.
 package main
 
 import (
@@ -37,6 +45,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -46,12 +55,16 @@ import (
 
 	"pace"
 	"pace/internal/serve"
+	"pace/internal/telemetry"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "HTTP listen address")
 	dataDir := flag.String("data", "", "state root directory; each session persists under <data>/<id> (empty = in-memory only)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics, expvar and pprof on this address")
+	tracePath := flag.String("trace", "", "write a Chrome trace (request + engine spans) to this file")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	logFormat := flag.String("log-format", "json", "log encoding on stderr: json or text")
 	procs := flag.Int("p", 1, "ranks per session run (1 = sequential, >=2 = master+slaves)")
 	sim := flag.Bool("sim", false, "run sessions on the simulated parallel machine")
 	window := flag.Int("w", 8, "suffix bucketing window w")
@@ -65,6 +78,15 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline")
 	flag.Parse()
 
+	level, err := telemetry.ParseLogLevel(*logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	logger, err := telemetry.NewLogger(os.Stderr, *logFormat, level, telemetry.NewWallClock())
+	if err != nil {
+		fatal(err)
+	}
+
 	opt := pace.DefaultOptions()
 	opt.Processors = *procs
 	opt.Simulated = *sim
@@ -76,13 +98,25 @@ func main() {
 	var metricsSrv *pace.MetricsServer
 	if *metricsAddr != "" {
 		metrics = pace.NewMetricsRegistry()
+		telemetry.RegisterBuildInfo(metrics)
 		opt.Metrics = metrics
 		srv, err := pace.ServeMetrics(*metricsAddr, metrics)
 		if err != nil {
 			fatal(err)
 		}
 		metricsSrv = srv
-		fmt.Fprintf(os.Stderr, "paced: serving metrics on http://%s/metrics\n", srv.Addr())
+		logger.Info("metrics serving", "url", fmt.Sprintf("http://%s/metrics", srv.Addr()))
+	}
+
+	var trace *telemetry.TraceWriter
+	var traceFile *os.File
+	if *tracePath != "" {
+		traceFile, err = os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		trace = telemetry.NewTraceWriter(traceFile)
+		logger.Info("trace streaming", "file", *tracePath)
 	}
 
 	mgr, err := serve.NewManager(serve.Config{
@@ -93,6 +127,8 @@ func main() {
 		MaxESTsPerSession:    *maxESTs,
 		Admission:            serve.AdmissionConfig{Grants: *admit, Queue: *queue},
 		Metrics:              metrics,
+		Logger:               logger,
+		Trace:                trace,
 	})
 	if err != nil {
 		fatal(err)
@@ -103,7 +139,7 @@ func main() {
 			fatal(fmt.Errorf("resume: %w", err))
 		}
 		if n > 0 {
-			fmt.Fprintf(os.Stderr, "paced: resumed %d session(s) from %s\n", n, *dataDir)
+			logger.Info("sessions resumed from disk", "count", n, "data", *dataDir)
 		}
 	}
 
@@ -119,7 +155,7 @@ func main() {
 		}
 		close(serveErr)
 	}()
-	fmt.Fprintf(os.Stderr, "paced: listening on http://%s\n", ln.Addr())
+	logger.Info("listening", "url", fmt.Sprintf("http://%s", ln.Addr()))
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
@@ -130,7 +166,7 @@ func main() {
 	}
 	select {
 	case sig := <-sigc:
-		fmt.Fprintf(os.Stderr, "paced: %v: draining (deadline %v)\n", sig, *drainTimeout)
+		logger.Info("signal received; draining", "signal", sig.String(), "deadline", *drainTimeout)
 	case err, ok := <-serveErr:
 		if ok && err != nil {
 			fatal(fmt.Errorf("http server: %w", err))
@@ -145,21 +181,40 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	// Order: refuse and finish batch work (saving every session), then
-	// close the API listener, then the telemetry endpoint.
+	// close the API listener, then the trace stream and the telemetry
+	// endpoint.
 	if err := mgr.Drain(ctx); err != nil {
-		fmt.Fprintln(os.Stderr, "paced: drain:", err)
+		logger.Error("drain failed", "err", err.Error())
 		defer os.Exit(1)
 	}
 	if err := srv.Shutdown(ctx); err != nil {
-		fmt.Fprintln(os.Stderr, "paced: shutdown:", err)
+		logger.Error("shutdown failed", "err", err.Error())
 		defer os.Exit(1)
 	}
+	closeTrace(logger, trace, traceFile)
 	if metricsSrv != nil {
 		if err := metricsSrv.Shutdown(ctx); err != nil {
-			fmt.Fprintln(os.Stderr, "paced: metrics shutdown:", err)
+			logger.Error("metrics shutdown failed", "err", err.Error())
 		}
 	}
-	fmt.Fprintln(os.Stderr, "paced: drained, bye")
+	logger.Info("drained, bye")
+}
+
+// closeTrace finishes the trace stream, surfacing (not swallowing) any
+// write error the stream absorbed mid-run and how many events it cost.
+func closeTrace(logger *slog.Logger, trace *telemetry.TraceWriter, f *os.File) {
+	if trace == nil {
+		return
+	}
+	if err := trace.Close(); err != nil {
+		logger.Error("trace stream failed; trace file incomplete",
+			"err", err.Error(), "events_dropped", trace.Dropped())
+	} else {
+		logger.Info("trace closed", "events", trace.Events(), "file", f.Name())
+	}
+	if err := f.Close(); err != nil {
+		logger.Error("trace file close failed", "err", err.Error())
+	}
 }
 
 func fatal(err error) {

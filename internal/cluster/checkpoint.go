@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"time"
@@ -157,6 +158,7 @@ type checkpointer struct {
 	psi     int
 	st      *Stats
 	pr      *probes
+	log     *slog.Logger
 
 	// clock is the engine's time base: the sequential wall clock or the
 	// rank's virtual Comm.Elapsed, so snapshot cadence replays identically
@@ -174,7 +176,7 @@ func newCheckpointer(cfg Config, numESTs int, st *Stats, pr *probes, clock func(
 	}
 	return &checkpointer{
 		cfg: cfg.Checkpoint, numESTs: numESTs, window: cfg.Window, psi: cfg.Psi,
-		st: st, pr: pr, clock: clock, last: clock(),
+		st: st, pr: pr, log: cfg.logger(), clock: clock, last: clock(),
 	}
 }
 
@@ -215,5 +217,8 @@ func (ck *checkpointer) maybe(uf *unionfind.UF, processed, accepted, skipped, me
 		ck.pr.ckptBytes.Set(int64(n))
 		ck.pr.ckptNs.Observe(int64(d))
 	}
+	ck.log.Info("checkpoint written",
+		"dir", ck.cfg.Dir, "seq", ck.seq, "bytes", n,
+		"pairs_processed", processed, "merges", merges, "forced", force)
 	return nil
 }

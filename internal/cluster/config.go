@@ -13,6 +13,7 @@ package cluster
 
 import (
 	"fmt"
+	"log/slog"
 	"time"
 
 	"pace/internal/align"
@@ -112,9 +113,41 @@ type Config struct {
 	// cost of one pointer test per site.
 	Metrics *telemetry.Registry
 	// Trace, when non-nil, receives Chrome trace events: one timeline per
-	// rank (pid 0, tid = rank) with phase spans and a WORKBUF occupancy
-	// counter series. Virtual timestamps under the simulated transport.
+	// rank (pid TracePID, tid = rank) with phase spans and a WORKBUF
+	// occupancy counter series. Virtual timestamps under the simulated
+	// transport.
 	Trace *telemetry.TraceWriter
+	// TracePID is the trace process lane the run's events are emitted on.
+	// A single run keeps the default 0; a server hosting many concurrent
+	// sessions gives each its own lane so their per-rank timelines do not
+	// interleave in the viewer.
+	TracePID int
+	// TraceProcess names the TracePID lane in the viewer; "" means
+	// "pace pipeline".
+	TraceProcess string
+	// Log, when non-nil, receives structured lifecycle events: checkpoint
+	// writes, slave-failure recovery, resume seeding. nil discards them.
+	// The handler must stamp records from an injected telemetry.Clock
+	// (telemetry.NewLogger), never the wall clock — the walltime analyzer
+	// enforces this package's determinism contract.
+	Log *slog.Logger
+}
+
+// logger returns the configured logger or a disabled one, so call sites
+// never nil-check and disabled logging costs one dispatch per event.
+func (c Config) logger() *slog.Logger {
+	if c.Log != nil {
+		return c.Log
+	}
+	return telemetry.NopLogger()
+}
+
+// traceProcess returns the viewer name of the run's trace lane.
+func (c Config) traceProcess() string {
+	if c.TraceProcess != "" {
+		return c.TraceProcess
+	}
+	return "pace pipeline"
 }
 
 // DefaultConfig mirrors the paper's operating point on p ranks.

@@ -87,8 +87,8 @@ func runSequential(set *seq.SetS, cfg Config) (*Result, error) {
 	pr := newProbes(cfg.Metrics)
 	tw := cfg.Trace
 	if tw != nil {
-		tw.ProcessName(0, "pace pipeline")
-		traceThreadName(tw, 0, "seq")
+		tw.ProcessName(cfg.TracePID, cfg.traceProcess())
+		traceThreadName(tw, cfg.TracePID, 0, "seq")
 	}
 	res := &Result{}
 	st := &res.Stats
@@ -103,8 +103,8 @@ func runSequential(set *seq.SetS, cfg Config) (*Result, error) {
 	st.Phases.Construct = fb.construct
 	pr.observeBuckets(fb.hist, suffix.Loads(fb.hist, suffix.Assign(fb.hist, 1), 1))
 	if tw != nil {
-		tw.Span(0, 0, "partition", "gst", 0, st.Phases.Partition)
-		tw.Span(0, 0, "construct", "gst", st.Phases.Partition, st.Phases.Construct)
+		tw.Span(cfg.TracePID, 0, "partition", "gst", 0, st.Phases.Partition)
+		tw.Span(cfg.TracePID, 0, "construct", "gst", st.Phases.Partition, st.Phases.Construct)
 	}
 
 	t2 := clk()
@@ -115,7 +115,7 @@ func runSequential(set *seq.SetS, cfg Config) (*Result, error) {
 	gen.Observe(pr.observer(clk))
 	st.Phases.Sort = clk() - t2
 	if tw != nil {
-		tw.Span(0, 0, "sort", "pairgen", t2-t0, st.Phases.Sort)
+		tw.Span(cfg.TracePID, 0, "sort", "pairgen", t2-t0, st.Phases.Sort)
 	}
 
 	ext, err := align.NewExtender(cfg.Scoring, cfg.Band)
@@ -130,6 +130,9 @@ func runSequential(set *seq.SetS, cfg Config) (*Result, error) {
 	st.Recovery.SeedMerges = seedMerges
 	if pr != nil {
 		pr.seedMerges.Set(seedMerges)
+	}
+	if seedMerges > 0 {
+		cfg.logger().Info("seeded prior partition", "merges", seedMerges)
 	}
 	ck := newCheckpointer(cfg, set.NumESTs(), st, pr, clk)
 	buf := make([]pairgen.Pair, 0, cfg.BatchSize)
@@ -174,7 +177,7 @@ func runSequential(set *seq.SetS, cfg Config) (*Result, error) {
 		}
 		st.Phases.Align += batchAlign
 		if tw != nil && batchAlign > 0 {
-			tw.Span(0, 0, "align", "cluster", tBatch, batchAlign)
+			tw.Span(cfg.TracePID, 0, "align", "cluster", tBatch, batchAlign)
 		}
 		if err := ck.maybe(uf, st.PairsProcessed, st.PairsAccepted, st.PairsSkipped, st.Merges, false); err != nil {
 			return nil, err
@@ -341,8 +344,8 @@ func runMaster(set *seq.SetS, cfg Config, c *mp.Comm) (*Result, error) {
 	pr := newProbes(cfg.Metrics)
 	tw := cfg.Trace
 	if tw != nil {
-		tw.ProcessName(0, "pace pipeline")
-		traceThreadName(tw, 0, "master")
+		tw.ProcessName(cfg.TracePID, cfg.traceProcess())
+		traceThreadName(tw, cfg.TracePID, 0, "master")
 	}
 	tStart := c.Elapsed()
 	owner, global, err := prologue(set, cfg, c)
@@ -352,7 +355,7 @@ func runMaster(set *seq.SetS, cfg Config, c *mp.Comm) (*Result, error) {
 	tPart := c.Elapsed() - tStart
 	pr.observeBuckets(global, suffix.Loads(global, owner, c.Size()-1))
 	if tw != nil {
-		tw.Span(0, 0, "partition", "gst", tStart, tPart)
+		tw.Span(cfg.TracePID, 0, "partition", "gst", tStart, tPart)
 	}
 
 	res := &Result{}
@@ -375,6 +378,9 @@ func runMaster(set *seq.SetS, cfg Config, c *mp.Comm) (*Result, error) {
 	st.Recovery.SeedMerges = seedMerges
 	if pr != nil {
 		pr.seedMerges.Set(seedMerges)
+	}
+	if seedMerges > 0 {
+		cfg.logger().Info("seeded prior partition", "merges", seedMerges)
 	}
 	ck := newCheckpointer(cfg, set.NumESTs(), st, pr, c.Elapsed)
 
@@ -568,6 +574,9 @@ func runMaster(set *seq.SetS, cfg Config, c *mp.Comm) (*Result, error) {
 			pr.pairsRequeued.Add(requeuedNow)
 			pr.shardsReassigned.Add(reassigned)
 		}
+		cfg.logger().Warn("slave rank lost; recovering",
+			"rank", s, "survivors", len(surv), "grants_reclaimed", reclaimed,
+			"pairs_requeued", requeuedNow, "shards_reassigned", reassigned)
 		// Hand shards to parked survivors right away; busy ones collect
 		// theirs attached to the reply to their next report.
 		for _, r := range surv {
@@ -677,7 +686,7 @@ func runMaster(set *seq.SetS, cfg Config, c *mp.Comm) (*Result, error) {
 			pr.workbufHW.SetMax(b)
 		}
 		if tw != nil {
-			tw.Counter(0, "workbuf", c.Elapsed(), int64(buffered()))
+			tw.Counter(cfg.TracePID, "workbuf", c.Elapsed(), int64(buffered()))
 		}
 		if err := ck.maybe(uf, cumProcessed, cumAccepted, st.PairsSkipped, st.Merges, false); err != nil {
 			return nil, err
@@ -879,7 +888,7 @@ func exchangeSuffixes(set *seq.SetS, cfg Config, c *mp.Comm, owner []int32) (map
 func runSlave(set *seq.SetS, cfg Config, c *mp.Comm) error {
 	pr := newProbes(cfg.Metrics)
 	tw := cfg.Trace
-	traceThreadName(tw, c.Rank(), "slave")
+	traceThreadName(tw, cfg.TracePID, c.Rank(), "slave")
 	tStart := c.Elapsed()
 	owner, _, err := prologue(set, cfg, c)
 	if err != nil {
@@ -891,7 +900,7 @@ func runSlave(set *seq.SetS, cfg Config, c *mp.Comm) error {
 	}
 	tPart := c.Elapsed() - tStart
 	if tw != nil {
-		tw.Span(0, c.Rank(), "partition", "gst", tStart, tPart)
+		tw.Span(cfg.TracePID, c.Rank(), "partition", "gst", tStart, tPart)
 	}
 
 	t1 := c.Elapsed()
@@ -904,7 +913,7 @@ func runSlave(set *seq.SetS, cfg Config, c *mp.Comm) error {
 	}
 	tConstruct := c.Elapsed() - t1
 	if tw != nil {
-		tw.Span(0, c.Rank(), "construct", "gst", t1, tConstruct)
+		tw.Span(cfg.TracePID, c.Rank(), "construct", "gst", t1, tConstruct)
 	}
 
 	t2 := c.Elapsed()
@@ -918,7 +927,7 @@ func runSlave(set *seq.SetS, cfg Config, c *mp.Comm) error {
 	chain := &genChain{gens: []*pairgen.Generator{gen0}}
 	tSort := c.Elapsed() - t2
 	if tw != nil {
-		tw.Span(0, c.Rank(), "sort", "pairgen", t2, tSort)
+		tw.Span(cfg.TracePID, c.Rank(), "sort", "pairgen", t2, tSort)
 	}
 
 	ext, err := align.NewExtender(cfg.Scoring, cfg.Band)
@@ -946,7 +955,7 @@ func runSlave(set *seq.SetS, cfg Config, c *mp.Comm) error {
 			pr.accepted.Add(acc)
 		}
 		if tw != nil && len(pairs) > 0 {
-			tw.Span(0, c.Rank(), "align", "cluster", tA, dA)
+			tw.Span(cfg.TracePID, c.Rank(), "align", "cluster", tA, dA)
 		}
 		return out, err
 	}
@@ -1042,7 +1051,7 @@ func runSlave(set *seq.SetS, cfg Config, c *mp.Comm) error {
 			dR := c.Elapsed() - tR
 			tConstruct += dR
 			if tw != nil {
-				tw.Span(0, c.Rank(), "rebuild", "recovery", tR, dR)
+				tw.Span(cfg.TracePID, c.Rank(), "rebuild", "recovery", tR, dR)
 			}
 		}
 

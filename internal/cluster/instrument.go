@@ -206,10 +206,11 @@ func skewOf(loads []int64) float64 {
 	return float64(maxLoad) / (float64(total) / float64(len(loads)))
 }
 
-// traceThreadName labels a rank's trace timeline (nil-safe).
-func traceThreadName(tw *telemetry.TraceWriter, rank int, role string) {
+// traceThreadName labels a rank's trace timeline (nil-safe) on the run's
+// trace process lane.
+func traceThreadName(tw *telemetry.TraceWriter, pid, rank int, role string) {
 	if tw == nil {
 		return
 	}
-	tw.ThreadName(0, rank, fmt.Sprintf("rank %d (%s)", rank, role))
+	tw.ThreadName(pid, rank, fmt.Sprintf("rank %d (%s)", rank, role))
 }

@@ -36,13 +36,28 @@ var walltimeFuncs = map[string]bool{
 	"Until":     true,
 }
 
+// slogWallFuncs are the log/slog entry points that smuggle wall-clock
+// reads into virtual-time code: the stdlib handler constructors stamp
+// every record with time.Now at Handle time, and the process-default
+// logger routes records to such a handler too. telemetry.NewLogger is the
+// sanctioned factory — it wraps the handler so each record is re-stamped
+// from an injected Clock before encoding.
+var slogWallFuncs = map[string]bool{
+	"NewJSONHandler": true,
+	"NewTextHandler": true,
+	"Default":        true,
+	"SetDefault":     true,
+}
+
 // Walltime forbids wall-clock reads in the virtual-time packages, the
 // contract behind the simulator's reproducible timings and the
 // checkpoint/fault replay equivalence tests. Production code must take its
-// time from Comm.Elapsed, an injected clock, or explicit charges.
+// time from Comm.Elapsed, an injected clock, or explicit charges. The same
+// contract covers logging: stdlib slog handlers stamp records from the
+// wall clock, so loggers must come from telemetry.NewLogger instead.
 var Walltime = &lint.Analyzer{
 	Name:      "walltime",
-	Doc:       "forbids time.Now/Sleep/After/... in virtual-time packages unless annotated",
+	Doc:       "forbids time.Now/Sleep/... and wall-clock slog handlers in virtual-time packages unless annotated",
 	SkipTests: true,
 	Run:       runWalltime,
 }
@@ -58,12 +73,19 @@ func runWalltime(pass *lint.Pass) error {
 				return true
 			}
 			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
-			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !walltimeFuncs[fn.Name()] {
+			if !ok || fn.Pkg() == nil {
 				return true
 			}
-			pass.Reportf(sel.Pos(),
-				"time.%s reads the wall clock in virtual-time package %s; use Comm.Elapsed / an injected clock, or annotate with //pacelint:allow walltime <reason>",
-				fn.Name(), pass.Pkg.Path())
+			switch {
+			case fn.Pkg().Path() == "time" && walltimeFuncs[fn.Name()]:
+				pass.Reportf(sel.Pos(),
+					"time.%s reads the wall clock in virtual-time package %s; use Comm.Elapsed / an injected clock, or annotate with //pacelint:allow walltime <reason>",
+					fn.Name(), pass.Pkg.Path())
+			case fn.Pkg().Path() == "log/slog" && slogWallFuncs[fn.Name()]:
+				pass.Reportf(sel.Pos(),
+					"slog.%s stamps log records from the wall clock in virtual-time package %s; build loggers with telemetry.NewLogger (injected clock), or annotate with //pacelint:allow walltime <reason>",
+					fn.Name(), pass.Pkg.Path())
+			}
 			return true
 		})
 	}

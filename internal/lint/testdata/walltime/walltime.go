@@ -3,7 +3,11 @@
 // (internal/mp, internal/cluster, internal/telemetry).
 package walltime
 
-import "time"
+import (
+	"io"
+	"log/slog"
+	"time"
+)
 
 func bad() time.Time {
 	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
@@ -27,6 +31,32 @@ func badTicker() {
 func legal() (time.Duration, time.Time) {
 	d := 5 * time.Millisecond
 	return d, time.Unix(0, 0)
+}
+
+// Nonconforming logging: stdlib slog handlers stamp every record with
+// time.Now at Handle time, and the default logger routes there too.
+func badSlogHandlers(w io.Writer) *slog.Logger {
+	h := slog.NewJSONHandler(w, nil) // want "slog.NewJSONHandler stamps log records from the wall clock"
+	_ = slog.NewTextHandler(w, nil)  // want "slog.NewTextHandler stamps log records from the wall clock"
+	return slog.New(h)
+}
+
+func badSlogDefault() {
+	l := slog.Default() // want "slog.Default stamps log records from the wall clock"
+	slog.SetDefault(l)  // want "slog.SetDefault stamps log records from the wall clock"
+}
+
+// Conforming: building a logger over an existing handler reads no clock;
+// only the stdlib handler constructors (and the process default) do.
+func legalSlog(h slog.Handler) *slog.Logger {
+	return slog.New(h)
+}
+
+// Conforming: annotated — the sanctioned logger factory wraps the stdlib
+// handler so records are re-stamped from an injected clock.
+func allowedSlog(w io.Writer) slog.Handler {
+	//pacelint:allow walltime sanctioned factory re-stamps records from the injected clock
+	return slog.NewJSONHandler(w, nil)
 }
 
 // Conforming: annotated — e.g. a real-transport backoff that is wall-clock

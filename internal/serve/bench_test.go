@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"pace"
+)
+
+// benchBatch builds one deterministic 50-EST batch for the ingest path.
+func benchBatch(b *testing.B) []pace.Record {
+	b.Helper()
+	sim, err := pace.Simulate(pace.SimOptions{NumESTs: 50, NumGenes: 5, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := make([]pace.Record, len(sim.ESTs))
+	for i, est := range sim.ESTs {
+		recs[i] = pace.Record{ID: fmt.Sprintf("b_est%04d", i), Seq: est}
+	}
+	return recs
+}
+
+func benchOptions() pace.Options {
+	opt := pace.DefaultOptions()
+	opt.Window = 8
+	opt.MinMatch = 14
+	return opt
+}
+
+// BenchmarkHandlerBatchIngest measures the full HTTP ingest path — request
+// routing, instrumentation, JSON decode, admission, clustering — for one
+// session create + one 50-EST batch per iteration. This is the serving
+// number the perf CI job tracks with benchstat.
+func BenchmarkHandlerBatchIngest(b *testing.B) {
+	m, err := NewManager(Config{Options: benchOptions()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := NewHandler(m)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	batch := benchBatch(b)
+	body, err := json.Marshal(map[string]any{"ests": batch})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := fmt.Sprintf("bench%06d", i)
+		post := func(path string, payload []byte) *http.Response {
+			req, _ := http.NewRequest("POST", ts.URL+path, bytes.NewReader(payload))
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			return resp
+		}
+		if resp := post("/v1/sessions", []byte(`{"id":"`+id+`"}`)); resp.StatusCode != http.StatusCreated {
+			b.Fatalf("create: status %d", resp.StatusCode)
+		}
+		if resp := post("/v1/sessions/"+id+"/batches", body); resp.StatusCode != http.StatusOK {
+			b.Fatalf("ingest: status %d", resp.StatusCode)
+		}
+		req, _ := http.NewRequest("DELETE", ts.URL+"/v1/sessions/"+id, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+}
+
+// BenchmarkManagerAdd measures the manager's ingest path without HTTP:
+// admission, session lock, incremental clustering of one batch.
+func BenchmarkManagerAdd(b *testing.B) {
+	m, err := NewManager(Config{Options: benchOptions()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := benchBatch(b)
+	ctx := context.Background()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := fmt.Sprintf("bench%06d", i)
+		if _, err := m.Create(ctx, id, ""); err != nil {
+			b.Fatal(err)
+		}
+		recs := append([]pace.Record(nil), batch...)
+		if _, err := m.Add(ctx, id, recs); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Delete(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -8,6 +8,14 @@ import (
 	"strings"
 
 	"pace"
+	"pace/internal/telemetry"
+)
+
+// HTTP metric families, labeled by route pattern (and response class).
+const (
+	metricHTTPRequestNs = "pace_http_request_ns"
+	metricHTTPResponses = "pace_http_responses_total"
+	metricHTTPInFlight  = "pace_http_in_flight"
 )
 
 // NewHandler exposes the manager's session lifecycle over HTTP:
@@ -24,59 +32,73 @@ import (
 // or raw FASTA when Content-Type is text/x-fasta (or the body starts
 // with '>'). Backpressure surfaces as 429 (admission queue full), drain
 // as 503.
+//
+// Every route is instrumented: the request adopts (or is minted) an
+// X-Request-ID echoed on the response, carried through the context into
+// the manager's logs and trace spans, and returned in error bodies;
+// per-route latency, in-flight and response-class series land on the
+// manager's metrics registry.
 func NewHandler(m *Manager) http.Handler {
+	if r := m.cfg.Metrics; r != nil {
+		r.Help(metricHTTPRequestNs, "HTTP request latency by route, nanoseconds.")
+		r.Help(metricHTTPResponses, "HTTP responses by route and status class.")
+		r.Help(metricHTTPInFlight, "HTTP requests currently being served.")
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(route string, h http.HandlerFunc) {
+		mux.HandleFunc(route, m.instrument(route, h))
+	}
+	handle("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			ID     string `json:"id"`
 			Tenant string `json:"tenant"`
 		}
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, fmt.Errorf("serve: invalid request body: %w", err))
+			httpError(w, r, fmt.Errorf("serve: invalid request body: %w", err))
 			return
 		}
-		info, err := m.Create(req.ID, req.Tenant)
+		info, err := m.Create(r.Context(), req.ID, req.Tenant)
 		if err != nil {
-			httpError(w, err)
+			httpError(w, r, err)
 			return
 		}
 		writeJSON(w, http.StatusCreated, info)
 	})
-	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"sessions": m.List()})
 	})
-	mux.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
 		info, err := m.Info(r.PathValue("id"))
 		if err != nil {
-			httpError(w, err)
+			httpError(w, r, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, info)
 	})
-	mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+	handle("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
 		if err := m.Delete(r.PathValue("id")); err != nil {
-			httpError(w, err)
+			httpError(w, r, err)
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
 	})
-	mux.HandleFunc("POST /v1/sessions/{id}/batches", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /v1/sessions/{id}/batches", func(w http.ResponseWriter, r *http.Request) {
 		recs, err := decodeBatch(r)
 		if err != nil {
-			httpError(w, err)
+			httpError(w, r, err)
 			return
 		}
 		res, err := m.Add(r.Context(), r.PathValue("id"), recs)
 		if err != nil {
-			httpError(w, err)
+			httpError(w, r, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, res)
 	})
-	mux.HandleFunc("GET /v1/sessions/{id}/labels", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/sessions/{id}/labels", func(w http.ResponseWriter, r *http.Request) {
 		recs, labels, err := m.Labels(r.PathValue("id"))
 		if err != nil {
-			httpError(w, err)
+			httpError(w, r, err)
 			return
 		}
 		switch format := r.URL.Query().Get("format"); format {
@@ -96,10 +118,10 @@ func NewHandler(m *Manager) http.Handler {
 			}
 			writeJSON(w, http.StatusOK, map[string]any{"labels": rows})
 		default:
-			httpError(w, fmt.Errorf("serve: unknown format %q (want tsv or json)", format))
+			httpError(w, r, fmt.Errorf("serve: unknown format %q (want tsv or json)", format))
 		}
 	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		status := "ok"
 		code := http.StatusOK
 		if m.isDraining() {
@@ -113,6 +135,78 @@ func NewHandler(m *Manager) http.Handler {
 		})
 	})
 	return mux
+}
+
+// statusWriter captures the response status for metrics, logs and spans.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// classOf buckets a status code into its Prometheus-friendly class label.
+func classOf(code int) string {
+	switch {
+	case code < 300:
+		return "2xx"
+	case code < 400:
+		return "3xx"
+	case code < 500:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}
+
+// instrument wraps one registered route with the request-scoped
+// observability triad: an adopted-or-minted request id (context + echo
+// header), route-labeled latency/in-flight/response-class metrics, a span
+// on the server's trace process — on the owning session's lane when the
+// route names one, so the batch span it admits nests inside — and one
+// structured access-log line carrying all of it.
+func (m *Manager) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		reqID := sanitizeRequestID(r.Header.Get(RequestIDHeader))
+		ctx := WithRequestID(r.Context(), reqID)
+		w.Header().Set(RequestIDHeader, reqID)
+
+		m.gauge(metricHTTPInFlight).Add(1)
+		t0 := m.clock.Elapsed()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r.WithContext(ctx))
+		dur := m.clock.Elapsed() - t0
+		m.gauge(metricHTTPInFlight).Add(-1)
+
+		if reg := m.cfg.Metrics; reg != nil {
+			routeLbl := telemetry.Label{Key: "route", Value: route}
+			reg.Histogram(metricHTTPRequestNs, telemetry.ExpBounds(1000, 4, 12), routeLbl).Observe(int64(dur))
+			reg.Counter(metricHTTPResponses, routeLbl,
+				telemetry.Label{Key: "class", Value: classOf(sw.code)}).Inc()
+		}
+		sessionID := r.PathValue("id")
+		if tw := m.cfg.Trace; tw != nil {
+			lane := 0 // control lane; session lanes start at 1
+			if sessionID != "" {
+				if l := m.laneOf(sessionID); l > 0 {
+					lane = l
+				}
+			}
+			tw.SpanArgs(serverTracePID, lane, route, "http", t0, dur,
+				map[string]any{"request_id": reqID, "status": sw.code})
+		}
+		attrs := []any{
+			"request_id", reqID, "route", route, "method", r.Method,
+			"path", r.URL.Path, "status", sw.code, "dur", dur,
+		}
+		if sessionID != "" {
+			attrs = append(attrs, "session", sessionID)
+		}
+		m.log.Info("http request", attrs...)
+	}
 }
 
 // decodeBatch parses a batch request body as JSON records or FASTA.
@@ -134,8 +228,10 @@ func decodeBatch(r *http.Request) ([]pace.Record, error) {
 	return recs, nil
 }
 
-// httpError maps manager errors to HTTP statuses and a JSON error body.
-func httpError(w http.ResponseWriter, err error) {
+// httpError maps manager errors to HTTP statuses and a JSON error body
+// carrying the request id, so a client can quote the exact id when
+// reporting a failure the server logged.
+func httpError(w http.ResponseWriter, r *http.Request, err error) {
 	code := http.StatusBadRequest
 	switch {
 	case errors.Is(err, ErrNotFound):
@@ -151,7 +247,11 @@ func httpError(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrStateMismatch):
 		code = http.StatusConflict
 	}
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+	body := map[string]string{"error": err.Error()}
+	if id := RequestID(r.Context()); id != "" {
+		body["request_id"] = id
+	}
+	writeJSON(w, code, body)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -39,8 +40,21 @@ const (
 	metricAdmHighWater   = "pace_server_admission_high_water"
 	metricAdmAdmitted    = "pace_server_admitted_total"
 	metricAdmRejected    = "pace_server_rejected_total"
+	metricAdmQueueWaitNs = "pace_server_admission_queue_wait_ns"
+	metricQuotaRejected  = "pace_server_quota_rejected_total"
 	metricSessionESTs    = "pace_server_session_ests"
 	metricSessionBatches = "pace_server_session_batches_total"
+	metricBatchNs        = "pace_server_batch_ns"
+)
+
+// Trace lanes. The server owns process lane 1 in the Chrome trace (pid 0 is
+// the standalone CLI pipeline): each session gets a thread lane there, so an
+// HTTP request span and the batch span it admitted nest on one timeline.
+// Each session's engine additionally gets a whole process lane of its own
+// (enginePIDBase+lane) for its per-rank detail timelines.
+const (
+	serverTracePID = 1
+	enginePIDBase  = 100
 )
 
 // Config parameterizes a Manager.
@@ -64,6 +78,24 @@ type Config struct {
 	// Metrics, when non-nil, receives server gauges/counters (with
 	// per-session labels) alongside the engine's own families.
 	Metrics *telemetry.Registry
+	// Logger receives structured lifecycle and request events; nil
+	// discards them. Handlers built by telemetry.NewLogger stamp records
+	// from an injected clock, keeping deterministic runs reproducible.
+	Logger *slog.Logger
+	// Trace, when non-nil, receives the server's request and batch spans
+	// on process lane serverTracePID plus each session's engine spans on
+	// its own process lane. The caller owns Close.
+	Trace *telemetry.TraceWriter
+	// Clock is the server's time base for latency metrics, queue-wait
+	// accounting and trace timestamps; nil uses the wall clock.
+	Clock telemetry.Clock
+}
+
+func (c Config) logger() *slog.Logger {
+	if c.Logger != nil {
+		return c.Logger
+	}
+	return telemetry.NopLogger()
 }
 
 func (c Config) maxSessions() int {
@@ -86,6 +118,7 @@ func (c Config) maxPerTenant() int {
 type session struct {
 	meta Meta
 	dir  string // state directory; "" when the manager is memory-only
+	lane int    // thread lane on the server's trace process
 
 	mu   sync.Mutex
 	sess *pace.Session
@@ -97,11 +130,14 @@ type session struct {
 // per-session serialization, bounded admission of batch work, durability
 // via SaveState/LoadState, and graceful drain.
 type Manager struct {
-	cfg Config
-	adm *Admission
+	cfg   Config
+	adm   *Admission
+	clock telemetry.Clock
+	log   *slog.Logger
 
 	mu       sync.Mutex
 	sessions map[string]*session
+	nextLane int
 	draining bool
 }
 
@@ -115,17 +151,31 @@ func NewManager(cfg Config) (*Manager, error) {
 			return nil, err
 		}
 	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = telemetry.NewWallClock()
+	}
 	m := &Manager{
 		cfg:      cfg,
 		adm:      NewAdmission(cfg.Admission),
+		clock:    clk,
+		log:      cfg.logger(),
 		sessions: make(map[string]*session),
+		nextLane: 1, // lane 0 is the control lane for non-session requests
 	}
 	if r := cfg.Metrics; r != nil {
 		r.Help(metricSessions, "Live sessions owned by the manager.")
 		r.Help(metricAdmAdmitted, "Requests granted an admission slot.")
 		r.Help(metricAdmRejected, "Requests rejected with a full admission queue (HTTP 429).")
+		r.Help(metricAdmQueueWaitNs, "Time a batch request waited for an admission grant, nanoseconds.")
+		r.Help(metricQuotaRejected, "Session creations rejected over quota.")
 		r.Help(metricSessionESTs, "ESTs held per session.")
 		r.Help(metricSessionBatches, "Batches ingested per session.")
+		r.Help(metricBatchNs, "End-to-end latency of one ingested batch (admitted to clustered+saved), nanoseconds.")
+	}
+	if tw := cfg.Trace; tw != nil {
+		tw.ProcessName(serverTracePID, "paced server")
+		tw.ThreadName(serverTracePID, 0, "control")
 	}
 	return m, nil
 }
@@ -173,8 +223,9 @@ func (s *session) infoLocked() Info {
 }
 
 // Create registers an empty session for a tenant, enforcing quotas, and
-// persists its metadata when durability is on.
-func (m *Manager) Create(id, tenant string) (Info, error) {
+// persists its metadata when durability is on. ctx carries the request id
+// for the lifecycle log line.
+func (m *Manager) Create(ctx context.Context, id, tenant string) (Info, error) {
 	if err := validateID("session id", id); err != nil {
 		return Info{}, err
 	}
@@ -194,6 +245,7 @@ func (m *Manager) Create(id, tenant string) (Info, error) {
 		return Info{}, fmt.Errorf("%w: %s", ErrExists, id)
 	}
 	if len(m.sessions) >= m.cfg.maxSessions() {
+		m.counter(metricQuotaRejected).Inc()
 		return Info{}, fmt.Errorf("%w: server holds %d sessions", ErrQuota, len(m.sessions))
 	}
 	own := 0
@@ -203,14 +255,16 @@ func (m *Manager) Create(id, tenant string) (Info, error) {
 		}
 	}
 	if own >= m.cfg.maxPerTenant() {
+		m.counter(metricQuotaRejected).Inc()
 		return Info{}, fmt.Errorf("%w: tenant %s holds %d sessions", ErrQuota, tenant, own)
 	}
 
-	sess, err := pace.NewSession(m.cfg.Options)
+	lane := m.allocLaneLocked(id)
+	sess, err := pace.NewSession(m.sessionOptions(id, lane))
 	if err != nil {
 		return Info{}, err
 	}
-	s := &session{meta: Meta{ID: id, Tenant: tenant}, sess: sess}
+	s := &session{meta: Meta{ID: id, Tenant: tenant}, lane: lane, sess: sess}
 	if m.cfg.DataDir != "" {
 		s.dir = filepath.Join(m.cfg.DataDir, id)
 		if err := os.MkdirAll(s.dir, 0o755); err != nil {
@@ -222,7 +276,37 @@ func (m *Manager) Create(id, tenant string) (Info, error) {
 	}
 	m.sessions[id] = s
 	m.gauge(metricSessions).Set(int64(len(m.sessions)))
+	m.log.Info("session created", "session", id, "tenant", tenant,
+		"request_id", RequestID(ctx), "sessions", len(m.sessions))
 	return Info{ID: id, Tenant: tenant}, nil
+}
+
+// allocLaneLocked hands the session its server-trace thread lane and labels
+// it in the viewer. Caller holds m.mu.
+func (m *Manager) allocLaneLocked(id string) int {
+	lane := m.nextLane
+	m.nextLane++
+	if tw := m.cfg.Trace; tw != nil {
+		tw.ThreadName(serverTracePID, lane, "session "+id)
+	}
+	return lane
+}
+
+// sessionOptions derives a session's engine options: the shared clustering
+// parameters plus its own observability identity — a logger carrying the
+// session attribute and, when tracing, a dedicated engine process lane so
+// its per-rank timelines don't interleave with other sessions'.
+func (m *Manager) sessionOptions(id string, lane int) pace.Options {
+	opts := m.cfg.Options
+	if m.cfg.Logger != nil {
+		opts.Logger = m.cfg.Logger.With("session", id)
+	}
+	if m.cfg.Trace != nil {
+		opts.Trace = m.cfg.Trace
+		opts.TracePID = enginePIDBase + lane
+		opts.TraceProcess = "engine " + id
+	}
+	return opts
 }
 
 // lookup fetches a live session.
@@ -287,6 +371,8 @@ func (m *Manager) Delete(id string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.gone = true
+	m.log.Info("session deleted", "session", id, "tenant", s.meta.Tenant,
+		"ests", s.sess.NumESTs(), "batches", s.sess.Batches())
 	if s.dir != "" {
 		return os.RemoveAll(s.dir)
 	}
@@ -326,10 +412,16 @@ func (m *Manager) Add(ctx context.Context, id string, recs []pace.Record) (*Batc
 	if err != nil {
 		return nil, err
 	}
+	reqID := RequestID(ctx)
+	tAcq := m.clock.Elapsed()
 	if err := m.adm.Acquire(ctx); err != nil {
 		m.pushAdmissionMetrics()
+		m.log.Warn("batch rejected at admission", "session", id,
+			"request_id", reqID, "ests", len(recs), "err", err.Error())
 		return nil, err
 	}
+	queueWait := m.clock.Elapsed() - tAcq
+	m.histogram(metricAdmQueueWaitNs).Observe(int64(queueWait))
 	defer func() {
 		m.adm.Release()
 		m.pushAdmissionMetrics()
@@ -344,6 +436,10 @@ func (m *Manager) Add(ctx context.Context, id string, recs []pace.Record) (*Batc
 	if max := m.cfg.MaxESTsPerSession; max > 0 && s.sess.NumESTs()+len(recs) > max {
 		return nil, fmt.Errorf("%w: %d + %d ESTs > limit %d", ErrTooLarge, s.sess.NumESTs(), len(recs), max)
 	}
+	batch := s.sess.Batches() + 1
+	m.log.Info("batch ingest starting", "session", id, "request_id", reqID,
+		"batch", batch, "ests", len(recs), "queue_wait", queueWait)
+	tRun := m.clock.Elapsed()
 	base := s.sess.NumESTs()
 	seqs := make([]string, len(recs))
 	for i := range recs {
@@ -354,20 +450,38 @@ func (m *Manager) Add(ctx context.Context, id string, recs []pace.Record) (*Batc
 	}
 	cl, err := s.sess.Add(seqs)
 	if err != nil {
+		m.log.Error("batch ingest failed; session rolled back", "session", id,
+			"request_id", reqID, "batch", batch, "err", err.Error())
 		return nil, err
 	}
 	s.recs = append(s.recs, recs...)
 	if s.dir != "" {
 		if err := SaveState(s.dir, s.sess, s.recs); err != nil {
+			m.log.Error("batch clustered but not persisted", "session", id,
+				"request_id", reqID, "batch", batch, "err", err.Error())
 			return nil, fmt.Errorf("serve: batch clustered but not persisted (will heal on next save): %w", err)
 		}
 	}
+	batchDur := m.clock.Elapsed() - tRun
 	if r := m.cfg.Metrics; r != nil {
 		lbl := telemetry.Label{Key: "session", Value: id}
 		r.Gauge(metricSessionESTs, lbl).Set(int64(s.sess.NumESTs()))
 		r.Counter(metricSessionBatches, lbl).Inc()
+		r.Histogram(metricBatchNs, telemetry.ExpBounds(1000, 4, 12), lbl).Observe(int64(batchDur))
+	}
+	if tw := m.cfg.Trace; tw != nil {
+		tw.SpanArgs(serverTracePID, s.lane, fmt.Sprintf("batch %d", batch), "serve",
+			tRun, batchDur, map[string]any{
+				"request_id": reqID, "ests": len(recs),
+				"pairs_generated": cl.Stats.PairsGenerated,
+			})
 	}
 	inc := cl.Stats.Incremental
+	m.log.Info("batch ingest done", "session", id, "request_id", reqID,
+		"batch", batch, "ests", len(recs),
+		"pairs_generated", cl.Stats.PairsGenerated,
+		"pairs_accepted", cl.Stats.PairsAccepted,
+		"clusters", cl.NumClusters, "dur", batchDur)
 	return &BatchResult{
 		Info:            s.infoLocked(),
 		BatchESTs:       len(recs),
@@ -448,10 +562,6 @@ func (m *Manager) ResumeAll() (int, error) {
 		if err != nil {
 			return n, fmt.Errorf("serve: resume %s: %w", ent.Name(), err)
 		}
-		sess, err := st.Resume(m.cfg.Options)
-		if err != nil {
-			return n, fmt.Errorf("serve: resume %s: %w", ent.Name(), err)
-		}
 		meta := st.Meta
 		if meta.ID == "" {
 			meta.ID = ent.Name()
@@ -460,12 +570,21 @@ func (m *Manager) ResumeAll() (int, error) {
 			meta.Tenant = "default"
 		}
 		m.mu.Lock()
-		m.sessions[meta.ID] = &session{meta: meta, dir: dir, sess: sess, recs: st.Recs}
+		lane := m.allocLaneLocked(meta.ID)
+		m.mu.Unlock()
+		sess, err := st.Resume(m.sessionOptions(meta.ID, lane))
+		if err != nil {
+			return n, fmt.Errorf("serve: resume %s: %w", ent.Name(), err)
+		}
+		m.mu.Lock()
+		m.sessions[meta.ID] = &session{meta: meta, dir: dir, lane: lane, sess: sess, recs: st.Recs}
 		m.gauge(metricSessions).Set(int64(len(m.sessions)))
 		m.mu.Unlock()
 		if r := m.cfg.Metrics; r != nil {
 			r.Gauge(metricSessionESTs, telemetry.Label{Key: "session", Value: meta.ID}).Set(int64(sess.NumESTs()))
 		}
+		m.log.Info("session resumed", "session", meta.ID, "tenant", meta.Tenant,
+			"ests", sess.NumESTs(), "batches", sess.Batches())
 		n++
 	}
 	return n, nil
@@ -480,14 +599,18 @@ func (m *Manager) resumeEmpty(dir, name string) error {
 	} else if !errors.Is(err, os.ErrNotExist) {
 		return err
 	}
-	sess, err := pace.NewSession(m.cfg.Options)
+	m.mu.Lock()
+	lane := m.allocLaneLocked(meta.ID)
+	m.mu.Unlock()
+	sess, err := pace.NewSession(m.sessionOptions(meta.ID, lane))
 	if err != nil {
 		return err
 	}
 	m.mu.Lock()
-	m.sessions[meta.ID] = &session{meta: meta, dir: dir, sess: sess}
+	m.sessions[meta.ID] = &session{meta: meta, dir: dir, lane: lane, sess: sess}
 	m.gauge(metricSessions).Set(int64(len(m.sessions)))
 	m.mu.Unlock()
+	m.log.Info("session resumed", "session", meta.ID, "tenant", meta.Tenant, "ests", 0, "batches", 0)
 	return nil
 }
 
@@ -502,25 +625,34 @@ func (m *Manager) Drain(ctx context.Context) error {
 		all = append(all, s)
 	}
 	m.mu.Unlock()
+	m.log.Info("drain started", "sessions", len(all))
 
 	for !m.adm.Idle() {
 		select {
 		case <-ctx.Done():
+			m.log.Error("drain deadline exceeded with work in flight", "err", ctx.Err().Error())
 			return fmt.Errorf("serve: drain: in-flight work outlived the deadline: %w", ctx.Err())
 		case <-time.After(5 * time.Millisecond):
 		}
 	}
 
 	var firstErr error
+	saved := 0
 	for _, s := range all {
 		s.mu.Lock()
 		if !s.gone {
-			if err := s.saveLocked(); err != nil && firstErr == nil {
-				firstErr = err
+			if err := s.saveLocked(); err != nil {
+				m.log.Error("drain save failed", "session", s.meta.ID, "err", err.Error())
+				if firstErr == nil {
+					firstErr = err
+				}
+			} else {
+				saved++
 			}
 		}
 		s.mu.Unlock()
 	}
+	m.log.Info("drain complete", "sessions", len(all), "saved", saved)
 	return firstErr
 }
 
@@ -539,6 +671,34 @@ func (m *Manager) gauge(family string) *telemetry.Gauge {
 		return &telemetry.Gauge{}
 	}
 	return m.cfg.Metrics.Gauge(family)
+}
+
+// counter is a nil-safe registry accessor for unlabeled server counters.
+func (m *Manager) counter(family string) *telemetry.Counter {
+	if m.cfg.Metrics == nil {
+		return &telemetry.Counter{}
+	}
+	return m.cfg.Metrics.Counter(family)
+}
+
+// histogram is a nil-safe accessor for unlabeled server latency histograms.
+func (m *Manager) histogram(family string) *telemetry.Histogram {
+	if m.cfg.Metrics == nil {
+		return telemetry.NewHistogram(nil)
+	}
+	return m.cfg.Metrics.Histogram(family, telemetry.ExpBounds(1000, 4, 12))
+}
+
+// laneOf reports a live session's thread lane on the server trace process
+// (-1 when unknown); the HTTP layer uses it to put a request's span on the
+// same timeline as the batch span it admits.
+func (m *Manager) laneOf(id string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s, ok := m.sessions[id]; ok {
+		return s.lane
+	}
+	return -1
 }
 
 func (m *Manager) pushAdmissionMetrics() {

@@ -120,7 +120,7 @@ func TestManagerConcurrentSessions(t *testing.T) {
 	errc := make(chan error, numSessions)
 	for i := 0; i < numSessions; i++ {
 		id := fmt.Sprintf("sess-%02d", i)
-		if _, err := m.Create(id, "stress"); err != nil {
+		if _, err := m.Create(context.Background(), id, "stress"); err != nil {
 			t.Fatal(err)
 		}
 		wg.Add(1)
@@ -250,7 +250,7 @@ func TestManagerBusyMapsToErrBusy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Create("s", ""); err != nil {
+	if _, err := m.Create(context.Background(), "s", ""); err != nil {
 		t.Fatal(err)
 	}
 	// Occupy the single grant and the single queue slot directly, then
@@ -295,7 +295,7 @@ func TestManagerRestartResume(t *testing.T) {
 	}
 	before := map[string][]int{}
 	for id, batches := range corpora {
-		if _, err := m1.Create(id, "t1"); err != nil {
+		if _, err := m1.Create(context.Background(), id, "t1"); err != nil {
 			t.Fatal(err)
 		}
 		for _, b := range batches[:len(batches)-1] { // hold back the last batch
@@ -310,7 +310,7 @@ func TestManagerRestartResume(t *testing.T) {
 		before[id] = labels
 	}
 	// Also a created-but-empty session: it must survive restart too.
-	if _, err := m1.Create("empty", "t1"); err != nil {
+	if _, err := m1.Create(context.Background(), "empty", "t1"); err != nil {
 		t.Fatal(err)
 	}
 	// m1 is abandoned here without any drain — like a SIGKILL, the state
@@ -373,7 +373,7 @@ func TestManagerResumeDetectsMismatch(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := m.Create("torn", ""); err != nil {
+		if _, err := m.Create(context.Background(), "torn", ""); err != nil {
 			t.Fatal(err)
 		}
 		if _, err := m.Add(context.Background(), "torn", testCorpus(t, 20, 3, 20)[0]); err != nil {
@@ -446,30 +446,30 @@ func TestManagerQuotas(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, c := range []struct{ id, tenant string }{{"a1", "ta"}, {"a2", "ta"}} {
-		if _, err := m.Create(c.id, c.tenant); err != nil {
+		if _, err := m.Create(context.Background(), c.id, c.tenant); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := m.Create("a3", "ta"); !errors.Is(err, ErrQuota) {
+	if _, err := m.Create(context.Background(), "a3", "ta"); !errors.Is(err, ErrQuota) {
 		t.Fatalf("per-tenant quota: got %v, want ErrQuota", err)
 	}
-	if _, err := m.Create("b1", "tb"); err != nil {
+	if _, err := m.Create(context.Background(), "b1", "tb"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Create("b2", "tb"); !errors.Is(err, ErrQuota) {
+	if _, err := m.Create(context.Background(), "b2", "tb"); !errors.Is(err, ErrQuota) {
 		t.Fatalf("server quota: got %v, want ErrQuota", err)
 	}
-	if _, err := m.Create("dup", "ta"); !errors.Is(err, ErrQuota) {
+	if _, err := m.Create(context.Background(), "dup", "ta"); !errors.Is(err, ErrQuota) {
 		// still at server quota
 		t.Fatalf("got %v, want ErrQuota", err)
 	}
 	if err := m.Delete("a2"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Create("a1", "ta"); !errors.Is(err, ErrExists) {
+	if _, err := m.Create(context.Background(), "a1", "ta"); !errors.Is(err, ErrExists) {
 		t.Fatalf("duplicate id: got %v, want ErrExists", err)
 	}
-	if _, err := m.Create("bad/../id", "ta"); err == nil {
+	if _, err := m.Create(context.Background(), "bad/../id", "ta"); err == nil {
 		t.Fatal("path-traversal id accepted")
 	}
 
@@ -494,7 +494,7 @@ func TestManagerDrain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Create("d", ""); err != nil {
+	if _, err := m.Create(context.Background(), "d", ""); err != nil {
 		t.Fatal(err)
 	}
 	batch := testCorpus(t, 20, 9, 20)[0]
@@ -517,7 +517,7 @@ func TestManagerDrain(t *testing.T) {
 	if _, err := m.Add(context.Background(), "d", batch); !errors.Is(err, ErrDraining) {
 		t.Fatalf("Add while draining: got %v, want ErrDraining", err)
 	}
-	if _, err := m.Create("late", ""); !errors.Is(err, ErrDraining) {
+	if _, err := m.Create(context.Background(), "late", ""); !errors.Is(err, ErrDraining) {
 		t.Fatalf("Create while draining: got %v, want ErrDraining", err)
 	}
 	// The drained state resumes.

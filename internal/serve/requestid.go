@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+)
+
+// RequestIDHeader is the trace-propagation contract: a client may send its
+// own id under this header and the server adopts it; otherwise the server
+// mints one. Either way the response echoes the header, every log line for
+// the request carries it, and the request's trace span records it — so one
+// id follows a batch from the client, through admission, into the engine
+// span, and back out in the error body if anything fails.
+const RequestIDHeader = "X-Request-ID"
+
+type requestIDKey struct{}
+
+// WithRequestID stamps ctx with the request id.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestID extracts the request id stamped by WithRequestID ("" if none).
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// reqSeq makes ids collision-free within a process even if the random
+// source degrades; the random half keeps them unguessable across processes.
+var reqSeq atomic.Uint64
+
+// newRequestID mints a compact unique id: a process-unique sequence number
+// plus 4 random bytes.
+func newRequestID() string {
+	var b [4]byte
+	_, _ = rand.Read(b[:])
+	return fmt.Sprintf("req-%06d-%s", reqSeq.Add(1), hex.EncodeToString(b[:]))
+}
+
+// sanitizeRequestID keeps externally supplied ids log- and label-safe:
+// anything overlong or containing control/whitespace characters is
+// discarded and a fresh id minted instead.
+func sanitizeRequestID(id string) string {
+	if id == "" || len(id) > 128 {
+		return newRequestID()
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] <= ' ' || id[i] == 0x7f {
+			return newRequestID()
+		}
+	}
+	return id
+}

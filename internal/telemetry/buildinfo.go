@@ -1,0 +1,39 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfoMetric is the info-style gauge identifying the running binary on
+// every scrape: constant value 1 with the build facts as labels, the
+// Prometheus convention for joining version metadata onto other series.
+const BuildInfoMetric = "pace_build_info"
+
+// RegisterBuildInfo publishes BuildInfoMetric on the registry: the main
+// module version, the Go toolchain, and — when the binary was built inside a
+// checkout — the VCS revision and dirty flag from debug.ReadBuildInfo.
+// Unknown facts render as "unknown" so the series shape is stable.
+func RegisterBuildInfo(r *Registry) {
+	version, revision, modified := "unknown", "unknown", "false"
+	if info, ok := debug.ReadBuildInfo(); ok {
+		if info.Main.Version != "" && info.Main.Version != "(devel)" {
+			version = info.Main.Version
+		}
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				revision = s.Value
+			case "vcs.modified":
+				modified = s.Value
+			}
+		}
+	}
+	r.Help(BuildInfoMetric, "Build facts of the running binary; value is always 1.")
+	r.Gauge(BuildInfoMetric,
+		Label{Key: "version", Value: version},
+		Label{Key: "goversion", Value: runtime.Version()},
+		Label{Key: "revision", Value: revision},
+		Label{Key: "modified", Value: modified},
+	).Set(1)
+}

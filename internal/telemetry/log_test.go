@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewLoggerStampsFromInjectedClock(t *testing.T) {
+	stamp := time.Date(2002, 8, 20, 0, 0, 0, 0, time.UTC)
+	var buf bytes.Buffer
+	log, err := NewLogger(&buf, LogJSON, slog.LevelInfo, FixedClock{Stamp: stamp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("checkpoint written", "seq", 3)
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("log line is not JSON: %v\n%s", err, buf.String())
+	}
+	if rec["time"] != stamp.Format(time.RFC3339) {
+		t.Errorf("time = %v, want the injected stamp %s", rec["time"], stamp.Format(time.RFC3339))
+	}
+	if rec["msg"] != "checkpoint written" || rec["seq"] != float64(3) {
+		t.Errorf("record = %v", rec)
+	}
+}
+
+// A zero FixedClock yields zero record times, which the stdlib handlers omit
+// entirely — the property that makes deterministic-sim log output
+// byte-identical across reruns.
+func TestNewLoggerZeroClockIsByteReproducible(t *testing.T) {
+	run := func() string {
+		var buf bytes.Buffer
+		log, err := NewLogger(&buf, LogJSON, slog.LevelDebug, FixedClock{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		log.Info("batch ingest", "session", "libA", "ests", 40)
+		log.With("request_id", "r-1").Debug("admitted")
+		return buf.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("two identical runs logged different bytes:\n%q\n%q", a, b)
+	}
+	if strings.Contains(a, `"time"`) {
+		t.Errorf("zero-clock log line carries a timestamp: %s", a)
+	}
+}
+
+func TestNewLoggerTextAndErrors(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := NewLogger(&buf, LogText, slog.LevelWarn, FixedClock{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("dropped")
+	log.Warn("kept")
+	if out := buf.String(); strings.Contains(out, "dropped") || !strings.Contains(out, "kept") {
+		t.Errorf("level filtering broken: %q", out)
+	}
+	if _, err := NewLogger(&buf, "yaml", slog.LevelInfo, nil); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestNopLoggerDisabled(t *testing.T) {
+	log := NopLogger()
+	if log.Enabled(context.Background(), slog.LevelError) {
+		t.Error("NopLogger reports enabled; attr evaluation would not be skipped")
+	}
+	log.Error("goes nowhere") // must not panic
+}
+
+func TestParseLogLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn, "ERROR": slog.LevelError,
+	} {
+		got, err := ParseLogLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLogLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLogLevel("loud"); err == nil {
+		t.Error("bad level accepted")
+	}
+}
+
+func TestRegisterBuildInfo(t *testing.T) {
+	reg := NewRegistry()
+	RegisterBuildInfo(reg)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, BuildInfoMetric+"{") {
+		t.Fatalf("scrape missing %s:\n%s", BuildInfoMetric, out)
+	}
+	for _, label := range []string{"goversion=", "revision=", "version=", "modified="} {
+		if !strings.Contains(out, label) {
+			t.Errorf("scrape missing %s label:\n%s", label, out)
+		}
+	}
+	if !strings.Contains(out, "} 1\n") {
+		t.Errorf("%s value is not 1:\n%s", BuildInfoMetric, out)
+	}
+}

@@ -84,12 +84,21 @@ func (r *RunReport) Stamp() { r.StampAt(NewWallClock().Now()) }
 // across reruns.
 func (r *RunReport) StampAt(now time.Time) { r.Timestamp = now.UTC().Format(time.RFC3339) }
 
-// AttachCounters snapshots reg into Counters (nil reg is a no-op).
+// AttachCounters snapshots reg into Counters (nil reg is a no-op). The
+// build-info gauge is excluded: its labels (VCS revision, module version)
+// name the binary rather than the run, and would break the byte-identical
+// contract of deterministic-sim reports across commits.
 func (r *RunReport) AttachCounters(reg *Registry) {
 	if reg == nil {
 		return
 	}
-	r.Counters = reg.Snapshot()
+	snap := reg.Snapshot()
+	for key := range snap {
+		if strings.HasPrefix(key, BuildInfoMetric) {
+			delete(snap, key)
+		}
+	}
+	r.Counters = snap
 }
 
 // WriteJSON writes the report, indented, to path.

@@ -19,11 +19,12 @@ import (
 // in the format's microseconds. The conventional mapping in this repo:
 // pid 0 = the pace pipeline, tid = mp rank.
 type TraceWriter struct {
-	mu     sync.Mutex
-	w      io.Writer
-	n      int
-	closed bool
-	err    error
+	mu      sync.Mutex
+	w       io.Writer
+	n       int
+	dropped int
+	closed  bool
+	err     error
 }
 
 // traceEvent is the wire form of one event; field order fixed for
@@ -52,11 +53,16 @@ func (t *TraceWriter) emit(ev traceEvent) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.err != nil || t.closed {
+		// Emits after the first failure (or after Close) are not written;
+		// count them so callers can report how much of the trace was lost
+		// instead of silently shipping a partial file.
+		t.dropped++
 		return
 	}
 	b, err := json.Marshal(ev)
 	if err != nil {
 		t.err = err
+		t.dropped++
 		return
 	}
 	if t.n > 0 {
@@ -75,6 +81,14 @@ func (t *TraceWriter) emit(ev traceEvent) {
 func (t *TraceWriter) Span(pid, tid int, name, cat string, start, dur time.Duration) {
 	d := usec(dur)
 	t.emit(traceEvent{Name: name, Cat: cat, Ph: "X", TS: usec(start), Dur: &d, PID: pid, TID: tid})
+}
+
+// SpanArgs is Span with viewer-visible args (e.g. a request id), shown in
+// the event's detail pane. The map is marshaled immediately; the caller may
+// reuse it.
+func (t *TraceWriter) SpanArgs(pid, tid int, name, cat string, start, dur time.Duration, args map[string]any) {
+	d := usec(dur)
+	t.emit(traceEvent{Name: name, Cat: cat, Ph: "X", TS: usec(start), Dur: &d, PID: pid, TID: tid, Args: args})
 }
 
 // Instant records an instant ("i") event at ts.
@@ -113,6 +127,15 @@ func (t *TraceWriter) Err() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.err
+}
+
+// Dropped returns how many events were discarded because a write/encode
+// error had already poisoned the stream (or it was closed). Callers should
+// log a non-zero count alongside Close's error instead of dropping it.
+func (t *TraceWriter) Dropped() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
 }
 
 // Close terminates the JSON array. It does not close the underlying writer.

@@ -21,6 +21,7 @@ package pace
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"strconv"
 	"time"
 
@@ -73,6 +74,11 @@ type (
 
 // NewMetricsRegistry returns an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// RegisterBuildInfo publishes the pace_build_info gauge (module version, go
+// version, VCS revision) on the registry, so every scrape identifies the
+// binary it came from.
+func RegisterBuildInfo(r *MetricsRegistry) { telemetry.RegisterBuildInfo(r) }
 
 // NewTraceWriter starts a Chrome trace stream on w; call Close when done.
 func NewTraceWriter(w io.Writer) *TraceWriter { return telemetry.NewTraceWriter(w) }
@@ -189,6 +195,18 @@ type Options struct {
 	// Trace, when non-nil, receives Chrome trace events with one timeline
 	// per rank (virtual timestamps when Simulated). The caller owns Close.
 	Trace *TraceWriter
+	// TracePID is the trace process lane the engine's spans land on
+	// (default 0). A server hosting many sessions gives each its own lane
+	// so their rank timelines don't interleave in the viewer.
+	TracePID int
+	// TraceProcess names the TracePID lane in the viewer ("" means
+	// "pace pipeline").
+	TraceProcess string
+	// Logger, when non-nil, receives structured lifecycle events
+	// (checkpoints, recovery, resume seeding). Its handler must stamp
+	// records from an injected telemetry clock if reproducible output
+	// matters; nil discards.
+	Logger *slog.Logger
 }
 
 // DefaultOptions returns the paper-like operating point with the sequential
@@ -331,6 +349,9 @@ func (o Options) toConfig() (cluster.Config, error) {
 	}
 	cfg.Metrics = o.Metrics
 	cfg.Trace = o.Trace
+	cfg.TracePID = o.TracePID
+	cfg.TraceProcess = o.TraceProcess
+	cfg.Log = o.Logger
 	return cfg, nil
 }
 
