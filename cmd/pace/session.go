@@ -87,5 +87,5 @@ func saveSession(dir string, sess *pace.Session, recs []pace.Record, seqs []stri
 	for i, rec := range recs {
 		out[i] = pace.Record{ID: rec.ID, Desc: rec.Desc, Seq: seqs[i]}
 	}
-	return serve.SaveState(dir, sess, out)
+	return serve.SaveState(pace.OSFS(), dir, sess, out)
 }

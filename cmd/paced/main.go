@@ -28,8 +28,18 @@
 // a recovery hint rather than resuming silently wrong.
 //
 // Shutdown: SIGTERM/SIGINT drains gracefully — new work is refused (503),
-// in-flight batches finish (bounded by -drain-timeout), every session is
-// saved, then the listeners close.
+// in-flight batches finish (bounded by -drain-timeout; at the deadline they
+// are canceled and rolled back), every session is saved, then the listeners
+// close.
+//
+// Robustness: -read-header-timeout/-read-timeout/-idle-timeout bound slow
+// clients, -max-batch-bytes caps ingest bodies (413), and -request-timeout
+// bounds one ingest end to end — on expiry the engine run is canceled, the
+// session rolls back and the client gets 504, safe to retry. A session
+// whose post-batch save fails turns degraded read-only (ingest → 503 with
+// Retry-After, reads still served); -degraded-probe retries its save until
+// the disk heals. -chaos and -chaos-fs inject deterministic engine and
+// filesystem faults for testing.
 //
 // Observability: structured logs on stderr (-log-format json|text,
 // -log-level), one access line plus engine lifecycle lines per request,
@@ -76,6 +86,14 @@ func main() {
 	admit := flag.Int("admit", 8, "batch requests serviced concurrently")
 	queue := flag.Int("queue", 0, "batch requests allowed to wait for a slot (default 2x -admit)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline")
+	requestTimeout := flag.Duration("request-timeout", 0, "per-request deadline for batch ingest (queue wait + engine run); expiry cancels the run, rolls the session back and returns 504 (0 = none)")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 10*time.Second, "time allowed to read a request's headers (slowloris guard)")
+	readTimeout := flag.Duration("read-timeout", time.Minute, "time allowed to read a whole request, body included")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "how long an idle keep-alive connection is held open")
+	maxBatchBytes := flag.Int64("max-batch-bytes", 0, "ingest body cap in bytes; oversized uploads fail with 413 (0 = derive from -max-ests)")
+	degradedProbe := flag.Duration("degraded-probe", 15*time.Second, "how often to retry persistence for degraded read-only sessions (0 = never)")
+	chaosSpec := flag.String("chaos", "", "engine fault-injection spec (seed=N,crash=RANK:AFTER[:TAG],drop=P,dup=P,delay=P:DUR,transient=P[:MAX]) — testing only")
+	chaosFSSpec := flag.String("chaos-fs", "", "filesystem fault-injection spec (seed=N,crash=OP,pwrite=P,ptorn=P,psync=P,prename=P,max=N) — testing only")
 	flag.Parse()
 
 	level, err := telemetry.ParseLogLevel(*logLevel)
@@ -93,6 +111,23 @@ func main() {
 	opt.Window = *window
 	opt.MinMatch = *psi
 	opt.BatchSize = *batch
+	if *chaosSpec != "" {
+		plan, err := pace.ParseFaultPlan(*chaosSpec)
+		if err != nil {
+			fatal(err)
+		}
+		opt.Fault = plan
+		logger.Warn("engine chaos plan active", "spec", *chaosSpec)
+	}
+	fsys := pace.OSFS()
+	if *chaosFSSpec != "" {
+		plan, err := pace.ParseFSFaultPlan(*chaosFSSpec)
+		if err != nil {
+			fatal(err)
+		}
+		fsys = pace.NewFaultyFS(fsys, plan)
+		logger.Warn("filesystem chaos plan active", "spec", *chaosFSSpec)
+	}
 
 	var metrics *pace.MetricsRegistry
 	var metricsSrv *pace.MetricsServer
@@ -125,7 +160,10 @@ func main() {
 		MaxSessions:          *maxSessions,
 		MaxSessionsPerTenant: *maxPerTenant,
 		MaxESTsPerSession:    *maxESTs,
+		MaxBatchBytes:        *maxBatchBytes,
 		Admission:            serve.AdmissionConfig{Grants: *admit, Queue: *queue},
+		RequestTimeout:       *requestTimeout,
+		FS:                   fsys,
 		Metrics:              metrics,
 		Logger:               logger,
 		Trace:                trace,
@@ -147,7 +185,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	srv := &http.Server{Handler: serve.NewHandler(mgr)}
+	// Header/read/idle timeouts defend the listener against slow or
+	// half-open clients; without them one slowloris connection per worker
+	// starves real ingest.
+	srv := &http.Server{
+		Handler:           serve.NewHandler(mgr),
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 	serveErr := make(chan error, 1)
 	go func() {
 		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -156,6 +202,28 @@ func main() {
 		close(serveErr)
 	}()
 	logger.Info("listening", "url", fmt.Sprintf("http://%s", ln.Addr()))
+
+	// Degraded sessions (a persistence failure flipped them read-only)
+	// re-arm automatically: the probe retries each one's save and clears
+	// the flag when the disk accepts writes again.
+	probeStop := make(chan struct{})
+	if *degradedProbe > 0 && *dataDir != "" {
+		go func() {
+			tick := time.NewTicker(*degradedProbe)
+			defer tick.Stop()
+			for {
+				select {
+				case <-probeStop:
+					return
+				case <-tick.C:
+					if healed := mgr.ProbeDegraded(); healed > 0 {
+						logger.Info("degraded sessions healed", "count", healed)
+					}
+				}
+			}
+		}()
+	}
+	defer close(probeStop)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)

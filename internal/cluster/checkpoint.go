@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"pace/internal/unionfind"
+	"pace/internal/vfs"
 )
 
 // Checkpoint is a versioned snapshot of the master's clustering state: the
@@ -126,15 +127,22 @@ func decodeCheckpoint(b []byte) (*Checkpoint, error) {
 // (write to a temp file, then rename): a crash mid-write leaves the previous
 // snapshot intact. Returns the number of bytes written.
 func WriteCheckpoint(dir string, ck *Checkpoint) (int, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return WriteCheckpointFS(vfs.OS{}, dir, ck)
+}
+
+// WriteCheckpointFS is WriteCheckpoint on an explicit filesystem seam, so
+// servers and crash-window sweeps can route the snapshot through a
+// fault-injecting vfs.FS.
+func WriteCheckpointFS(fsys vfs.FS, dir string, ck *Checkpoint) (int, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return 0, fmt.Errorf("cluster: checkpoint dir: %w", err)
 	}
 	data := ck.encode()
 	tmp := filepath.Join(dir, CheckpointFile+".tmp")
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := fsys.WriteFile(tmp, data, 0o644); err != nil {
 		return 0, fmt.Errorf("cluster: checkpoint write: %w", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, CheckpointFile)); err != nil {
+	if err := fsys.Rename(tmp, filepath.Join(dir, CheckpointFile)); err != nil {
 		return 0, fmt.Errorf("cluster: checkpoint rename: %w", err)
 	}
 	return len(data), nil
@@ -200,7 +208,7 @@ func (ck *checkpointer) maybe(uf *unionfind.UF, processed, accepted, skipped, me
 	ck.last = ck.clock()
 	ck.seq++
 	t0 := ck.clock()
-	n, err := WriteCheckpoint(ck.cfg.Dir, &Checkpoint{
+	n, err := WriteCheckpointFS(ck.cfg.fs(), ck.cfg.Dir, &Checkpoint{
 		NumESTs: ck.numESTs, Window: ck.window, Psi: ck.psi, Seq: ck.seq,
 		PairsProcessed: processed, PairsAccepted: accepted,
 		PairsSkipped: skipped, Merges: merges, UF: uf,

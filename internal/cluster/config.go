@@ -12,6 +12,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
 	"time"
@@ -20,6 +21,7 @@ import (
 	"pace/internal/mp"
 	"pace/internal/seq"
 	"pace/internal/telemetry"
+	"pace/internal/vfs"
 )
 
 // Config parameterizes a clustering run.
@@ -63,6 +65,15 @@ type Config struct {
 	// simulated execution, network model). MP.Procs == 1 selects the
 	// sequential in-process engine.
 	MP mp.Config
+
+	// Ctx, when non-nil, bounds the run: the engine polls it at phase
+	// boundaries, once per batch in the sequential loop, and once per
+	// slave report in the master's protocol loop, and aborts with an error
+	// wrapping Ctx.Err() when it is done. Polling (rather than selecting
+	// on Done) keeps the engine free of extra goroutines and lets tests
+	// trip cancellation at a deterministic poll count. nil means the run
+	// cannot be canceled (the pre-server behavior).
+	Ctx context.Context
 
 	// InitialLabels optionally seeds the cluster structure with a prior
 	// partition over a prefix of the ESTs (incremental re-clustering,
@@ -142,6 +153,24 @@ func (c Config) logger() *slog.Logger {
 	return telemetry.NopLogger()
 }
 
+// ctx returns the run's context, defaulting to the background context.
+func (c Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
+}
+
+// ctxErr polls the run's context; a non-nil return means the run must
+// abort now. The error wraps Ctx.Err(), so callers can errors.Is against
+// context.Canceled / context.DeadlineExceeded.
+func (c Config) ctxErr() error {
+	if err := c.ctx().Err(); err != nil {
+		return fmt.Errorf("cluster: run canceled: %w", err)
+	}
+	return nil
+}
+
 // traceProcess returns the viewer name of the run's trace lane.
 func (c Config) traceProcess() string {
 	if c.TraceProcess != "" {
@@ -178,6 +207,18 @@ type CheckpointConfig struct {
 	// EveryReports snapshots every N master interactions instead of on a
 	// timer — a deterministic cadence for tests. 0 selects time-based.
 	EveryReports int
+	// FS is the filesystem seam snapshots are written through; nil means
+	// the real filesystem. Servers thread their (possibly fault-injecting)
+	// vfs.FS here so the periodic checkpoint shares the session's chaos
+	// plan.
+	FS vfs.FS
+}
+
+func (c CheckpointConfig) fs() vfs.FS {
+	if c.FS != nil {
+		return c.FS
+	}
+	return vfs.OS{}
 }
 
 func (c CheckpointConfig) interval() time.Duration {

@@ -93,6 +93,9 @@ func runSequential(set *seq.SetS, cfg Config) (*Result, error) {
 	res := &Result{}
 	st := &res.Stats
 
+	if err := cfg.ctxErr(); err != nil {
+		return nil, err
+	}
 	clk := wallElapsed()
 	t0 := clk()
 	fb, err := buildSequentialForest(set, cfg, st, clk)
@@ -107,6 +110,9 @@ func runSequential(set *seq.SetS, cfg Config) (*Result, error) {
 		tw.Span(cfg.TracePID, 0, "construct", "gst", st.Phases.Partition, st.Phases.Construct)
 	}
 
+	if err := cfg.ctxErr(); err != nil {
+		return nil, err
+	}
 	t2 := clk()
 	gen, err := pairgen.NewFresh(set, fb.forest, cfg.Psi, cfg.FreshGen)
 	if err != nil {
@@ -137,6 +143,9 @@ func runSequential(set *seq.SetS, cfg Config) (*Result, error) {
 	ck := newCheckpointer(cfg, set.NumESTs(), st, pr, clk)
 	buf := make([]pairgen.Pair, 0, cfg.BatchSize)
 	for {
+		if err := cfg.ctxErr(); err != nil {
+			return nil, err
+		}
 		buf = gen.Next(buf[:0], cfg.BatchSize)
 		if len(buf) == 0 {
 			break
@@ -346,6 +355,9 @@ func runMaster(set *seq.SetS, cfg Config, c *mp.Comm) (*Result, error) {
 	if tw != nil {
 		tw.ProcessName(cfg.TracePID, cfg.traceProcess())
 		traceThreadName(tw, cfg.TracePID, 0, "master")
+	}
+	if err := cfg.ctxErr(); err != nil {
+		return nil, err
 	}
 	tStart := c.Elapsed()
 	owner, global, err := prologue(set, cfg, c)
@@ -605,6 +617,14 @@ func runMaster(set *seq.SetS, cfg Config, c *mp.Comm) (*Result, error) {
 	// still arrive with the final phase reports.
 	var cumProcessed, cumAccepted int64
 	for {
+		// Cancellation poll, once per slave interaction. The master is the
+		// protocol's hub: returning the error here fails rank 0, which the
+		// fail-stop transport propagates to every slave blocked on it, so
+		// the whole parallel run unwinds without a stray goroutine left
+		// holding the session's string set.
+		if err := cfg.ctxErr(); err != nil {
+			return nil, err
+		}
 		var m mp.Msg
 		if cfg.SlaveTimeout > 0 {
 			m, err = c.RecvTimeout(mp.AnySource, tagReport, cfg.SlaveTimeout)
@@ -889,6 +909,9 @@ func runSlave(set *seq.SetS, cfg Config, c *mp.Comm) error {
 	pr := newProbes(cfg.Metrics)
 	tw := cfg.Trace
 	traceThreadName(tw, cfg.TracePID, c.Rank(), "slave")
+	if err := cfg.ctxErr(); err != nil {
+		return err
+	}
 	tStart := c.Elapsed()
 	owner, _, err := prologue(set, cfg, c)
 	if err != nil {
@@ -994,6 +1017,11 @@ func runSlave(set *seq.SetS, cfg Config, c *mp.Comm) error {
 	bufCap := cfg.pairBufCap()
 	nextFromMaster := false
 	for {
+		// Phase-boundary cancellation poll; the master polls too, so this
+		// only shortens how long a slave keeps aligning after the abort.
+		if err := cfg.ctxErr(); err != nil {
+			return err
+		}
 		// ackThis: the batch about to be aligned came from the master, so
 		// the report carrying its results retires it from the master's
 		// in-flight FIFO (bootstrap batches are self-generated and must

@@ -1,4 +1,4 @@
-// Package analyzers holds the five pacelint checks. Each one mechanizes a
+// Package analyzers holds the six pacelint checks. Each one mechanizes a
 // contract earlier PRs established by convention and guarded only with
 // tests:
 //
@@ -9,6 +9,8 @@
 //     *Words constants stay in agreement.
 //   - atomichygiene: a field accessed atomically is accessed atomically
 //     everywhere.
+//   - vfsonly: durable writes in the state-persisting packages go through
+//     the internal/vfs seam, so fault injection covers them.
 //
 // The catalog (contract, rationale, allow-directive syntax) lives in
 // DESIGN.md §10.
@@ -29,6 +31,7 @@ func All() []*lint.Analyzer {
 		TagConst,
 		CodecWords,
 		AtomicHygiene,
+		Vfsonly,
 	}
 }
 

@@ -50,6 +50,22 @@ func TestAtomicHygiene(t *testing.T) {
 	linttest.Run(t, fixtureDir(t), []*lint.Analyzer{analyzers.AtomicHygiene}, "./atomichygiene")
 }
 
+func TestVfsonly(t *testing.T) {
+	old := analyzers.VfsonlyScope
+	analyzers.VfsonlyScope = []string{"fixture/vfsonly"}
+	defer func() { analyzers.VfsonlyScope = old }()
+	linttest.Run(t, fixtureDir(t), []*lint.Analyzer{analyzers.Vfsonly}, "./vfsonly")
+}
+
+func TestVfsonlyOutOfScope(t *testing.T) {
+	// With the real scope, the fixture package is not a state-persisting
+	// package and must produce no findings.
+	diags := linttest.Diagnose(t, fixtureDir(t), []*lint.Analyzer{analyzers.Vfsonly}, "./vfsonly")
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic outside VfsonlyScope: %s", d)
+	}
+}
+
 // TestSuiteOnRepo runs the full suite over the real tree: the contract the
 // CI lint gate enforces — after this PR the repo itself lints clean.
 func TestSuiteOnRepo(t *testing.T) {

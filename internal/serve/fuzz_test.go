@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// ingestSeed is one pinned fuzz input: a batch body plus its Content-Type.
+type ingestSeed struct {
+	body []byte
+	ct   string
+}
+
+// ingestSeeds pins the corpus FuzzBatchIngest starts from: well-formed JSON
+// and FASTA batches, every malformed shape the decoder must reject, and
+// bodies over the configured byte cap.
+func ingestSeeds() []ingestSeed {
+	big := bytes.Repeat([]byte("ACGTACGTACGT"), 1024) // over the 4KiB test cap
+	return []ingestSeed{
+		{[]byte(`{"ests":[{"id":"a","seq":"ACGTACGTACGTACGTACGT"},{"id":"b","seq":"ACGTACGTACGTACGTTGCA"}]}`), "application/json"},
+		{[]byte(">a\nACGTACGTACGTACGTACGT\n>b\nACGTACGTACGTACGTTGCA\n"), "text/x-fasta"},
+		{[]byte(`{"ests":[]}`), "application/json"},
+		{[]byte(`{"ests":`), "application/json"},                             // truncated JSON
+		{[]byte(`{"ests":[{"id":1,"seq":true}]}`), "application/json"},       // wrong types
+		{[]byte(`{"ests":[{"id":"a","seq":"ACGTXX"}]}`), "application/json"}, // bad alphabet
+		{[]byte(">a\nACGT\x00GT\n"), "text/x-fasta"},                         // NUL in sequence
+		{[]byte("no fasta header\nACGT\n"), ""},                              // sniffed, not FASTA
+		{[]byte{}, "application/json"},
+		{[]byte{0xFF, 0xFE, 0x00, 0x01}, "application/octet-stream"},
+		{append([]byte(`{"ests":[{"id":"a","seq":"`), append(big, []byte(`"}]}`)...)...), "application/json"},
+		{append([]byte(">a\n"), big...), "text/x-fasta"},
+	}
+}
+
+// checkIngest is the fuzz property: POSTing an arbitrary body to the batch
+// ingest route must answer 2xx or 4xx — never a 5xx, never a panic — and a
+// rejected batch must leave the session exactly as it was (no ESTs, no
+// batch counted). The manager is fresh per call so iterations cannot
+// contaminate each other.
+func checkIngest(t *testing.T, body []byte, ct string) {
+	t.Helper()
+	opt := testOptions()
+	m, err := NewManager(Config{
+		Options:           opt,
+		MaxBatchBytes:     4 << 10,
+		MaxESTsPerSession: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create(context.Background(), "f", ""); err != nil {
+		t.Fatal(err)
+	}
+	h := NewHandler(m)
+	req := httptest.NewRequest(http.MethodPost, "/v1/sessions/f/batches", bytes.NewReader(body))
+	if ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+
+	code := rec.Code
+	if code >= 500 {
+		t.Fatalf("ingest answered %d (body %q) for input %q", code, rec.Body.String(), truncate(body))
+	}
+	info, err := m.Info("f")
+	if err != nil {
+		t.Fatalf("session lost after ingest returned %d: %v", code, err)
+	}
+	if code >= 200 && code < 300 {
+		if info.NumESTs == 0 || info.Batches != 1 {
+			t.Fatalf("2xx ingest left no state: %+v for input %q", info, truncate(body))
+		}
+	} else {
+		if info.NumESTs != 0 || info.Batches != 0 {
+			t.Fatalf("rejected ingest (%d) mutated the session: %+v for input %q", code, info, truncate(body))
+		}
+	}
+}
+
+func truncate(b []byte) []byte {
+	if len(b) > 128 {
+		return b[:128]
+	}
+	return b
+}
+
+// FuzzBatchIngest drives the HTTP batch-ingest route (JSON and FASTA paths,
+// body cap included) with arbitrary bodies and content types. Run with
+// `go test -fuzz FuzzBatchIngest ./internal/serve`.
+func FuzzBatchIngest(f *testing.F) {
+	for _, s := range ingestSeeds() {
+		f.Add(s.body, s.ct)
+	}
+	f.Fuzz(func(t *testing.T, body []byte, ct string) {
+		checkIngest(t, body, ct)
+	})
+}
+
+// TestFuzzSeedsIngest pins the seed corpus in plain `go test`: every seed
+// upholds the fuzz property even when the fuzz engine is never invoked, and
+// the seeds that must be rejected (oversize, malformed) really are.
+func TestFuzzSeedsIngest(t *testing.T) {
+	for i, s := range ingestSeeds() {
+		t.Run(string(rune('a'+i)), func(t *testing.T) {
+			checkIngest(t, s.body, s.ct)
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -83,6 +84,9 @@ func NewHandler(m *Manager) http.Handler {
 		w.WriteHeader(http.StatusNoContent)
 	})
 	handle("POST /v1/sessions/{id}/batches", func(w http.ResponseWriter, r *http.Request) {
+		// Cap the body before reading a byte: an oversized or unbounded
+		// upload fails with 413 instead of buffering without limit.
+		r.Body = http.MaxBytesReader(w, r.Body, m.maxBatchBytes())
 		recs, err := decodeBatch(r)
 		if err != nil {
 			httpError(w, r, err)
@@ -124,6 +128,12 @@ func NewHandler(m *Manager) http.Handler {
 	handle("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		status := "ok"
 		code := http.StatusOK
+		degraded := m.DegradedCount()
+		if degraded > 0 {
+			// Still 200: the server serves reads and healthy sessions;
+			// the status and count flag the persistence trouble.
+			status = "degraded"
+		}
 		if m.isDraining() {
 			status = "draining"
 			code = http.StatusServiceUnavailable
@@ -131,6 +141,7 @@ func NewHandler(m *Manager) http.Handler {
 		writeJSON(w, code, map[string]any{
 			"status":    status,
 			"sessions":  len(m.List()),
+			"degraded":  degraded,
 			"admission": m.Admission().Stats(),
 		})
 	})
@@ -209,7 +220,34 @@ func (m *Manager) instrument(route string, h http.HandlerFunc) http.HandlerFunc 
 	}
 }
 
-// decodeBatch parses a batch request body as JSON records or FASTA.
+// maxBatchBytes resolves the ingest body cap: the configured value, or a
+// default derived from the per-session EST quota (a generous ~4KiB per
+// allowed EST, clamped to [1MiB, 64MiB]; 64MiB when the quota is
+// unlimited).
+func (m *Manager) maxBatchBytes() int64 {
+	if m.cfg.MaxBatchBytes > 0 {
+		return m.cfg.MaxBatchBytes
+	}
+	const (
+		perEST = 4 << 10
+		floor  = 1 << 20
+		cap64  = 64 << 20
+	)
+	if q := m.cfg.MaxESTsPerSession; q > 0 {
+		b := int64(q) * perEST
+		if b < floor {
+			return floor
+		}
+		if b > cap64 {
+			return cap64
+		}
+		return b
+	}
+	return cap64
+}
+
+// decodeBatch parses a batch request body as JSON records or FASTA. A body
+// that overruns the MaxBytesReader cap surfaces as ErrTooLarge (413).
 func decodeBatch(r *http.Request) ([]pace.Record, error) {
 	ct := r.Header.Get("Content-Type")
 	if strings.Contains(ct, "json") {
@@ -217,15 +255,26 @@ func decodeBatch(r *http.Request) ([]pace.Record, error) {
 			ESTs []pace.Record `json:"ests"`
 		}
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			return nil, fmt.Errorf("serve: invalid batch body: %w", err)
+			return nil, wrapTooLarge(fmt.Errorf("serve: invalid batch body: %w", err))
 		}
 		return req.ESTs, nil
 	}
 	recs, err := pace.ReadFASTA(r.Body)
 	if err != nil {
-		return nil, fmt.Errorf("serve: invalid FASTA batch: %w", err)
+		return nil, wrapTooLarge(fmt.Errorf("serve: invalid FASTA batch: %w", err))
 	}
 	return recs, nil
+}
+
+// wrapTooLarge folds a MaxBytesReader overflow into ErrTooLarge so the
+// error mapper returns 413 with the request id, like any other size
+// rejection.
+func wrapTooLarge(err error) error {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return fmt.Errorf("%w: request body exceeds %d bytes", ErrTooLarge, mbe.Limit)
+	}
+	return err
 }
 
 // httpError maps manager errors to HTTP statuses and a JSON error body
@@ -240,12 +289,21 @@ func httpError(w http.ResponseWriter, r *http.Request, err error) {
 		code = http.StatusConflict
 	case errors.Is(err, ErrBusy), errors.Is(err, ErrQuota):
 		code = http.StatusTooManyRequests
+	case errors.Is(err, ErrDegraded):
+		// Read-only until the degraded probe heals the disk; tell the
+		// client when to come back.
+		w.Header().Set("Retry-After", "5")
+		code = http.StatusServiceUnavailable
 	case errors.Is(err, ErrDraining):
 		code = http.StatusServiceUnavailable
 	case errors.Is(err, ErrTooLarge):
 		code = http.StatusRequestEntityTooLarge
 	case errors.Is(err, ErrStateMismatch):
 		code = http.StatusConflict
+	case errors.Is(err, context.DeadlineExceeded):
+		// The per-request deadline expired mid-run; the session rolled
+		// back, so a retry against a less loaded server is safe.
+		code = http.StatusGatewayTimeout
 	}
 	body := map[string]string{"error": err.Error()}
 	if id := RequestID(r.Context()); id != "" {

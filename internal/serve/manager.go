@@ -15,6 +15,7 @@ import (
 
 	"pace"
 	"pace/internal/telemetry"
+	"pace/internal/vfs"
 )
 
 // Manager lifecycle errors, mapped to HTTP statuses by the handler.
@@ -30,6 +31,10 @@ var (
 	ErrDraining = errors.New("serve: server is draining")
 	// ErrTooLarge rejects a batch that would exceed MaxESTsPerSession.
 	ErrTooLarge = errors.New("serve: batch exceeds session capacity")
+	// ErrDegraded rejects ingest into a session whose state could not be
+	// persisted: the session is read-only (labels and info still serve)
+	// until a probe re-save succeeds. Mapped to 503 + Retry-After.
+	ErrDegraded = errors.New("serve: session degraded read-only (persistence failing)")
 )
 
 // Server-level metric families. Per-session series carry a session label.
@@ -45,6 +50,7 @@ const (
 	metricSessionESTs    = "pace_server_session_ests"
 	metricSessionBatches = "pace_server_session_batches_total"
 	metricBatchNs        = "pace_server_batch_ns"
+	metricDegraded       = "pace_server_degraded"
 )
 
 // Trace lanes. The server owns process lane 1 in the Chrome trace (pid 0 is
@@ -73,8 +79,21 @@ type Config struct {
 	// MaxESTsPerSession bounds a session's total EST count; a batch that
 	// would exceed it is rejected whole (0 = unlimited).
 	MaxESTsPerSession int
+	// MaxBatchBytes caps an ingest request body (http.MaxBytesReader);
+	// overflow maps to 413. 0 derives a cap from MaxESTsPerSession (see
+	// Manager.maxBatchBytes).
+	MaxBatchBytes int64
 	// Admission bounds concurrent batch ingestion.
 	Admission AdmissionConfig
+	// RequestTimeout bounds one batch ingest end to end (queue wait plus
+	// the engine run): on expiry the run is canceled, the session rolls
+	// back, and the request fails with 504. 0 disables the per-request
+	// deadline (client disconnect and drain still cancel).
+	RequestTimeout time.Duration
+	// FS is the filesystem seam every durable write goes through (state
+	// saves, metadata, checkpoints). nil uses the real filesystem; chaos
+	// runs inject a vfs.Faulty here.
+	FS vfs.FS
 	// Metrics, when non-nil, receives server gauges/counters (with
 	// per-session labels) alongside the engine's own families.
 	Metrics *telemetry.Registry
@@ -96,6 +115,13 @@ func (c Config) logger() *slog.Logger {
 		return c.Logger
 	}
 	return telemetry.NopLogger()
+}
+
+func (c Config) fs() vfs.FS {
+	if c.FS != nil {
+		return c.FS
+	}
+	return vfs.OS{}
 }
 
 func (c Config) maxSessions() int {
@@ -124,6 +150,22 @@ type session struct {
 	sess *pace.Session
 	recs []pace.Record
 	gone bool // deleted while another request held the pointer
+	// degraded marks the session read-only after a persistence failure:
+	// memory is ahead of disk, so ingest is refused (503 + Retry-After)
+	// until a probe re-save rewrites the full state and heals the gap.
+	// Labels and info still serve — they come from memory.
+	degraded bool
+	// degradedCause is the save error that entered degraded mode.
+	degradedCause error
+}
+
+// saveLocked persists the session's state pair through fsys. Caller holds
+// s.mu.
+func (s *session) saveLocked(fsys vfs.FS) error {
+	if s.dir == "" || s.sess.NumESTs() == 0 {
+		return nil
+	}
+	return SaveState(fsys, s.dir, s.sess, s.recs)
 }
 
 // Manager owns the live sessions behind the HTTP API: creation and quotas,
@@ -134,11 +176,17 @@ type Manager struct {
 	adm   *Admission
 	clock telemetry.Clock
 	log   *slog.Logger
+	fs    vfs.FS
 
 	mu       sync.Mutex
 	sessions map[string]*session
 	nextLane int
 	draining bool
+	// inflight registers a cancel func per running batch, so a drain that
+	// hits its deadline can abort the engine runs instead of waiting them
+	// out while they hold session locks and admission grants.
+	inflight   map[int]context.CancelFunc
+	nextCancel int
 }
 
 // NewManager validates the configuration and returns an empty manager.
@@ -147,7 +195,7 @@ func NewManager(cfg Config) (*Manager, error) {
 		return nil, fmt.Errorf("serve: session options: %w", err)
 	}
 	if cfg.DataDir != "" {
-		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+		if err := cfg.fs().MkdirAll(cfg.DataDir, 0o755); err != nil {
 			return nil, err
 		}
 	}
@@ -160,8 +208,10 @@ func NewManager(cfg Config) (*Manager, error) {
 		adm:      NewAdmission(cfg.Admission),
 		clock:    clk,
 		log:      cfg.logger(),
+		fs:       cfg.fs(),
 		sessions: make(map[string]*session),
 		nextLane: 1, // lane 0 is the control lane for non-session requests
+		inflight: make(map[int]context.CancelFunc),
 	}
 	if r := cfg.Metrics; r != nil {
 		r.Help(metricSessions, "Live sessions owned by the manager.")
@@ -172,6 +222,7 @@ func NewManager(cfg Config) (*Manager, error) {
 		r.Help(metricSessionESTs, "ESTs held per session.")
 		r.Help(metricSessionBatches, "Batches ingested per session.")
 		r.Help(metricBatchNs, "End-to-end latency of one ingested batch (admitted to clustered+saved), nanoseconds.")
+		r.Help(metricDegraded, "Sessions in degraded read-only mode (persistence failing).")
 	}
 	if tw := cfg.Trace; tw != nil {
 		tw.ProcessName(serverTracePID, "paced server")
@@ -267,10 +318,10 @@ func (m *Manager) Create(ctx context.Context, id, tenant string) (Info, error) {
 	s := &session{meta: Meta{ID: id, Tenant: tenant}, lane: lane, sess: sess}
 	if m.cfg.DataDir != "" {
 		s.dir = filepath.Join(m.cfg.DataDir, id)
-		if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		if err := m.fs.MkdirAll(s.dir, 0o755); err != nil {
 			return Info{}, err
 		}
-		if err := WriteMeta(s.dir, s.meta); err != nil {
+		if err := WriteMeta(m.fs, s.dir, s.meta); err != nil {
 			return Info{}, err
 		}
 	}
@@ -298,6 +349,11 @@ func (m *Manager) allocLaneLocked(id string) int {
 // its per-rank timelines don't interleave with other sessions'.
 func (m *Manager) sessionOptions(id string, lane int) pace.Options {
 	opts := m.cfg.Options
+	if opts.FS == nil {
+		// The engine's periodic checkpoints share the server's seam, so a
+		// chaos plan covers every durable write a session performs.
+		opts.FS = m.cfg.FS
+	}
 	if m.cfg.Logger != nil {
 		opts.Logger = m.cfg.Logger.With("session", id)
 	}
@@ -371,9 +427,17 @@ func (m *Manager) Delete(id string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.gone = true
+	if s.degraded {
+		// The session's state dies with it; don't leave the gauge stuck.
+		s.degraded = false
+		m.gauge(metricDegraded).Add(-1)
+	}
 	m.log.Info("session deleted", "session", id, "tenant", s.meta.Tenant,
 		"ests", s.sess.NumESTs(), "batches", s.sess.Batches())
 	if s.dir != "" {
+		// Teardown of a dead session is not a durability path: there is no
+		// state to keep consistent, so it stays outside the fault seam.
+		//pacelint:allow vfsonly session teardown has no crash window to inject into
 		return os.RemoveAll(s.dir)
 	}
 	return nil
@@ -396,11 +460,18 @@ type BatchResult struct {
 // ErrBusy when full), then the session lock, then the incremental run and
 // a durable state save. Records with empty IDs are assigned est<n> names.
 //
-// Failure semantics ride on Session.Add's atomicity: a failed run leaves
-// the session untouched, so the client can retry the identical request. A
-// run that succeeds but fails to persist returns an error too — the
-// in-memory state is ahead of disk, and the next successful Add (or the
-// shutdown drain) rewrites the full state and heals the gap.
+// The run is bounded by ctx (the HTTP request context: client disconnect
+// cancels it) tightened by Config.RequestTimeout and registered with the
+// drain machinery, so a dead client, an expired deadline or a drain
+// deadline aborts the engine mid-run instead of letting it finish while
+// holding the session lock and an admission grant.
+//
+// Failure semantics ride on Session.Add's atomicity: a failed or canceled
+// run leaves the session untouched, so the client can retry the identical
+// request. A run that succeeds but fails to persist marks the session
+// degraded read-only (ErrDegraded, 503): memory is ahead of disk, ingest
+// is refused, and a later ProbeDegraded re-save heals the gap when the
+// disk recovers.
 func (m *Manager) Add(ctx context.Context, id string, recs []pace.Record) (*BatchResult, error) {
 	if len(recs) == 0 {
 		return nil, errors.New("serve: empty batch")
@@ -412,6 +483,13 @@ func (m *Manager) Add(ctx context.Context, id string, recs []pace.Record) (*Batc
 	if err != nil {
 		return nil, err
 	}
+	if m.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, m.cfg.RequestTimeout)
+		defer cancel()
+	}
+	ctx, unregister := m.registerInflight(ctx)
+	defer unregister()
 	reqID := RequestID(ctx)
 	tAcq := m.clock.Elapsed()
 	if err := m.adm.Acquire(ctx); err != nil {
@@ -433,6 +511,9 @@ func (m *Manager) Add(ctx context.Context, id string, recs []pace.Record) (*Batc
 	if s.gone {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
+	if s.degraded {
+		return nil, fmt.Errorf("%w: %s: %v", ErrDegraded, id, s.degradedCause)
+	}
 	if max := m.cfg.MaxESTsPerSession; max > 0 && s.sess.NumESTs()+len(recs) > max {
 		return nil, fmt.Errorf("%w: %d + %d ESTs > limit %d", ErrTooLarge, s.sess.NumESTs(), len(recs), max)
 	}
@@ -448,7 +529,7 @@ func (m *Manager) Add(ctx context.Context, id string, recs []pace.Record) (*Batc
 		}
 		seqs[i] = recs[i].Seq
 	}
-	cl, err := s.sess.Add(seqs)
+	cl, err := s.sess.AddContext(ctx, seqs)
 	if err != nil {
 		m.log.Error("batch ingest failed; session rolled back", "session", id,
 			"request_id", reqID, "batch", batch, "err", err.Error())
@@ -456,10 +537,14 @@ func (m *Manager) Add(ctx context.Context, id string, recs []pace.Record) (*Batc
 	}
 	s.recs = append(s.recs, recs...)
 	if s.dir != "" {
-		if err := SaveState(s.dir, s.sess, s.recs); err != nil {
-			m.log.Error("batch clustered but not persisted", "session", id,
+		if err := SaveState(m.fs, s.dir, s.sess, s.recs); err != nil {
+			s.degraded = true
+			s.degradedCause = err
+			m.gauge(metricDegraded).Add(1)
+			m.log.Error("batch clustered but not persisted; session degraded read-only", "session", id,
 				"request_id", reqID, "batch", batch, "err", err.Error())
-			return nil, fmt.Errorf("serve: batch clustered but not persisted (will heal on next save): %w", err)
+			return nil, fmt.Errorf("%w: batch %d clustered in memory but not persisted; "+
+				"ingest refused until a probe re-save succeeds: %w", ErrDegraded, batch, err)
 		}
 	}
 	batchDur := m.clock.Elapsed() - tRun
@@ -520,14 +605,7 @@ func (m *Manager) Save(id string) error {
 	if s.gone {
 		return fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
-	return s.saveLocked()
-}
-
-func (s *session) saveLocked() error {
-	if s.dir == "" || s.sess.NumESTs() == 0 {
-		return nil
-	}
-	return SaveState(s.dir, s.sess, s.recs)
+	return s.saveLocked(m.fs)
 }
 
 // ResumeAll restores every session found under DataDir, cross-checking
@@ -614,9 +692,16 @@ func (m *Manager) resumeEmpty(dir, name string) error {
 	return nil
 }
 
+// drainCancelGrace bounds how long a drain waits, after canceling every
+// in-flight run at its deadline, for the engines' cancellation polls to
+// fire and the admission queue to empty.
+const drainCancelGrace = 2 * time.Second
+
 // Drain performs the graceful-shutdown sequence: refuse new work, wait
-// (bounded by ctx) for in-flight batches to finish, then save every
-// session. It returns the first save error but keeps saving the rest.
+// (bounded by ctx) for in-flight batches to finish — canceling the runs
+// still going when the deadline passes and giving them a short grace to
+// unwind — then save every session. It returns the first save error but
+// keeps saving the rest.
 func (m *Manager) Drain(ctx context.Context) error {
 	m.mu.Lock()
 	m.draining = true
@@ -627,12 +712,24 @@ func (m *Manager) Drain(ctx context.Context) error {
 	m.mu.Unlock()
 	m.log.Info("drain started", "sessions", len(all))
 
+	const tick = 5 * time.Millisecond
 	for !m.adm.Idle() {
 		select {
 		case <-ctx.Done():
-			m.log.Error("drain deadline exceeded with work in flight", "err", ctx.Err().Error())
-			return fmt.Errorf("serve: drain: in-flight work outlived the deadline: %w", ctx.Err())
-		case <-time.After(5 * time.Millisecond):
+			// Deadline: abort the in-flight engine runs (each rolls its
+			// session back and releases its grant) and wait a bounded
+			// grace for the cancellation polls to fire.
+			n := m.cancelInflight()
+			m.log.Warn("drain deadline reached; canceling in-flight batches",
+				"inflight", n, "err", ctx.Err().Error())
+			for waited := time.Duration(0); !m.adm.Idle(); waited += tick {
+				if waited >= drainCancelGrace {
+					m.log.Error("drain: in-flight work survived cancellation")
+					return fmt.Errorf("serve: drain: in-flight work outlived the deadline and cancellation: %w", ctx.Err())
+				}
+				<-time.After(tick)
+			}
+		case <-time.After(tick):
 		}
 	}
 
@@ -641,7 +738,7 @@ func (m *Manager) Drain(ctx context.Context) error {
 	for _, s := range all {
 		s.mu.Lock()
 		if !s.gone {
-			if err := s.saveLocked(); err != nil {
+			if err := s.saveLocked(m.fs); err != nil {
 				m.log.Error("drain save failed", "session", s.meta.ID, "err", err.Error())
 				if firstErr == nil {
 					firstErr = err
@@ -654,6 +751,91 @@ func (m *Manager) Drain(ctx context.Context) error {
 	}
 	m.log.Info("drain complete", "sessions", len(all), "saved", saved)
 	return firstErr
+}
+
+// registerInflight derives a cancelable context for one batch run and
+// registers its cancel func so Drain can abort it at the drain deadline.
+// The returned unregister releases the slot (and the context's resources).
+func (m *Manager) registerInflight(ctx context.Context) (context.Context, func()) {
+	ctx, cancel := context.WithCancel(ctx)
+	m.mu.Lock()
+	id := m.nextCancel
+	m.nextCancel++
+	m.inflight[id] = cancel
+	m.mu.Unlock()
+	return ctx, func() {
+		m.mu.Lock()
+		delete(m.inflight, id)
+		m.mu.Unlock()
+		cancel()
+	}
+}
+
+// cancelInflight aborts every registered batch run and reports how many.
+func (m *Manager) cancelInflight() int {
+	m.mu.Lock()
+	cancels := make([]context.CancelFunc, 0, len(m.inflight))
+	for _, c := range m.inflight {
+		cancels = append(cancels, c)
+	}
+	m.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+	return len(cancels)
+}
+
+// ProbeDegraded retries persistence for every degraded session and clears
+// the flag on success (the full-state rewrite covers everything memory is
+// ahead by). It returns how many sessions healed. cmd/paced calls it on a
+// timer; tests call it directly after repairing the fault plan.
+func (m *Manager) ProbeDegraded() int {
+	m.mu.Lock()
+	all := make([]*session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		all = append(all, s)
+	}
+	m.mu.Unlock()
+	healed := 0
+	for _, s := range all {
+		s.mu.Lock()
+		if !s.gone && s.degraded {
+			if err := s.saveLocked(m.fs); err != nil {
+				m.log.Warn("degraded probe: save still failing",
+					"session", s.meta.ID, "err", err.Error())
+			} else {
+				s.degraded = false
+				s.degradedCause = nil
+				healed++
+				m.log.Info("degraded probe: session healed", "session", s.meta.ID,
+					"ests", s.sess.NumESTs())
+			}
+		}
+		s.mu.Unlock()
+	}
+	if healed > 0 {
+		m.gauge(metricDegraded).Add(int64(-healed))
+	}
+	return healed
+}
+
+// DegradedCount reports how many sessions are in degraded read-only mode.
+func (m *Manager) DegradedCount() int {
+	m.mu.Lock()
+	all := make([]*session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		all = append(all, s)
+	}
+	m.mu.Unlock()
+	n := 0
+	for _, s := range all {
+		s.mu.Lock()
+		if !s.gone && s.degraded {
+			n++
+		}
+		s.mu.Unlock()
+	}
+	return n
 }
 
 func (m *Manager) isDraining() bool {

@@ -14,6 +14,7 @@ import (
 	"path/filepath"
 
 	"pace"
+	"pace/internal/vfs"
 )
 
 // A session state directory holds the pair of files that together encode a
@@ -55,66 +56,68 @@ type State struct {
 	Meta Meta
 }
 
-// SaveState persists a session's state pair into dir: the EST store
-// (atomic temp+fsync+rename) first, then the partition checkpoint (the
-// engine's own atomic replace). recs must be the sequences the session
-// actually clustered — post-trim if trimming was applied — in ingest order.
+// SaveState persists a session's state pair into dir through the given
+// filesystem seam (vfs.OS{} for the real disk, a vfs.Faulty for chaos and
+// crash-window tests): the EST store (atomic temp+fsync+rename) first, then
+// the partition checkpoint (the engine's own atomic replace). recs must be
+// the sequences the session actually clustered — post-trim if trimming was
+// applied — in ingest order.
 //
 // The order is the crash-safe one. A crash between the two writes leaves
 // the store ahead of the checkpoint: the checkpointed labels still cover a
 // prefix of the stored ESTs, so the failed batch can simply be re-added.
 // The opposite order would leave labels referencing sequences that were
 // never persisted — unrecoverable. LoadState tells the two cases apart.
-func SaveState(dir string, sess *pace.Session, recs []pace.Record) error {
+func SaveState(fsys vfs.FS, dir string, sess *pace.Session, recs []pace.Record) error {
 	if n := sess.NumESTs(); n != len(recs) {
 		return fmt.Errorf("serve: saving %d records for a session holding %d ESTs", len(recs), n)
 	}
-	tmp, err := os.CreateTemp(dir, FASTAFile+".tmp*")
+	tmp, err := fsys.CreateTemp(dir, FASTAFile+".tmp*")
 	if err != nil {
 		return err
 	}
 	if err := pace.WriteFASTA(tmp, recs); err != nil {
 		tmp.Close()
-		os.Remove(tmp.Name())
+		fsys.Remove(tmp.Name())
 		return err
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		os.Remove(tmp.Name())
+		fsys.Remove(tmp.Name())
 		return err
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		fsys.Remove(tmp.Name())
 		return err
 	}
-	if err := os.Rename(tmp.Name(), filepath.Join(dir, FASTAFile)); err != nil {
-		os.Remove(tmp.Name())
+	if err := fsys.Rename(tmp.Name(), filepath.Join(dir, FASTAFile)); err != nil {
+		fsys.Remove(tmp.Name())
 		return err
 	}
-	syncDir(dir)
-	if err := sess.SaveCheckpoint(dir); err != nil {
+	if err := fsys.SyncDir(dir); err != nil {
 		return err
 	}
-	syncDir(dir)
-	return nil
+	if err := sess.SaveCheckpointFS(fsys, dir); err != nil {
+		return err
+	}
+	return fsys.SyncDir(dir)
 }
 
 // WriteMeta persists server-side session metadata (atomic replace).
-func WriteMeta(dir string, m Meta) error {
+func WriteMeta(fsys vfs.FS, dir string, m Meta) error {
 	data, err := json.Marshal(m)
 	if err != nil {
 		return err
 	}
 	tmp := filepath.Join(dir, MetaFile+".tmp")
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+	if err := fsys.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, MetaFile)); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, filepath.Join(dir, MetaFile)); err != nil {
+		fsys.Remove(tmp)
 		return err
 	}
-	syncDir(dir)
-	return nil
+	return fsys.SyncDir(dir)
 }
 
 // LoadState reads and cross-checks a session directory against the run
@@ -171,15 +174,4 @@ func LoadState(dir string, opt pace.Options) (*State, error) {
 // Resume rebuilds a live Session from a loaded state.
 func (st *State) Resume(opt pace.Options) (*pace.Session, error) {
 	return pace.ResumeSession(opt, pace.Sequences(st.Recs), st.Labels)
-}
-
-// syncDir best-effort fsyncs a directory so the renames inside it are
-// durable before the next state write begins. Failure is ignored: some
-// filesystems reject directory fsync, and the rename itself is already
-// atomic with respect to crashes.
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		_ = d.Sync()
-		d.Close()
-	}
 }

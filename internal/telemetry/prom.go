@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strconv"
 	"sync/atomic"
+	"time"
 )
 
 // WritePrometheus renders the registry in the Prometheus text exposition
@@ -177,7 +178,15 @@ func Serve(addr string, r *Registry) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	s := &Server{srv: &http.Server{Handler: mux}, ln: ln, err: make(chan error, 1)}
+	// pprof profile/trace responses stream for their whole sampling window,
+	// so there is no write timeout — but header and idle timeouts keep a
+	// half-open scrape client from pinning a connection forever.
+	s := &Server{srv: &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}, ln: ln, err: make(chan error, 1)}
 	go func() {
 		// A listener that dies mid-run must not be silent: anything other
 		// than the orderly Close/Shutdown sentinel is surfaced on Err.

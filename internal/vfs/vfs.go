@@ -1,0 +1,93 @@
+// Package vfs is the filesystem seam under every durable write the serving
+// stack performs: the session EST store, session metadata, and the PACECKPT
+// checkpoint all go through an FS value instead of calling package os
+// directly (the pacelint vfsonly analyzer enforces this for the state
+// machinery). Production code uses OS, a thin passthrough; tests and chaos
+// runs substitute a Faulty FS whose seeded, op-count-indexed fault plan
+// injects the failures real disks produce — ENOSPC, failed fsyncs, torn
+// short writes, rename failures — and whose CrashOp mode aborts a write
+// sequence at an exact operation index, turning "every crash window is
+// recoverable" from an argument into a swept assertion.
+package vfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// File is the writable-file subset the durable write paths need: write,
+// fsync, close. Name reports the path the file was created under so callers
+// can rename it into place.
+type File interface {
+	io.Writer
+	// Name returns the file's path.
+	Name() string
+	// Sync flushes the file's contents to stable storage.
+	Sync() error
+	// Close closes the file.
+	Close() error
+}
+
+// FS is the mutating-filesystem interface the durable write paths run on.
+// Read-side calls (Open, ReadFile, Stat) stay on package os: faults on the
+// write path are what tear state; reads either succeed or fail loudly.
+type FS interface {
+	// CreateTemp creates a new temporary file in dir (pattern as in
+	// os.CreateTemp), open for writing.
+	CreateTemp(dir, pattern string) (File, error)
+	// WriteFile writes data to name in one logical operation, creating or
+	// truncating it (no fsync — pair with a rename or use for droppable
+	// files only).
+	WriteFile(name string, data []byte, perm fs.FileMode) error
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// MkdirAll creates a directory tree.
+	MkdirAll(path string, perm fs.FileMode) error
+	// SyncDir best-effort fsyncs a directory, making renames inside it
+	// durable. Implementations may ignore failures from filesystems that
+	// reject directory fsync, but must still count the operation.
+	SyncDir(dir string) error
+}
+
+// OS is the production FS: a direct passthrough to package os.
+type OS struct{}
+
+// CreateTemp implements FS.
+func (OS) CreateTemp(dir, pattern string) (File, error) {
+	//pacelint:allow vfsonly the OS implementation is the passthrough the seam bottoms out in
+	return os.CreateTemp(dir, pattern)
+}
+
+// WriteFile implements FS.
+func (OS) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	//pacelint:allow vfsonly the OS implementation is the passthrough the seam bottoms out in
+	return os.WriteFile(name, data, perm)
+}
+
+// Rename implements FS.
+func (OS) Rename(oldpath, newpath string) error {
+	//pacelint:allow vfsonly the OS implementation is the passthrough the seam bottoms out in
+	return os.Rename(oldpath, newpath)
+}
+
+// Remove implements FS.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// MkdirAll implements FS.
+func (OS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+// SyncDir implements FS. Failure is ignored past the open: some filesystems
+// reject directory fsync, and the renames inside are already atomic with
+// respect to crashes.
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	//pacelint:allow vfsonly the OS implementation is the passthrough the seam bottoms out in
+	_ = d.Sync()
+	return d.Close()
+}

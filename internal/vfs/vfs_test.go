@@ -1,0 +1,188 @@
+package vfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// writeSequence performs a fixed durable-write sequence (temp + write +
+// fsync + rename + dir sync + WriteFile + rename) against fsys, the same
+// shape serve.SaveState uses. It returns the first error.
+func writeSequence(fsys FS, dir string) error {
+	f, err := fsys.CreateTemp(dir, "data-*.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("hello crash windows")); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fsys.Rename(f.Name(), filepath.Join(dir, "data")); err != nil {
+		return err
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, "meta.tmp")
+	if err := fsys.WriteFile(tmp, []byte(`{"ok":true}`), 0o644); err != nil {
+		return err
+	}
+	return fsys.Rename(tmp, filepath.Join(dir, "meta"))
+}
+
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	if err := writeSequence(OS{}, dir); err != nil {
+		t.Fatalf("writeSequence: %v", err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "data"))
+	if err != nil || string(got) != "hello crash windows" {
+		t.Fatalf("data = %q, %v", got, err)
+	}
+}
+
+func TestFaultyZeroPlanIsPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFaulty(OS{}, Plan{})
+	if err := writeSequence(f, dir); err != nil {
+		t.Fatalf("writeSequence: %v", err)
+	}
+	if f.Ops() == 0 {
+		t.Fatal("op counter did not advance")
+	}
+	if st := f.Stats(); st.Injected != 0 || st.Crashed {
+		t.Fatalf("zero plan injected faults: %+v", st)
+	}
+}
+
+// TestCrashEveryOp verifies the sticky-crash contract: for each op index
+// k in the sequence, the run fails with ErrCrashed at or after op k, and
+// no operation past the crash succeeds.
+func TestCrashEveryOp(t *testing.T) {
+	n := func() int {
+		f := NewFaulty(OS{}, Plan{})
+		if err := writeSequence(f, t.TempDir()); err != nil {
+			t.Fatalf("counting pass failed: %v", err)
+		}
+		return f.Ops()
+	}()
+	if n < 6 {
+		t.Fatalf("sequence too short to sweep: %d ops", n)
+	}
+	for k := 1; k <= n; k++ {
+		f := NewFaulty(OS{}, Plan{CrashOp: k})
+		err := writeSequence(f, t.TempDir())
+		if !errors.Is(err, ErrCrashed) {
+			t.Fatalf("crash at op %d: err = %v, want ErrCrashed", k, err)
+		}
+		if got := f.Stats(); !got.Crashed {
+			t.Fatalf("crash at op %d: stats = %+v", k, got)
+		}
+		if f.Ops() < k {
+			t.Fatalf("crash at op %d: only %d ops attempted", k, f.Ops())
+		}
+	}
+}
+
+// TestCrashWriteIsTorn checks that a crash landing on WriteFile leaves a
+// half-written file behind rather than nothing.
+func TestCrashWriteIsTorn(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFaulty(OS{}, Plan{CrashOp: 1})
+	data := []byte("0123456789")
+	err := f.WriteFile(filepath.Join(dir, "torn"), data, 0o644)
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "torn"))
+	if err != nil {
+		t.Fatalf("torn file missing: %v", err)
+	}
+	if len(got) != len(data)/2 {
+		t.Fatalf("torn file has %d bytes, want %d", len(got), len(data)/2)
+	}
+}
+
+func TestDeterministicInjection(t *testing.T) {
+	plan := Plan{Seed: 42, PWriteErr: 0.3, PSyncErr: 0.3, PRenameErr: 0.3}
+	// Record, per sequence, whether a fault fired and at which op index;
+	// paths differ between runs so error strings are not comparable.
+	run := func() (trace []int) {
+		f := NewFaulty(OS{}, plan)
+		for i := 0; i < 20; i++ {
+			if err := writeSequence(f, t.TempDir()); err != nil {
+				if !errors.Is(err, ErrInjected) {
+					t.Fatalf("unexpected error class: %v", err)
+				}
+				trace = append(trace, f.Ops())
+			} else {
+				trace = append(trace, 0)
+			}
+		}
+		return trace
+	}
+	a, b := run(), run()
+	inject := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at iteration %d: op %d vs op %d", i, a[i], b[i])
+		}
+		if a[i] != 0 {
+			inject++
+		}
+	}
+	if inject == 0 {
+		t.Fatal("plan with p=0.3 injected nothing in 20 sequences")
+	}
+}
+
+func TestInjectedWrapsENOSPC(t *testing.T) {
+	f := NewFaulty(OS{}, Plan{PWriteErr: 1})
+	err := f.WriteFile(filepath.Join(t.TempDir(), "x"), []byte("x"), 0o644)
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("err = %v, want ErrInjected wrapping ENOSPC", err)
+	}
+}
+
+func TestMaxFaultsCap(t *testing.T) {
+	f := NewFaulty(OS{}, Plan{PWriteErr: 1, MaxFaults: 2})
+	dir := t.TempDir()
+	fails := 0
+	for i := 0; i < 10; i++ {
+		if err := f.WriteFile(filepath.Join(dir, "x"), []byte("x"), 0o644); err != nil {
+			fails++
+		}
+	}
+	if fails != 2 {
+		t.Fatalf("injected %d faults, want 2 (capped)", fails)
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan("seed=7, crash=3, pwrite=0.1, ptorn=0.2, psync=0.3, prename=0.4, max=5")
+	if err != nil {
+		t.Fatalf("ParsePlan: %v", err)
+	}
+	want := Plan{Seed: 7, CrashOp: 3, PWriteErr: 0.1, PTorn: 0.2, PSyncErr: 0.3, PRenameErr: 0.4, MaxFaults: 5}
+	if p != want {
+		t.Fatalf("plan = %+v, want %+v", p, want)
+	}
+	if p, err := ParsePlan(""); err != nil || p.enabled() {
+		t.Fatalf("empty spec: %+v, %v", p, err)
+	}
+	for _, bad := range []string{"x", "seed", "seed=x", "crash=-1", "pwrite=2", "zzz=1"} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Fatalf("ParsePlan(%q) accepted", bad)
+		}
+	}
+}

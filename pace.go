@@ -19,6 +19,7 @@
 package pace
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log/slog"
@@ -29,6 +30,7 @@ import (
 	"pace/internal/mp"
 	"pace/internal/seq"
 	"pace/internal/telemetry"
+	"pace/internal/vfs"
 )
 
 // The telemetry implementation lives in an internal package; these aliases
@@ -70,10 +72,39 @@ type (
 	// did: buckets rebuilt vs reused, fresh pairs emitted, old×old pairs
 	// suppressed. See Session.
 	IncrementalStats = cluster.IncrementalStats
+
+	// FS is the filesystem seam the session store and the checkpointer
+	// write through (Session.SaveCheckpointFS, the serving stack's state
+	// directory). OSFS returns the real one; NewFaultyFS wraps any FS with
+	// a deterministic fault plan for chaos testing.
+	FS = vfs.FS
+	// FSFaultPlan is a deterministic, seeded, op-count-indexed filesystem
+	// fault plan: ENOSPC on writes, torn short-writes, fsync and rename
+	// failures, plus a sticky crash at an exact operation index — the
+	// filesystem counterpart of FaultPlan.
+	FSFaultPlan = vfs.Plan
 )
 
 // NewMetricsRegistry returns an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// OSFS returns the real filesystem implementation of FS.
+func OSFS() FS { return vfs.OS{} }
+
+// NewFaultyFS wraps under with a deterministic fault plan. The same plan
+// over the same write sequence injects the same faults, so chaos runs are
+// reproducible from the seed alone.
+func NewFaultyFS(under FS, plan FSFaultPlan) FS { return vfs.NewFaulty(under, plan) }
+
+// ParseFaultPlan parses an engine chaos spec (the -chaos flag grammar:
+// comma-separated seed=N, crash=RANK:AFTER[:TAG], drop=P, dup=P,
+// delay=P:DUR, transient=P[:MAX]) into a FaultPlan for Options.Fault.
+func ParseFaultPlan(spec string) (*FaultPlan, error) { return mp.ParsePlan(spec) }
+
+// ParseFSFaultPlan parses a filesystem chaos spec (the -chaos-fs flag
+// grammar: comma-separated seed=N, crash=OP, pwrite=P, ptorn=P, psync=P,
+// prename=P, max=N) into an FSFaultPlan for NewFaultyFS.
+func ParseFSFaultPlan(spec string) (FSFaultPlan, error) { return vfs.ParsePlan(spec) }
 
 // RegisterBuildInfo publishes the pace_build_info gauge (module version, go
 // version, VCS revision) on the registry, so every scrape identifies the
@@ -186,6 +217,10 @@ type Options struct {
 	// CheckpointEvery snapshots every N slave reports instead of on a
 	// timer (useful for tests; 0 uses CheckpointInterval).
 	CheckpointEvery int
+	// FS routes the engine's periodic checkpoint writes through an
+	// explicit filesystem seam (OSFS for the real disk, NewFaultyFS for
+	// chaos runs); nil uses the real filesystem.
+	FS FS
 
 	// Metrics, when non-nil, receives live instrumentation from every
 	// pipeline layer: pair counters, MCS-length / grant-E / bucket-size
@@ -340,6 +375,7 @@ func (o Options) toConfig() (cluster.Config, error) {
 		Dir:          o.CheckpointDir,
 		Interval:     o.CheckpointInterval,
 		EveryReports: o.CheckpointEvery,
+		FS:           o.FS,
 	}
 	if o.InitialLabels != nil {
 		cfg.InitialLabels = make([]int32, len(o.InitialLabels))
@@ -375,11 +411,19 @@ func parseESTs(ests []string) ([]seq.Sequence, error) {
 // into gene-level clusters. It is a one-batch Session: callers expecting
 // more ESTs later should keep a Session and Add batches as they arrive.
 func Cluster(ests []string, opt Options) (*Clustering, error) {
+	return ClusterContext(context.Background(), ests, opt)
+}
+
+// ClusterContext is Cluster bounded by a context: the engine polls ctx at
+// phase boundaries and inside its dispatch loops and aborts with an error
+// wrapping ctx.Err() when it is done — the hook a server needs to stop a
+// run whose client disconnected or whose deadline passed.
+func ClusterContext(ctx context.Context, ests []string, opt Options) (*Clustering, error) {
 	s, err := NewSession(opt)
 	if err != nil {
 		return nil, err
 	}
-	return s.Add(ests)
+	return s.AddContext(ctx, ests)
 }
 
 // convertResult translates an engine result into the public Clustering.

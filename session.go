@@ -1,11 +1,13 @@
 package pace
 
 import (
+	"context"
 	"fmt"
 
 	"pace/internal/cluster"
 	"pace/internal/seq"
 	"pace/internal/telemetry"
+	"pace/internal/vfs"
 )
 
 // Incremental batch telemetry published by Session.Add when Options.Metrics
@@ -109,6 +111,17 @@ var runSet = cluster.RunSet
 // absorption are rolled back), so a retried Add behaves like a first
 // attempt — the guarantee a server needs to retry failed requests.
 func (s *Session) Add(ests []string) (*Clustering, error) {
+	return s.AddContext(context.Background(), ests)
+}
+
+// AddContext is Add with a context bounding the batch run: the engine polls
+// ctx at phase boundaries and inside its dispatch loops, and when ctx is
+// done the run aborts with an error wrapping ctx.Err(). Cancellation takes
+// the same failure-atomic path as any other run error — the appended
+// generation is rolled back and the session is exactly its pre-call self,
+// so a canceled Add followed by a retried Add is indistinguishable from a
+// single never-canceled Add.
+func (s *Session) AddContext(ctx context.Context, ests []string) (*Clustering, error) {
 	if len(ests) == 0 {
 		return nil, fmt.Errorf("pace: empty batch")
 	}
@@ -120,6 +133,7 @@ func (s *Session) Add(ests []string) (*Clustering, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg.Ctx = ctx
 	prevESTs := 0
 	if s.set == nil {
 		s.set, err = seq.NewSetS(parsed)
@@ -219,6 +233,13 @@ func (s *Session) Batches() int { return s.batches }
 // CRC-verified). Reload with LoadCheckpoint and re-enter with
 // ResumeSession(opt, ests, ResumeLabels(ck)).
 func (s *Session) SaveCheckpoint(dir string) error {
+	return s.SaveCheckpointFS(vfs.OS{}, dir)
+}
+
+// SaveCheckpointFS is SaveCheckpoint writing through an explicit filesystem
+// seam, so servers (and chaos tests) can route the snapshot through a
+// fault-injecting vfs.FS.
+func (s *Session) SaveCheckpointFS(fsys vfs.FS, dir string) error {
 	if s.set == nil {
 		return fmt.Errorf("pace: session holds no ESTs")
 	}
@@ -226,6 +247,6 @@ func (s *Session) SaveCheckpoint(dir string) error {
 	if err != nil {
 		return err
 	}
-	_, err = cluster.WriteCheckpoint(dir, ck)
+	_, err = cluster.WriteCheckpointFS(fsys, dir, ck)
 	return err
 }

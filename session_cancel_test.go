@@ -1,0 +1,174 @@
+package pace
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// pollCtx is a context whose Err trips to context.Canceled on its trip-th
+// poll. The engine checks cancellation by polling ctx.Err() at deterministic
+// points (phase boundaries, batch-loop iterations), so a pollCtx turns "the
+// client gave up mid-run" into a reproducible event: trip = n cancels the
+// run at exactly its n-th poll, no goroutines or timing involved.
+type pollCtx struct {
+	context.Context
+
+	mu    sync.Mutex
+	polls int
+	trip  int // 0 = never trip (pure poll counter)
+}
+
+func newPollCtx(trip int) *pollCtx {
+	return &pollCtx{Context: context.Background(), trip: trip}
+}
+
+func (c *pollCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.polls++
+	if c.trip > 0 && c.polls >= c.trip {
+		return context.Canceled
+	}
+	return nil
+}
+
+func (c *pollCtx) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.polls
+}
+
+// TestSessionCancelThenRetryMatchesControl is the cancellation half of the
+// chaos acceptance gate: cancel an incremental Add at every deterministic
+// poll point of its run, assert the failure-atomic rollback each time, then
+// retry the batch once and require labels byte-identical to a control
+// session that was never canceled. A canceled-then-retried Add must be
+// indistinguishable from a single never-canceled Add.
+func TestSessionCancelThenRetryMatchesControl(t *testing.T) {
+	b := testBenchmark(t, 60, 6, 13)
+	opt := DefaultOptions()
+	opt.Window = 6
+	opt.MinMatch = 18
+	batch1, batch2 := b.ESTs[:40], b.ESTs[40:]
+
+	// Control: two Adds, never canceled.
+	control, err := NewSession(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := control.Add(batch1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := control.Add(batch2); err != nil {
+		t.Fatal(err)
+	}
+	want := control.Labels()
+
+	// Counting pass: how many times does the batch-2 run poll the context?
+	counter, err := NewSession(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := counter.Add(batch1); err != nil {
+		t.Fatal(err)
+	}
+	probe := newPollCtx(0)
+	if _, err := counter.AddContext(probe, batch2); err != nil {
+		t.Fatalf("counting pass: %v", err)
+	}
+	polls := probe.count()
+	if polls < 3 {
+		t.Fatalf("batch run polled ctx only %d times; the engine lost its cancellation points", polls)
+	}
+	t.Logf("batch-2 run polls ctx %d times", polls)
+
+	// Experiment: one session, canceled at every poll index in turn. Each
+	// canceled Add must roll back completely, so the session stays at its
+	// post-batch-1 state throughout the sweep.
+	sess, err := NewSession(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Add(batch1); err != nil {
+		t.Fatal(err)
+	}
+	pre := sess.Labels()
+	for trip := 1; trip <= polls; trip++ {
+		_, err := sess.AddContext(newPollCtx(trip), batch2)
+		if err == nil {
+			t.Fatalf("trip=%d: Add succeeded despite cancellation", trip)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("trip=%d: error does not wrap context.Canceled: %v", trip, err)
+		}
+		if got := sess.NumESTs(); got != len(batch1) {
+			t.Fatalf("trip=%d: rollback left %d ESTs, want %d", trip, got, len(batch1))
+		}
+		if got := sess.Batches(); got != 1 {
+			t.Fatalf("trip=%d: rollback left %d batches, want 1", trip, got)
+		}
+		if !sameLabels(sess.Labels(), pre) {
+			t.Fatalf("trip=%d: rollback changed the partition", trip)
+		}
+	}
+
+	// One retry after the whole cancel sweep must be byte-identical to the
+	// never-canceled control.
+	if _, err := sess.Add(batch2); err != nil {
+		t.Fatalf("retry after cancel sweep: %v", err)
+	}
+	got := sess.Labels()
+	if !sameLabels(got, want) {
+		t.Fatalf("retried labels differ from never-canceled control:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestSessionCancelParallel exercises the parallel path: a context canceled
+// before the call aborts the master–slave machine (the master's poll fails
+// rank 0 and fail-stop unwinds the slaves), the session rolls back, and a
+// retry matches a never-canceled parallel control.
+func TestSessionCancelParallel(t *testing.T) {
+	b := testBenchmark(t, 40, 4, 17)
+	opt := DefaultOptions()
+	opt.Window = 6
+	opt.MinMatch = 18
+	opt.Processors = 3
+	opt.Simulated = true
+	batch1, batch2 := b.ESTs[:25], b.ESTs[25:]
+
+	control, err := NewSession(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := control.Add(batch1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := control.Add(batch2); err != nil {
+		t.Fatal(err)
+	}
+	want := control.Labels()
+
+	sess, err := NewSession(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Add(batch1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sess.AddContext(ctx, batch2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled parallel Add: got %v, want context.Canceled", err)
+	}
+	if got := sess.NumESTs(); got != len(batch1) {
+		t.Fatalf("rollback left %d ESTs, want %d", got, len(batch1))
+	}
+	if _, err := sess.Add(batch2); err != nil {
+		t.Fatalf("retry: %v", err)
+	}
+	if !sameLabels(sess.Labels(), want) {
+		t.Fatal("retried parallel labels differ from never-canceled control")
+	}
+}
