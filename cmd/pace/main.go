@@ -38,6 +38,7 @@ func main() {
 	window := flag.Int("w", 8, "suffix bucketing window w")
 	psi := flag.Int("psi", 20, "promising pair threshold ψ (min maximal common substring)")
 	batch := flag.Int("batch", 60, "pairs per master-slave interaction")
+	mergeShards := flag.Int("merge-shards", 0, "merge-delta protocol with K union-find shards on the master (0 = legacy per-pair protocol)")
 	minOverlap := flag.Int("min-overlap", 40, "minimum accepted overlap columns")
 	minIdentity := flag.Float64("min-identity", 0.90, "minimum accepted overlap identity")
 	doTrim := flag.Bool("trim", false, "trim poly(A)/poly(T) tails before clustering")
@@ -63,7 +64,8 @@ func main() {
 	if err := validateFlags(flagValues{
 		in: *in, procs: *procs, sim: *sim,
 		window: *window, psi: *psi, batch: *batch,
-		minOverlap: *minOverlap, minIdentity: *minIdentity,
+		mergeShards: *mergeShards,
+		minOverlap:  *minOverlap, minIdentity: *minIdentity,
 		retries: *retries, ckptDir: *ckptDir,
 		ckptInterval: *ckptInterval, ckptEvery: *ckptEvery,
 		slaveTimeout: *slaveTimeout, resume: *resume,
@@ -109,6 +111,7 @@ func main() {
 	opt.Window = *window
 	opt.MinMatch = *psi
 	opt.BatchSize = *batch
+	opt.MergeShards = *mergeShards
 	opt.MinOverlap = *minOverlap
 	opt.MinIdentity = *minIdentity
 	opt.Recover = !*noRecover

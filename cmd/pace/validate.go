@@ -16,6 +16,7 @@ type flagValues struct {
 	window      int
 	psi         int
 	batch       int
+	mergeShards int
 	minOverlap  int
 	minIdentity float64
 
@@ -56,6 +57,9 @@ func validateFlags(v flagValues) error {
 	}
 	if v.batch < 1 {
 		return fmt.Errorf("-batch must be positive, got %d", v.batch)
+	}
+	if v.mergeShards < 0 {
+		return fmt.Errorf("-merge-shards must be >= 0 (0 = legacy single union-find), got %d", v.mergeShards)
 	}
 	if v.minOverlap < 1 {
 		return fmt.Errorf("-min-overlap must be positive, got %d", v.minOverlap)

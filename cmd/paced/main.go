@@ -80,6 +80,7 @@ func main() {
 	window := flag.Int("w", 8, "suffix bucketing window w")
 	psi := flag.Int("psi", 20, "promising pair threshold ψ")
 	batch := flag.Int("batch", 60, "pairs per master-slave interaction")
+	mergeShards := flag.Int("merge-shards", 0, "merge-delta protocol with K union-find shards on the master (0 = legacy per-pair protocol)")
 	maxSessions := flag.Int("max-sessions", 64, "server-wide live session quota")
 	maxPerTenant := flag.Int("max-per-tenant", 16, "per-tenant live session quota")
 	maxESTs := flag.Int("max-ests", 0, "per-session EST capacity (0 = unlimited)")
@@ -111,6 +112,10 @@ func main() {
 	opt.Window = *window
 	opt.MinMatch = *psi
 	opt.BatchSize = *batch
+	if *mergeShards < 0 {
+		fatal(fmt.Errorf("-merge-shards must be >= 0 (0 = legacy single union-find), got %d", *mergeShards))
+	}
+	opt.MergeShards = *mergeShards
 	if *chaosSpec != "" {
 		plan, err := pace.ParseFaultPlan(*chaosSpec)
 		if err != nil {

@@ -65,32 +65,47 @@ func TestChaos(t *testing.T) {
 	want := normalizeLabels(baseline.Labels)
 
 	ran := 0
-	for _, sc := range chaosScenarios {
-		if only != "" && sc.name != only {
-			continue
-		}
-		ran++
-		t.Run(sc.name, func(t *testing.T) {
-			cfg := base
-			fault := sc.fault
-			cfg.MP.Fault = &fault
-			cfg.MP.Retry = sc.retry
-			res, err := Run(b.ESTs, cfg)
-			if err != nil {
-				t.Fatalf("pipeline did not survive %s: %v", sc.name, err)
-			}
-			got := normalizeLabels(res.Labels)
-			diff := 0
-			for i := range got {
-				if got[i] != want[i] {
-					diff++
+	// Each scenario runs under both merge protocols: a crashed slave loses
+	// its local union-find and unshipped delta edges together, so recovery
+	// must regenerate and re-filter the lost range consistently — the
+	// sharded leg (K = 4) proves that, including deaths mid-reconcile.
+	for _, merge := range []struct {
+		name   string
+		shards int
+	}{{"legacy", 0}, {"sharded", 4}} {
+		t.Run(merge.name, func(t *testing.T) {
+			for _, sc := range chaosScenarios {
+				if only != "" && sc.name != only {
+					continue
 				}
-			}
-			if diff != 0 {
-				t.Errorf("partition differs from failure-free run at %d of %d ESTs", diff, len(got))
-			}
-			if sc.fault.CrashRank > 0 && res.Stats.Recovery.RanksLost != 1 {
-				t.Errorf("RanksLost = %d, want 1", res.Stats.Recovery.RanksLost)
+				ran++
+				t.Run(sc.name, func(t *testing.T) {
+					cfg := base
+					cfg.MergeShards = merge.shards
+					fault := sc.fault
+					cfg.MP.Fault = &fault
+					cfg.MP.Retry = sc.retry
+					res, err := Run(b.ESTs, cfg)
+					if err != nil {
+						t.Fatalf("pipeline did not survive %s: %v", sc.name, err)
+					}
+					got := normalizeLabels(res.Labels)
+					diff := 0
+					for i := range got {
+						if got[i] != want[i] {
+							diff++
+						}
+					}
+					if diff != 0 {
+						t.Errorf("partition differs from failure-free run at %d of %d ESTs", diff, len(got))
+					}
+					if sc.fault.CrashRank > 0 && res.Stats.Recovery.RanksLost != 1 {
+						t.Errorf("RanksLost = %d, want 1", res.Stats.Recovery.RanksLost)
+					}
+					if merge.shards > 0 && res.Stats.Reconcile.Shards != merge.shards {
+						t.Errorf("Reconcile.Shards = %d, want %d", res.Stats.Reconcile.Shards, merge.shards)
+					}
+				})
 			}
 		})
 	}

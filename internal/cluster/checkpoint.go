@@ -190,7 +190,9 @@ func newCheckpointer(cfg Config, numESTs int, st *Stats, pr *probes, clock func(
 
 // maybe writes a snapshot when the cadence (EveryReports if set, else
 // Interval) says so, or unconditionally with force (the final snapshot).
-func (ck *checkpointer) maybe(uf *unionfind.UF, processed, accepted, skipped, merges int64, force bool) error {
+// The structure is frozen through the snapshotter seam so both merge
+// policies (plain and root-sharded) feed the same UFv1-based codec.
+func (ck *checkpointer) maybe(uf snapshotter, processed, accepted, skipped, merges int64, force bool) error {
 	if ck == nil {
 		return nil
 	}
@@ -211,7 +213,7 @@ func (ck *checkpointer) maybe(uf *unionfind.UF, processed, accepted, skipped, me
 	n, err := WriteCheckpointFS(ck.cfg.fs(), ck.cfg.Dir, &Checkpoint{
 		NumESTs: ck.numESTs, Window: ck.window, Psi: ck.psi, Seq: ck.seq,
 		PairsProcessed: processed, PairsAccepted: accepted,
-		PairsSkipped: skipped, Merges: merges, UF: uf,
+		PairsSkipped: skipped, Merges: merges, UF: uf.Snapshot(),
 	})
 	if err != nil {
 		return err

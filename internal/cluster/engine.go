@@ -1,7 +1,15 @@
 package cluster
 
+// The engine is split along its roles:
+//
+//	engine.go  — entry points, the sequential engine, and the phases every
+//	             rank shares (prologue, suffix redistribution ranges)
+//	master.go  — the master rank: dispatch, flow control, failure recovery
+//	slave.go   — the slave rank: GST share, pair generation, alignment loop
+//	merge.go   — the merge policy seam: how accepted pairs become merges
+//	codec.go   — the wire protocol
+
 import (
-	"errors"
 	"fmt"
 	"time"
 
@@ -23,31 +31,6 @@ func Run(ests []seq.Sequence, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	return RunSet(set, cfg)
-}
-
-// seedClusters merges ESTs that share a non-negative initial label. Labels
-// may cover only a prefix of the ESTs (old batch before newly arrived ones).
-// It returns the number of union operations performed, so a resumed run can
-// report how much work the seed (e.g. a checkpoint) already covered.
-func seedClusters(uf *unionfind.UF, labels []int32) (int64, error) {
-	if len(labels) > uf.Len() {
-		return 0, fmt.Errorf("cluster: %d initial labels for %d ESTs", len(labels), uf.Len())
-	}
-	first := make(map[int32]int32)
-	var merges int64
-	for i, l := range labels {
-		if l < 0 {
-			continue
-		}
-		if f, ok := first[l]; ok {
-			if uf.Union(f, int32(i)) {
-				merges++
-			}
-		} else {
-			first[l] = int32(i)
-		}
-	}
-	return merges, nil
 }
 
 // alignPairs runs the anchored banded extension on each pair and returns the
@@ -82,7 +65,11 @@ func wallElapsed() func() time.Duration {
 }
 
 // runSequential is the single-process engine: generate batches in decreasing
-// order, skip same-cluster pairs, align, merge.
+// order, skip same-cluster pairs, align, merge. Under the sharded merge
+// policy (MergeShards >= 1) accepted pairs accumulate as a per-batch delta
+// applied at the batch boundary — the same deferred-merge semantics the
+// parallel delta protocol has, so the sequential engine is a valid
+// equivalence reference for it.
 func runSequential(set *seq.SetS, cfg Config) (*Result, error) {
 	pr := newProbes(cfg.Metrics)
 	tw := cfg.Trace
@@ -128,8 +115,8 @@ func runSequential(set *seq.SetS, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	uf := unionfind.New(set.NumESTs())
-	seedMerges, err := seedClusters(uf, cfg.InitialLabels)
+	m := newMerger(cfg, set.NumESTs())
+	seedMerges, err := seedClusters(m, cfg.InitialLabels, set.NumESTs())
 	if err != nil {
 		return nil, err
 	}
@@ -142,6 +129,7 @@ func runSequential(set *seq.SetS, cfg Config) (*Result, error) {
 	}
 	ck := newCheckpointer(cfg, set.NumESTs(), st, pr, clk)
 	buf := make([]pairgen.Pair, 0, cfg.BatchSize)
+	var batchEdges []unionfind.MergeEdge
 	for {
 		if err := cfg.ctxErr(); err != nil {
 			return nil, err
@@ -154,7 +142,7 @@ func runSequential(set *seq.SetS, cfg Config) (*Result, error) {
 		var batchAlign time.Duration
 		for _, p := range buf {
 			i, j := p.ESTs()
-			if cfg.SkipSameCluster && uf.Same(int32(i), int32(j)) {
+			if cfg.SkipSameCluster && m.Same(int32(i), int32(j)) {
 				st.PairsSkipped++
 				if pr != nil {
 					pr.skipped.Inc()
@@ -176,7 +164,9 @@ func runSequential(set *seq.SetS, cfg Config) (*Result, error) {
 				if pr != nil {
 					pr.accepted.Inc()
 				}
-				if uf.Union(int32(i), int32(j)) {
+				if cfg.MergeShards > 0 {
+					batchEdges = append(batchEdges, unionfind.MergeEdge{A: int32(i), B: int32(j)})
+				} else if m.Union(int32(i), int32(j)) {
 					st.Merges++
 					if pr != nil {
 						pr.merges.Inc()
@@ -184,15 +174,27 @@ func runSequential(set *seq.SetS, cfg Config) (*Result, error) {
 				}
 			}
 		}
+		if len(batchEdges) > 0 {
+			tR := clk()
+			links := m.apply(batchEdges)
+			dR := clk() - tR
+			st.MasterReconcileWait += dR
+			st.Merges += links
+			if pr != nil {
+				pr.merges.Add(links)
+				pr.reconApplyNs.Observe(int64(dR))
+			}
+			batchEdges = batchEdges[:0]
+		}
 		st.Phases.Align += batchAlign
 		if tw != nil && batchAlign > 0 {
 			tw.Span(cfg.TracePID, 0, "align", "cluster", tBatch, batchAlign)
 		}
-		if err := ck.maybe(uf, st.PairsProcessed, st.PairsAccepted, st.PairsSkipped, st.Merges, false); err != nil {
+		if err := ck.maybe(m, st.PairsProcessed, st.PairsAccepted, st.PairsSkipped, st.Merges, false); err != nil {
 			return nil, err
 		}
 	}
-	if err := ck.maybe(uf, st.PairsProcessed, st.PairsAccepted, st.PairsSkipped, st.Merges, true); err != nil {
+	if err := ck.maybe(m, st.PairsProcessed, st.PairsAccepted, st.PairsSkipped, st.Merges, true); err != nil {
 		return nil, err
 	}
 	st.PairsGenerated = gen.Stats().Generated
@@ -203,6 +205,8 @@ func runSequential(set *seq.SetS, cfg Config) (*Result, error) {
 	if cfg.FreshGen > 0 || cfg.Cache != nil {
 		pr.recordIncremental(st.Incremental)
 	}
+	st.Reconcile = m.reconcile()
+	pr.recordReconcile(st.Reconcile)
 	st.Phases.Total = clk() - t0
 	st.PerRank = []RankStats{{
 		Rank: 0, Role: "seq",
@@ -211,8 +215,8 @@ func runSequential(set *seq.SetS, cfg Config) (*Result, error) {
 		PairsGenerated: st.PairsGenerated, PairsProcessed: st.PairsProcessed,
 		PairsAccepted: st.PairsAccepted,
 	}}
-	res.Labels = uf.Labels()
-	res.NumClusters = uf.Count()
+	res.Labels = m.Labels()
+	res.NumClusters = m.Count()
 	return res, nil
 }
 
@@ -293,911 +297,6 @@ func fillComm(p *phaseReport, s mp.CommStats) {
 	p.recvWaitNs = int64(s.RecvWait)
 	p.collOps = s.Collectives.Ops()
 	p.collTimeNs = int64(s.Collectives.Time)
-}
-
-// masterState tracks one slave's protocol position.
-type masterState struct {
-	generatorDone bool // last report said passive
-	hasNextWork   bool // slave holds a batch whose results are pending
-	idle          bool // parked with nothing to do; candidate for stop
-	granted       int  // outstanding grant E: pairs the slave may still report
-	dead          bool // rank failed; excluded from the protocol
-	owes          int  // reports the slave will still send
-	// inflight is the FIFO of dispatched batches not yet acknowledged by a
-	// report's ackWork flag; when the slave dies they are requeued to the
-	// survivors.
-	inflight [][]pairgen.Pair
-	// shards are the generator partitions this slave covers: its initial
-	// one (part = rank-1, 1 of 1) plus any dead-slave shards it took over.
-	// When the slave dies they are subdivided among the survivors.
-	shards []shard
-}
-
-// grantE computes the paper's flow-control grant E = min(α·δ·batchsize,
-// nfree/p) for one slave interaction.
-//
-//   - α (clamped to cfg.alphaMax()) is the redundancy factor: reported pairs
-//     per pair that survived same-cluster filtering. When the whole batch
-//     was redundant the ratio is undefined; the cap is used directly rather
-//     than the seed's unbounded raw batch length.
-//   - δ = slaves/active spreads the generation load of finished slaves over
-//     the rest.
-//   - nfree must already account for every outstanding grant, so that the
-//     sum of buffered pairs and pairs-in-flight can never exceed
-//     WorkBufCap. The never-starve floor of 1 is likewise granted only
-//     against genuinely free space.
-func grantE(cfg Config, reported, added, active, slaves, p, nfree int) int {
-	if nfree < 0 {
-		nfree = 0
-	}
-	alpha := 1.0
-	if added > 0 {
-		alpha = float64(reported) / float64(added)
-	} else if reported > 0 {
-		alpha = cfg.alphaMax()
-	}
-	if alpha > cfg.alphaMax() {
-		alpha = cfg.alphaMax()
-	}
-	delta := float64(slaves) / float64(max(1, active))
-	e := min(int(alpha*delta*float64(cfg.BatchSize)), nfree/p)
-	if e < 1 && nfree > 0 {
-		// Never starve an active generator entirely, or it could park
-		// with pairs still unreported — but only within free space.
-		e = 1
-	}
-	return e
-}
-
-func runMaster(set *seq.SetS, cfg Config, c *mp.Comm) (*Result, error) {
-	pr := newProbes(cfg.Metrics)
-	tw := cfg.Trace
-	if tw != nil {
-		tw.ProcessName(cfg.TracePID, cfg.traceProcess())
-		traceThreadName(tw, cfg.TracePID, 0, "master")
-	}
-	if err := cfg.ctxErr(); err != nil {
-		return nil, err
-	}
-	tStart := c.Elapsed()
-	owner, global, err := prologue(set, cfg, c)
-	if err != nil {
-		return nil, err
-	}
-	tPart := c.Elapsed() - tStart
-	pr.observeBuckets(global, suffix.Loads(global, owner, c.Size()-1))
-	if tw != nil {
-		tw.Span(cfg.TracePID, 0, "partition", "gst", tStart, tPart)
-	}
-
-	res := &Result{}
-	st := &res.Stats
-	if cfg.FreshGen > 0 {
-		var rebuilt int64
-		for b, h := range global {
-			if h > 0 && owner[b] >= 0 {
-				rebuilt++
-			}
-		}
-		st.Incremental.BucketsRebuilt = rebuilt
-		st.Incremental.BucketsReused = nonEmptyBuckets(global) - rebuilt
-	}
-	uf := unionfind.New(set.NumESTs())
-	seedMerges, err := seedClusters(uf, cfg.InitialLabels)
-	if err != nil {
-		return nil, err
-	}
-	st.Recovery.SeedMerges = seedMerges
-	if pr != nil {
-		pr.seedMerges.Set(seedMerges)
-	}
-	if seedMerges > 0 {
-		cfg.logger().Info("seeded prior partition", "merges", seedMerges)
-	}
-	ck := newCheckpointer(cfg, set.NumESTs(), st, pr, c.Elapsed)
-
-	slaves := c.Size() - 1
-	p := c.Size()
-	states := make([]masterState, c.Size())
-	// Every slave's unsolicited first report carries up to bootstrapGrant
-	// pairs; charge those grants up front so the WORKBUF bound holds from
-	// the first message on.
-	grantedTotal := 0
-	for r := 1; r <= slaves; r++ {
-		states[r].granted = bootstrapGrant(cfg, p)
-		grantedTotal += states[r].granted
-		states[r].owes = 1 // the unsolicited first report
-		states[r].shards = []shard{{part: int32(r - 1), idx: 0, of: 1}}
-	}
-
-	var workbuf []pairgen.Pair
-	head := 0
-	// requeued holds pairs reclaimed from dead slaves' in-flight batches.
-	// They drain ahead of WORKBUF and are deliberately not counted against
-	// its occupancy: they already passed admission control once, and the
-	// WorkBufHighWater ≤ WorkBufCap invariant is about admission.
-	var requeued []pairgen.Pair
-	// pendingShards are dead slaves' generator shards awaiting a survivor.
-	var pendingShards []shard
-	buffered := func() int { return len(workbuf) - head }
-	compact := func() {
-		if head > 0 && head >= len(workbuf)/2 {
-			workbuf = append(workbuf[:0], workbuf[head:]...)
-			head = 0
-		}
-	}
-
-	// popBatch extracts up to BatchSize pairs whose ESTs are still in
-	// different clusters (clusters may have merged since enqueue),
-	// requeued recovery pairs first.
-	popBatch := func() []pairgen.Pair {
-		var out []pairgen.Pair
-		keep := func(p pairgen.Pair) bool {
-			i, j := p.ESTs()
-			if cfg.SkipSameCluster && uf.Same(int32(i), int32(j)) {
-				st.PairsSkipped++
-				if pr != nil {
-					pr.skipped.Inc()
-				}
-				return false
-			}
-			return true
-		}
-		for len(requeued) > 0 && len(out) < cfg.BatchSize {
-			p := requeued[0]
-			requeued = requeued[1:]
-			if keep(p) {
-				out = append(out, p)
-			}
-		}
-		for head < len(workbuf) && len(out) < cfg.BatchSize {
-			p := workbuf[head]
-			head++
-			if keep(p) {
-				out = append(out, p)
-			}
-		}
-		compact()
-		return out
-	}
-
-	activeSlaves := func() int {
-		a := 0
-		for r := 1; r <= slaves; r++ {
-			if !states[r].dead && !states[r].generatorDone {
-				a++
-			}
-		}
-		return a
-	}
-
-	// Wire messages are encoded into one reusable scratch buffer: the mp
-	// ownership contract (copy-on-send) makes the reuse safe, so the
-	// master's steady state allocates nothing per interaction.
-	var wire []byte
-	sendWork := func(to int, w work) error {
-		wire = appendWork(wire[:0], w)
-		return c.Send(to, tagWork, wire)
-	}
-	// dispatch sends a non-stop work message and records the protocol
-	// consequences: one more report owed, and a non-empty batch joins the
-	// slave's in-flight FIFO until a report acknowledges it.
-	dispatch := func(to int, w work) error {
-		if err := sendWork(to, w); err != nil {
-			return err
-		}
-		if len(w.pairs) > 0 {
-			states[to].inflight = append(states[to].inflight, w.pairs)
-		}
-		states[to].owes++
-		states[to].idle = false
-		return nil
-	}
-
-	grantFor := func(reported, added int) int {
-		nfree := cfg.WorkBufCap - buffered() - grantedTotal
-		return grantE(cfg, reported, added, activeSlaves(), slaves, p, nfree)
-	}
-
-	// done: no work buffered anywhere, no shard awaiting a survivor, and
-	// every living slave is parked with no report outstanding.
-	done := func() bool {
-		if buffered() > 0 || len(requeued) > 0 || len(pendingShards) > 0 {
-			return false
-		}
-		for r := 1; r <= slaves; r++ {
-			if states[r].dead {
-				continue
-			}
-			if states[r].owes > 0 || !states[r].idle {
-				return false
-			}
-		}
-		return true
-	}
-
-	// Surplus work re-activates parked slaves.
-	reactivate := func() error {
-		for r := 1; r <= slaves && buffered()+len(requeued) > 0; r++ {
-			if states[r].dead || !states[r].idle {
-				continue
-			}
-			batch := popBatch()
-			if len(batch) == 0 {
-				break
-			}
-			if err := dispatch(r, work{pairs: batch}); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-
-	// handleDeath recovers from slave s failing mid-protocol: reclaim its
-	// outstanding grant, requeue its unacknowledged batches, and subdivide
-	// its generator shards among the survivors, who rebuild them locally
-	// and regenerate the remaining pairs. Regenerated pairs overlap work
-	// the dead slave already reported; the same-cluster filter and the
-	// idempotence of union-find merges absorb the duplicates, so the final
-	// clusters match a failure-free run.
-	handleDeath := func(s int) error {
-		states[s].dead = true
-		states[s].idle = false
-		states[s].owes = 0
-		reclaimed := int64(states[s].granted)
-		grantedTotal -= states[s].granted
-		states[s].granted = 0
-		var requeuedNow int64
-		for _, b := range states[s].inflight {
-			requeued = append(requeued, b...)
-			requeuedNow += int64(len(b))
-		}
-		states[s].inflight = nil
-		st.Recovery.RanksLost++
-		st.Recovery.GrantsReclaimed += reclaimed
-		st.Recovery.PairsRequeued += requeuedNow
-
-		var surv []int
-		for r := 1; r <= slaves; r++ {
-			if !states[r].dead {
-				surv = append(surv, r)
-			}
-		}
-		if len(surv) == 0 {
-			return fmt.Errorf("cluster: all %d slaves failed; cannot recover", slaves)
-		}
-		var reassigned int64
-		// A passive slave had generated and shipped every pair of its
-		// shards before dying — nothing left to regenerate.
-		if !states[s].generatorDone {
-			k := int32(len(surv))
-			for _, sh := range states[s].shards {
-				for j := int32(0); j < k; j++ {
-					pendingShards = append(pendingShards, shard{part: sh.part, idx: sh.idx + sh.of*j, of: sh.of * k})
-				}
-				reassigned += int64(k)
-			}
-			st.Recovery.ShardsReassigned += reassigned
-		}
-		states[s].shards = nil
-		if pr != nil {
-			pr.ranksLost.Inc()
-			pr.grantsReclaimed.Add(reclaimed)
-			pr.pairsRequeued.Add(requeuedNow)
-			pr.shardsReassigned.Add(reassigned)
-		}
-		cfg.logger().Warn("slave rank lost; recovering",
-			"rank", s, "survivors", len(surv), "grants_reclaimed", reclaimed,
-			"pairs_requeued", requeuedNow, "shards_reassigned", reassigned)
-		// Hand shards to parked survivors right away; busy ones collect
-		// theirs attached to the reply to their next report.
-		for _, r := range surv {
-			if len(pendingShards) == 0 {
-				break
-			}
-			if !states[r].idle || states[r].owes > 0 {
-				continue
-			}
-			sh := pendingShards[0]
-			pendingShards = pendingShards[1:]
-			states[r].shards = append(states[r].shards, sh)
-			states[r].generatorDone = false
-			e := grantFor(0, 0)
-			if err := dispatch(r, work{e: int32(e), recover: []shard{sh}}); err != nil {
-				return err
-			}
-			states[r].granted = e
-			grantedTotal += e
-		}
-		return reactivate()
-	}
-
-	// cumProcessed/cumAccepted mirror the slaves' counters from the
-	// results stream for checkpointing; the authoritative per-rank totals
-	// still arrive with the final phase reports.
-	var cumProcessed, cumAccepted int64
-	for {
-		// Cancellation poll, once per slave interaction. The master is the
-		// protocol's hub: returning the error here fails rank 0, which the
-		// fail-stop transport propagates to every slave blocked on it, so
-		// the whole parallel run unwinds without a stray goroutine left
-		// holding the session's string set.
-		if err := cfg.ctxErr(); err != nil {
-			return nil, err
-		}
-		var m mp.Msg
-		if cfg.SlaveTimeout > 0 {
-			m, err = c.RecvTimeout(mp.AnySource, tagReport, cfg.SlaveTimeout)
-			if errors.Is(err, mp.ErrTimeout) {
-				return nil, fmt.Errorf("cluster: no slave report within SlaveTimeout %v; a slave is wedged", cfg.SlaveTimeout)
-			}
-		} else {
-			m, err = c.Recv(mp.AnySource, tagReport)
-		}
-		if err != nil {
-			var rf *mp.RankFailedError
-			if !cfg.Recover || !errors.As(err, &rf) || rf.Rank < 1 || rf.Rank > slaves || states[rf.Rank].dead {
-				return nil, err
-			}
-			busy := c.Elapsed()
-			if err := handleDeath(rf.Rank); err != nil {
-				return nil, err
-			}
-			st.MasterBusy += c.Elapsed() - busy
-			if done() {
-				break
-			}
-			continue
-		}
-		busy := c.Elapsed()
-		s := m.From
-		states[s].owes--
-		rep, err := decodeReport(m.Data)
-		if err != nil {
-			return nil, err
-		}
-		states[s].generatorDone = rep.passive
-		states[s].hasNextWork = rep.hasNextWork
-		if rep.ackWork && len(states[s].inflight) > 0 {
-			states[s].inflight = states[s].inflight[1:]
-		}
-		// The grant this report answers is consumed, whether or not the
-		// slave used all of it.
-		grant := states[s].granted
-		grantedTotal -= grant
-		states[s].granted = 0
-		if len(rep.pairs) > grant {
-			// Defensive: a slave exceeding its grant would silently break
-			// the WORKBUF bound.
-			return nil, fmt.Errorf("cluster: slave %d reported %d pairs, exceeding its grant of %d", s, len(rep.pairs), grant)
-		}
-
-		for _, r := range rep.results {
-			if r.accepted {
-				cumAccepted++
-				if uf.Union(int32(r.estI), int32(r.estJ)) {
-					st.Merges++
-					if pr != nil {
-						pr.merges.Inc()
-					}
-				}
-			}
-		}
-		cumProcessed += int64(len(rep.results))
-		added := 0
-		for _, pair := range rep.pairs {
-			i, j := pair.ESTs()
-			if cfg.SkipSameCluster && uf.Same(int32(i), int32(j)) {
-				st.PairsSkipped++
-				if pr != nil {
-					pr.skipped.Inc()
-				}
-				continue
-			}
-			workbuf = append(workbuf, pair)
-			added++
-		}
-		if b := buffered(); b > st.WorkBufHighWater {
-			st.WorkBufHighWater = b
-		}
-		if pr != nil {
-			b := int64(buffered())
-			pr.workbuf.Set(b)
-			pr.workbufHW.SetMax(b)
-		}
-		if tw != nil {
-			tw.Counter(cfg.TracePID, "workbuf", c.Elapsed(), int64(buffered()))
-		}
-		if err := ck.maybe(uf, cumProcessed, cumAccepted, st.PairsSkipped, st.Merges, false); err != nil {
-			return nil, err
-		}
-
-		// Reply: W pairs from WORKBUF plus the next pair request E, and a
-		// pending recovery shard if one is waiting for a taker.
-		batch := popBatch()
-		var rec []shard
-		if len(pendingShards) > 0 {
-			rec = pendingShards[:1:1]
-			pendingShards = pendingShards[1:]
-			states[s].shards = append(states[s].shards, rec[0])
-			states[s].generatorDone = false
-		}
-		e := 0
-		if !states[s].generatorDone {
-			e = grantFor(len(rep.pairs), added)
-			if pr != nil && e > 0 {
-				pr.grantE.Observe(int64(e))
-			}
-		}
-
-		switch {
-		case len(batch) > 0 || e > 0 || len(rec) > 0:
-			if err := dispatch(s, work{pairs: batch, e: int32(e), recover: rec}); err != nil {
-				return nil, err
-			}
-			states[s].granted = e
-			grantedTotal += e
-		case rep.hasNextWork || !states[s].generatorDone:
-			// The slave either holds a batch whose results we still need,
-			// or is an active generator that got no grant because every
-			// free WORKBUF slot is pledged to peers. Reply empty in both
-			// cases: the slave reports back (keep-alive), and by then
-			// peer reports will have released grant space. Parking an
-			// active generator here would strand its unreported pairs.
-			if err := dispatch(s, work{}); err != nil {
-				return nil, err
-			}
-		default:
-			// Park the slave on the wait queue.
-			states[s].idle = true
-		}
-
-		if err := reactivate(); err != nil {
-			return nil, err
-		}
-		st.MasterBusy += c.Elapsed() - busy
-		if done() {
-			break
-		}
-	}
-
-	// Final snapshot: a resumed run starts from the completed partition.
-	if err := ck.maybe(uf, cumProcessed, cumAccepted, st.PairsSkipped, st.Merges, true); err != nil {
-		return nil, err
-	}
-
-	for r := 1; r <= slaves; r++ {
-		if states[r].dead {
-			continue
-		}
-		if err := sendWork(r, work{stop: true}); err != nil {
-			return nil, err
-		}
-	}
-
-	// Collect per-rank phase reports and reduce to the Table 3 rows. The
-	// collection is point-to-point (tagPhase) rather than a gather so dead
-	// ranks can be skipped; they appear as zeroed "lost" rows.
-	total := c.Elapsed() - tStart
-	cs := c.Stats()
-	st.MasterIdle = cs.RecvWait
-	mine := phaseReport{partitionNs: int64(tPart), totalNs: int64(total), busyNs: int64(st.MasterBusy)}
-	fillComm(&mine, cs)
-	st.PerRank = make([]RankStats, 0, c.Size())
-	addRow := func(r int, role string, ph phaseReport) {
-		st.Phases.Partition = maxDur(st.Phases.Partition, time.Duration(ph.partitionNs))
-		st.Phases.Construct = maxDur(st.Phases.Construct, time.Duration(ph.constructNs))
-		st.Phases.Sort = maxDur(st.Phases.Sort, time.Duration(ph.sortNs))
-		st.Phases.Align = maxDur(st.Phases.Align, time.Duration(ph.alignNs))
-		st.Phases.Total = maxDur(st.Phases.Total, time.Duration(ph.totalNs))
-		st.PairsGenerated += ph.generated
-		st.PairsProcessed += ph.processed
-		st.PairsAccepted += ph.accepted
-		st.Incremental.StaleSuppressed += ph.stale
-		st.PerRank = append(st.PerRank, RankStats{
-			Rank: r, Role: role,
-			Partition: time.Duration(ph.partitionNs),
-			Construct: time.Duration(ph.constructNs),
-			Sort:      time.Duration(ph.sortNs),
-			Align:     time.Duration(ph.alignNs),
-			Total:     time.Duration(ph.totalNs),
-			MsgsSent:  ph.msgsSent, BytesSent: ph.bytesSent,
-			MsgsRecv: ph.msgsRecv, BytesRecv: ph.bytesRecv,
-			RecvWait:       time.Duration(ph.recvWaitNs),
-			CollectiveOps:  ph.collOps,
-			CollectiveTime: time.Duration(ph.collTimeNs),
-			PairsGenerated: ph.generated,
-			PairsProcessed: ph.processed,
-			PairsAccepted:  ph.accepted,
-			Busy:           time.Duration(ph.busyNs),
-		})
-	}
-	addRow(0, "master", mine)
-	for r := 1; r <= slaves; r++ {
-		if states[r].dead {
-			st.PerRank = append(st.PerRank, RankStats{Rank: r, Role: "lost"})
-			continue
-		}
-		pm, err := c.Recv(r, tagPhase)
-		if err != nil {
-			var rf *mp.RankFailedError
-			if cfg.Recover && errors.As(err, &rf) {
-				// Died after its protocol work was complete; only its
-				// stats are lost.
-				st.PerRank = append(st.PerRank, RankStats{Rank: r, Role: "lost"})
-				continue
-			}
-			return nil, err
-		}
-		ph, err := decodePhase(pm.Data)
-		if err != nil {
-			return nil, err
-		}
-		addRow(r, "slave", ph)
-	}
-	for _, rs := range st.PerRank {
-		pr.recordComm(rs)
-	}
-	if cfg.FreshGen > 0 {
-		st.Incremental.FreshPairs = st.PairsGenerated
-		pr.recordIncremental(st.Incremental)
-	}
-
-	res.Labels = uf.Labels()
-	res.NumClusters = uf.Count()
-	return res, nil
-}
-
-// exchangeSuffixes is the redistribution step of §3.1: each slave scans its
-// own share of the strings, groups every suffix by its bucket's owner, and
-// ships the (bucket, string, position) triples to that owner. Each slave
-// ends up holding exactly the suffixes of its buckets while having scanned
-// only 1/(p-1) of the input.
-func exchangeSuffixes(set *seq.SetS, cfg Config, c *mp.Comm, owner []int32) (map[int][]suffix.SuffixRef, error) {
-	slaves := c.Size() - 1
-	me := c.Rank() - 1
-	lo, hi := shareRange(me, slaves, set.NumStrings())
-	perDest := make([][]uint32, slaves)
-	for id := lo; id < hi; id++ {
-		suffix.BucketEach(set.Str(id), cfg.Window, func(b int, pos int32) {
-			o := owner[b]
-			if o >= 0 {
-				perDest[o] = append(perDest[o], uint32(b), uint32(id), uint32(pos))
-			}
-		})
-	}
-	byBucket := make(map[int][]suffix.SuffixRef)
-	absorb := func(flat []uint32) {
-		for i := 0; i+2 < len(flat); i += 3 {
-			b := int(flat[i])
-			byBucket[b] = append(byBucket[b], suffix.SuffixRef{
-				SID: seq.StringID(flat[i+1]),
-				Pos: int32(flat[i+2]),
-			})
-		}
-	}
-	var wire []byte // reused across destinations; mp copies on send
-	for s := 0; s < slaves; s++ {
-		if s == me {
-			continue
-		}
-		wire = appendU32s(wire[:0], perDest[s])
-		if err := c.Send(s+1, tagSuffix, wire); err != nil {
-			return nil, err
-		}
-	}
-	// Absorb in fixed source order so bucket contents are deterministic.
-	for s := 0; s < slaves; s++ {
-		if s == me {
-			absorb(perDest[s])
-			continue
-		}
-		m, err := c.Recv(s+1, tagSuffix)
-		if err != nil {
-			return nil, err
-		}
-		flat, err := decodeU32s(m.Data)
-		if err != nil {
-			return nil, err
-		}
-		absorb(flat)
-	}
-	return byBucket, nil
-}
-
-func runSlave(set *seq.SetS, cfg Config, c *mp.Comm) error {
-	pr := newProbes(cfg.Metrics)
-	tw := cfg.Trace
-	traceThreadName(tw, cfg.TracePID, c.Rank(), "slave")
-	if err := cfg.ctxErr(); err != nil {
-		return err
-	}
-	tStart := c.Elapsed()
-	owner, _, err := prologue(set, cfg, c)
-	if err != nil {
-		return err
-	}
-	byBucket, err := exchangeSuffixes(set, cfg, c, owner)
-	if err != nil {
-		return err
-	}
-	tPart := c.Elapsed() - tStart
-	if tw != nil {
-		tw.Span(cfg.TracePID, c.Rank(), "partition", "gst", tStart, tPart)
-	}
-
-	t1 := c.Elapsed()
-	var forest []*suffix.Tree
-	if len(byBucket) > 0 {
-		forest, err = suffix.BuildForest(set, byBucket, cfg.Window)
-		if err != nil {
-			return err
-		}
-	}
-	tConstruct := c.Elapsed() - t1
-	if tw != nil {
-		tw.Span(cfg.TracePID, c.Rank(), "construct", "gst", t1, tConstruct)
-	}
-
-	t2 := c.Elapsed()
-	gen0, err := pairgen.NewFresh(set, forest, cfg.Psi, cfg.FreshGen)
-	if err != nil {
-		return err
-	}
-	gen0.Observe(pr.observer(c.Elapsed))
-	// The chain starts with this slave's own partition; recovery appends
-	// rebuilt dead-slave shards to it.
-	chain := &genChain{gens: []*pairgen.Generator{gen0}}
-	tSort := c.Elapsed() - t2
-	if tw != nil {
-		tw.Span(cfg.TracePID, c.Rank(), "sort", "pairgen", t2, tSort)
-	}
-
-	ext, err := align.NewExtender(cfg.Scoring, cfg.Band)
-	if err != nil {
-		return err
-	}
-
-	var alignTime time.Duration
-	var processed, accepted int64
-	alignBatch := func(pairs []pairgen.Pair) ([]alignResult, error) {
-		tA := c.Elapsed()
-		out, err := alignPairs(set, ext, cfg, pairs)
-		dA := c.Elapsed() - tA
-		alignTime += dA
-		processed += int64(len(pairs))
-		var acc int64
-		for _, r := range out {
-			if r.accepted {
-				acc++
-			}
-		}
-		accepted += acc
-		if pr != nil {
-			pr.processed.Add(int64(len(pairs)))
-			pr.accepted.Add(acc)
-		}
-		if tw != nil && len(pairs) > 0 {
-			tw.Span(cfg.TracePID, c.Rank(), "align", "cluster", tA, dA)
-		}
-		return out, err
-	}
-
-	// Reports are encoded into one reusable buffer; safe under the mp
-	// copy-on-send ownership contract.
-	var wire []byte
-	sendReport := func(rep report) error {
-		wire = appendReport(wire[:0], rep)
-		return c.Send(0, tagReport, wire)
-	}
-
-	// Bootstrap: three initial batches — align the first, report its
-	// results together with the third, keep the second as NEXTWORK. The
-	// unsolicited pairs are capped at the implicit bootstrap grant the
-	// master charged against the WORKBUF for this slave.
-	b1 := chain.Next(nil, cfg.BatchSize)
-	b2 := chain.Next(nil, cfg.BatchSize)
-	pairbuf := chain.Next(nil, bootstrapGrant(cfg, c.Size()))
-	results, err := alignBatch(b1)
-	if err != nil {
-		return err
-	}
-	next := b2
-	first := report{
-		results:     results,
-		pairs:       pairbuf,
-		passive:     !chain.Remaining(),
-		hasNextWork: len(next) > 0,
-	}
-	pairbuf = nil
-	if err := sendReport(first); err != nil {
-		return err
-	}
-
-	bufCap := cfg.pairBufCap()
-	nextFromMaster := false
-	for {
-		// Phase-boundary cancellation poll; the master polls too, so this
-		// only shortens how long a slave keeps aligning after the abort.
-		if err := cfg.ctxErr(); err != nil {
-			return err
-		}
-		// ackThis: the batch about to be aligned came from the master, so
-		// the report carrying its results retires it from the master's
-		// in-flight FIFO (bootstrap batches are self-generated and must
-		// not acknowledge anything).
-		ackThis := nextFromMaster
-		results, err = alignBatch(next)
-		if err != nil {
-			return err
-		}
-		next = nil
-		nextFromMaster = false
-
-		// Overlap waiting with pair generation (paper: the slave is
-		// never idle while the master prepares its reply).
-		for {
-			ok, err := c.Probe(0, tagWork)
-			if err != nil {
-				return err
-			}
-			if ok {
-				break
-			}
-			if !chain.Remaining() || len(pairbuf) >= bufCap {
-				break
-			}
-			chunk := min(cfg.GenChunk, bufCap-len(pairbuf))
-			pairbuf = chain.Next(pairbuf, chunk)
-		}
-		m, err := c.Recv(0, tagWork)
-		if err != nil {
-			return err
-		}
-		w, err := decodeWork(m.Data)
-		if err != nil {
-			return err
-		}
-		if w.stop {
-			break
-		}
-
-		// Rebuild any dead slave's shards assigned to us: every rank
-		// holds the full string set, so a survivor can rescan it, keep
-		// exactly the shard's buckets, and chain a fresh generator over
-		// them. Regenerated pairs may duplicate work the dead slave
-		// already reported; the master's same-cluster filter and the
-		// idempotence of merges absorb that.
-		for _, sh := range w.recover {
-			tR := c.Elapsed()
-			g, err := rebuildShard(set, cfg, owner, sh)
-			if err != nil {
-				return err
-			}
-			g.Observe(pr.observer(c.Elapsed))
-			chain.add(g)
-			dR := c.Elapsed() - tR
-			tConstruct += dR
-			if tw != nil {
-				tw.Span(cfg.TracePID, c.Rank(), "rebuild", "recovery", tR, dR)
-			}
-		}
-
-		// Top PAIRBUF up to the requested E.
-		for len(pairbuf) < int(w.e) && chain.Remaining() {
-			pairbuf = chain.Next(pairbuf, int(w.e)-len(pairbuf))
-		}
-		p := min(int(w.e), len(pairbuf))
-		outPairs := pairbuf[:p:p]
-		pairbuf = pairbuf[p:]
-		next = w.pairs
-		nextFromMaster = len(w.pairs) > 0
-
-		rep := report{
-			results:     results,
-			pairs:       outPairs,
-			passive:     !chain.Remaining() && len(pairbuf) == 0,
-			hasNextWork: len(next) > 0,
-			ackWork:     ackThis,
-		}
-		if err := sendReport(rep); err != nil {
-			return err
-		}
-	}
-
-	total := c.Elapsed() - tStart
-	mine := phaseReport{
-		partitionNs: int64(tPart),
-		constructNs: int64(tConstruct),
-		sortNs:      int64(tSort),
-		alignNs:     int64(alignTime),
-		totalNs:     int64(total),
-		generated:   chain.Generated(),
-		processed:   processed,
-		accepted:    accepted,
-		stale:       chain.Stale(),
-	}
-	fillComm(&mine, c.Stats())
-	// Point-to-point phase report: a collective here would wedge the
-	// survivors whenever a peer died mid-run.
-	return c.Send(0, tagPhase, encodePhase(mine))
-}
-
-// genChain concatenates pair generators: the slave's own partition plus any
-// dead-slave shards it rebuilt during recovery.
-type genChain struct {
-	gens []*pairgen.Generator
-}
-
-func (g *genChain) add(gen *pairgen.Generator) { g.gens = append(g.gens, gen) }
-
-// Next appends up to max more pairs to dst, draining the generators in
-// order.
-func (g *genChain) Next(dst []pairgen.Pair, max int) []pairgen.Pair {
-	want := len(dst) + max
-	for _, gen := range g.gens {
-		if len(dst) >= want {
-			break
-		}
-		dst = gen.Next(dst, want-len(dst))
-	}
-	return dst
-}
-
-// Remaining reports whether any chained generator can still produce pairs.
-func (g *genChain) Remaining() bool {
-	for _, gen := range g.gens {
-		if gen.Remaining() {
-			return true
-		}
-	}
-	return false
-}
-
-// Generated sums the pairs produced across the chain.
-func (g *genChain) Generated() int64 {
-	var n int64
-	for _, gen := range g.gens {
-		n += gen.Stats().Generated
-	}
-	return n
-}
-
-// Stale sums the old×old pairs the chain's generators suppressed in
-// fresh-only mode.
-func (g *genChain) Stale() int64 {
-	var n int64
-	for _, gen := range g.gens {
-		n += gen.Stats().DiscardedStale
-	}
-	return n
-}
-
-// rebuildShard reconstructs a dead slave's bucket shard on a survivor. The
-// rescan visits every string (ascending id, ascending position — the same
-// order exchangeSuffixes produces), so the rebuilt buckets and therefore the
-// regenerated pair stream are identical to what the dead slave held.
-func rebuildShard(set *seq.SetS, cfg Config, owner []int32, sh shard) (*pairgen.Generator, error) {
-	byBucket := make(map[int][]suffix.SuffixRef)
-	n := seq.StringID(set.NumStrings())
-	for id := seq.StringID(0); id < n; id++ {
-		suffix.BucketEach(set.Str(id), cfg.Window, func(b int, pos int32) {
-			if owner[b] == sh.part && int32(b)%sh.of == sh.idx {
-				byBucket[b] = append(byBucket[b], suffix.SuffixRef{SID: id, Pos: pos})
-			}
-		})
-	}
-	var forest []*suffix.Tree
-	if len(byBucket) > 0 {
-		var err error
-		forest, err = suffix.BuildForest(set, byBucket, cfg.Window)
-		if err != nil {
-			return nil, err
-		}
-	}
-	// Fresh-only mode must survive recovery: a rebuilt shard regenerates the
-	// dead slave's restricted pair stream, not the full one.
-	return pairgen.NewFresh(set, forest, cfg.Psi, cfg.FreshGen)
 }
 
 func maxDur(a, b time.Duration) time.Duration {

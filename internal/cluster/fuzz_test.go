@@ -29,6 +29,17 @@ func fuzzSeedReports() []report {
 			},
 			ackWork: true,
 		},
+		{hasDelta: true, deltaProcessed: 9},
+		{
+			hasDelta:       true,
+			deltaProcessed: 12,
+			deltaAccepted:  2,
+			delta: unionfind.MergeDelta{Edges: []unionfind.MergeEdge{
+				{A: 6, B: 1}, {A: 3, B: 2},
+			}},
+			pairs:   []pairgen.Pair{{S1: 2, S2: 5, Pos1: 0, Pos2: 4, MatchLen: 21}},
+			ackWork: true,
+		},
 	}
 }
 
@@ -84,7 +95,7 @@ func FuzzDecodePhase(f *testing.F) {
 	}
 	enc := encodePhase(p)
 	f.Add(enc)
-	f.Add(enc[:len(enc)-8]) // truncated: one word short
+	f.Add(enc[:len(enc)-8])                          // truncated: one word short
 	f.Add(append(append([]byte{}, enc...), 1, 2, 3)) // trailing bytes
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, b []byte) {
@@ -136,9 +147,9 @@ func fuzzCheckpoint() *Checkpoint {
 func FuzzDecodeCheckpoint(f *testing.F) {
 	enc := fuzzCheckpoint().encode()
 	f.Add(enc)
-	f.Add(enc[:len(enc)-5])                          // truncated
-	f.Add(append(append([]byte{}, enc...), 0xFF))    // trailing byte breaks the CRC
-	f.Add(append([]byte("NOTCKPT!"), enc[8:]...))    // bad magic
+	f.Add(enc[:len(enc)-5])                       // truncated
+	f.Add(append(append([]byte{}, enc...), 0xFF)) // trailing byte breaks the CRC
+	f.Add(append([]byte("NOTCKPT!"), enc[8:]...)) // bad magic
 	f.Fuzz(func(t *testing.T, b []byte) {
 		ck, err := decodeCheckpoint(b)
 		if err != nil {

@@ -1,0 +1,241 @@
+package cluster
+
+// Equivalence of the sharded merge protocol (Config.MergeShards >= 1) with
+// the legacy single-master path: the final partition is the connected
+// components of the accepted-pair graph; acceptance is a property of the two
+// sequences alone, and pairs a filter skips are already-connected, so the
+// components — and hence the labels — cannot depend on the merge protocol,
+// the shard count K, or the engine. The counters legitimately differ
+// (deferred merges skip fewer pairs), so only partition-shaped facts are
+// compared.
+//
+// The CI shard-equivalence job runs this matrix per K under -race with
+// PACE_MERGE_SHARDS pinning the sharded leg.
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"pace/internal/mp"
+	"pace/internal/seq"
+)
+
+// shardKs returns the shard counts to test: PACE_MERGE_SHARDS pins one
+// (the CI matrix), otherwise a local spread.
+func shardKs(t *testing.T) []int {
+	if v := os.Getenv("PACE_MERGE_SHARDS"); v != "" {
+		k, err := strconv.Atoi(v)
+		if err != nil || k < 1 {
+			t.Fatalf("PACE_MERGE_SHARDS=%q: want a positive integer", v)
+		}
+		return []int{k}
+	}
+	return []int{1, 4, 16}
+}
+
+func TestShardEquivalence(t *testing.T) {
+	b := benchSet(t, 100, 6, 7)
+	base := DefaultConfig(1)
+	base.Window, base.Psi = 6, 18
+
+	// Reference: the legacy single-master sequential run.
+	ref, err := Run(b.ESTs, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refLabels := normalizeLabels(ref.Labels)
+
+	check := func(t *testing.T, res *Result, k int, parallel bool) {
+		t.Helper()
+		got := normalizeLabels(res.Labels)
+		if len(got) != len(refLabels) {
+			t.Fatalf("label count %d vs %d", len(got), len(refLabels))
+		}
+		diff := 0
+		for i := range got {
+			if got[i] != refLabels[i] {
+				diff++
+			}
+		}
+		if diff != 0 {
+			t.Errorf("partition differs from single-master at %d of %d ESTs", diff, len(got))
+		}
+		if res.NumClusters != ref.NumClusters {
+			t.Errorf("clusters = %d, single-master = %d", res.NumClusters, ref.NumClusters)
+		}
+		if rs := res.Stats.Reconcile; rs.Shards != k {
+			t.Errorf("Reconcile.Shards = %d, want %d", rs.Shards, k)
+		} else {
+			if rs.Applies == 0 || rs.DeltaEdges == 0 {
+				t.Errorf("sharded run recorded no reconcile activity: %+v", rs)
+			}
+			// Empty deltas apply in zero phases, so Phases bounds only
+			// through the per-apply maximum.
+			if rs.MaxPhases < 1 || rs.Phases < rs.MaxPhases {
+				t.Errorf("phase counters inconsistent: total %d, max %d", rs.Phases, rs.MaxPhases)
+			}
+			if k == 1 && rs.CrossShard != 0 {
+				t.Errorf("K=1 forwarded %d tasks across shards", rs.CrossShard)
+			}
+		}
+		if parallel {
+			// The master must see delta traffic, not per-pair verdicts,
+			// and report the honest idle breakdown.
+			st := res.Stats
+			if st.MasterIdle != st.MasterRecvWait+st.MasterReconcileWait {
+				t.Errorf("MasterIdle %v != recv %v + reconcile %v",
+					st.MasterIdle, st.MasterRecvWait, st.MasterReconcileWait)
+			}
+			var edges int64
+			for _, r := range st.PerRank {
+				if r.Role == "slave" {
+					edges += r.DeltaEdges
+				}
+			}
+			if edges != st.Reconcile.DeltaEdges {
+				t.Errorf("slaves shipped %d delta edges, master applied %d", edges, st.Reconcile.DeltaEdges)
+			}
+		}
+	}
+
+	for _, k := range shardKs(t) {
+		t.Run(fmt.Sprintf("K%d", k), func(t *testing.T) {
+			seq := base
+			seq.MergeShards = k
+			res, err := Run(b.ESTs, seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Run("seq", func(t *testing.T) { check(t, res, k, false) })
+
+			for _, mpCfg := range []mp.Config{
+				mp.DefaultSimConfig(4),
+				{Procs: 4, Mode: mp.ModeReal},
+			} {
+				mode := "real"
+				if mpCfg.Mode == mp.ModeSim {
+					mode = "sim"
+				}
+				t.Run(fmt.Sprintf("p4_%s", mode), func(t *testing.T) {
+					cfg := base
+					cfg.MergeShards = k
+					cfg.MP = mpCfg
+					res, err := Run(b.ESTs, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					check(t, res, k, true)
+					hw := res.Stats.WorkBufHighWater
+					if hw <= 0 || hw > cfg.WorkBufCap {
+						t.Errorf("WorkBufHighWater %d outside (0, %d]", hw, cfg.WorkBufCap)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestShardEquivalenceIncremental runs the PR 4 incremental split (cached
+// prefix run, then a fresh-only run seeded with the prefix labels) entirely
+// in sharded merge mode: the label seeding path (seedClusters) and the
+// deferred batch-apply path must compose with cache reuse to reproduce the
+// from-scratch legacy partition.
+func TestShardEquivalenceIncremental(t *testing.T) {
+	b := benchSet(t, 60, 4, 13)
+	legacy := DefaultConfig(1)
+	legacy.Window, legacy.Psi = 6, 18
+
+	full, err := Run(b.ESTs, legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := normalizeLabels(full.Labels)
+
+	cfg := legacy
+	cfg.MergeShards = 4
+
+	cut := len(b.ESTs) - 2
+	set, err := seq.NewSetS(b.ESTs[:cut])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewBucketCache()
+
+	c1 := cfg
+	c1.Cache = cache
+	r1, err := RunSet(set, c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gen, err := set.Append(b.ESTs[cut:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := cfg
+	c2.Cache = cache
+	c2.FreshGen = gen
+	c2.InitialLabels = r1.Labels
+	r2, err := RunSet(set, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := normalizeLabels(r2.Labels)
+	if len(got) != len(want) {
+		t.Fatalf("label count %d != %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("sharded incremental partition differs from from-scratch legacy at EST %d", i)
+		}
+	}
+	if r2.NumClusters != full.NumClusters {
+		t.Fatalf("clusters = %d, from-scratch = %d", r2.NumClusters, full.NumClusters)
+	}
+	if r2.Stats.Reconcile.Shards != 4 {
+		t.Errorf("Reconcile.Shards = %d, want 4", r2.Stats.Reconcile.Shards)
+	}
+}
+
+// TestShardEquivalenceLargeP proves the label contract holds far past the
+// paper's p = 64: deterministic-sim runs at p = 256 and p = 1024 with K = 16
+// must reproduce the single-master sequential partition exactly.
+func TestShardEquivalenceLargeP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("p=1024 sim run in -short mode")
+	}
+	b := benchSet(t, 120, 6, 9)
+	base := DefaultConfig(1)
+	base.Window, base.Psi = 6, 18
+
+	ref, err := Run(b.ESTs, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refLabels := normalizeLabels(ref.Labels)
+
+	for _, p := range []int{256, 1024} {
+		t.Run(fmt.Sprintf("p%d", p), func(t *testing.T) {
+			cfg := base
+			cfg.MergeShards = 16
+			cfg.MP = mp.DefaultSimConfig(p)
+			cfg.MP.MeasureCompute = false // deterministic virtual clock
+			res, err := Run(b.ESTs, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := normalizeLabels(res.Labels)
+			for i := range got {
+				if got[i] != refLabels[i] {
+					t.Fatalf("partition differs from single-master at EST %d (p=%d)", i, p)
+				}
+			}
+			if res.NumClusters != ref.NumClusters {
+				t.Fatalf("clusters = %d, single-master = %d", res.NumClusters, ref.NumClusters)
+			}
+		})
+	}
+}

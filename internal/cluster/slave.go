@@ -1,0 +1,391 @@
+package cluster
+
+import (
+	"time"
+
+	"pace/internal/align"
+	"pace/internal/mp"
+	"pace/internal/pairgen"
+	"pace/internal/seq"
+	"pace/internal/suffix"
+)
+
+// The slave ranks (paper §3.1, §3.3): each builds the GST subtrees of its
+// bucket share, generates promising pairs on demand in decreasing order of
+// maximal common substring length, and aligns the batches the master
+// dispatches — overlapping generation with the wait for the master's reply.
+// Under the sharded merge protocol a slave additionally filters its accepted
+// pairs through a local union-find (merge.go's deltaLog) and ships spanning
+// edges instead of per-pair verdicts.
+
+// exchangeSuffixes is the redistribution step of §3.1: each slave scans its
+// own share of the strings, groups every suffix by its bucket's owner, and
+// ships the (bucket, string, position) triples to that owner. Each slave
+// ends up holding exactly the suffixes of its buckets while having scanned
+// only 1/(p-1) of the input.
+func exchangeSuffixes(set *seq.SetS, cfg Config, c *mp.Comm, owner []int32) (map[int][]suffix.SuffixRef, error) {
+	slaves := c.Size() - 1
+	me := c.Rank() - 1
+	lo, hi := shareRange(me, slaves, set.NumStrings())
+	perDest := make([][]uint32, slaves)
+	for id := lo; id < hi; id++ {
+		suffix.BucketEach(set.Str(id), cfg.Window, func(b int, pos int32) {
+			o := owner[b]
+			if o >= 0 {
+				perDest[o] = append(perDest[o], uint32(b), uint32(id), uint32(pos))
+			}
+		})
+	}
+	byBucket := make(map[int][]suffix.SuffixRef)
+	absorb := func(flat []uint32) {
+		for i := 0; i+2 < len(flat); i += 3 {
+			b := int(flat[i])
+			byBucket[b] = append(byBucket[b], suffix.SuffixRef{
+				SID: seq.StringID(flat[i+1]),
+				Pos: int32(flat[i+2]),
+			})
+		}
+	}
+	var wire []byte // reused across destinations; mp copies on send
+	for s := 0; s < slaves; s++ {
+		if s == me {
+			continue
+		}
+		wire = appendU32s(wire[:0], perDest[s])
+		if err := c.Send(s+1, tagSuffix, wire); err != nil {
+			return nil, err
+		}
+	}
+	// Absorb in fixed source order so bucket contents are deterministic.
+	for s := 0; s < slaves; s++ {
+		if s == me {
+			absorb(perDest[s])
+			continue
+		}
+		m, err := c.Recv(s+1, tagSuffix)
+		if err != nil {
+			return nil, err
+		}
+		flat, err := decodeU32s(m.Data)
+		if err != nil {
+			return nil, err
+		}
+		absorb(flat)
+	}
+	return byBucket, nil
+}
+
+func runSlave(set *seq.SetS, cfg Config, c *mp.Comm) error {
+	pr := newProbes(cfg.Metrics)
+	tw := cfg.Trace
+	traceThreadName(tw, cfg.TracePID, c.Rank(), "slave")
+	if err := cfg.ctxErr(); err != nil {
+		return err
+	}
+	tStart := c.Elapsed()
+	owner, _, err := prologue(set, cfg, c)
+	if err != nil {
+		return err
+	}
+	byBucket, err := exchangeSuffixes(set, cfg, c, owner)
+	if err != nil {
+		return err
+	}
+	tPart := c.Elapsed() - tStart
+	if tw != nil {
+		tw.Span(cfg.TracePID, c.Rank(), "partition", "gst", tStart, tPart)
+	}
+
+	t1 := c.Elapsed()
+	var forest []*suffix.Tree
+	if len(byBucket) > 0 {
+		forest, err = suffix.BuildForest(set, byBucket, cfg.Window)
+		if err != nil {
+			return err
+		}
+	}
+	tConstruct := c.Elapsed() - t1
+	if tw != nil {
+		tw.Span(cfg.TracePID, c.Rank(), "construct", "gst", t1, tConstruct)
+	}
+
+	t2 := c.Elapsed()
+	gen0, err := pairgen.NewFresh(set, forest, cfg.Psi, cfg.FreshGen)
+	if err != nil {
+		return err
+	}
+	gen0.Observe(pr.observer(c.Elapsed))
+	// The chain starts with this slave's own partition; recovery appends
+	// rebuilt dead-slave shards to it.
+	chain := &genChain{gens: []*pairgen.Generator{gen0}}
+	tSort := c.Elapsed() - t2
+	if tw != nil {
+		tw.Span(cfg.TracePID, c.Rank(), "sort", "pairgen", t2, tSort)
+	}
+
+	ext, err := align.NewExtender(cfg.Scoring, cfg.Band)
+	if err != nil {
+		return err
+	}
+
+	var alignTime time.Duration
+	var processed, accepted int64
+	alignBatch := func(pairs []pairgen.Pair) ([]alignResult, error) {
+		tA := c.Elapsed()
+		out, err := alignPairs(set, ext, cfg, pairs)
+		dA := c.Elapsed() - tA
+		alignTime += dA
+		processed += int64(len(pairs))
+		var acc int64
+		for _, r := range out {
+			if r.accepted {
+				acc++
+			}
+		}
+		accepted += acc
+		if pr != nil {
+			pr.processed.Add(int64(len(pairs)))
+			pr.accepted.Add(acc)
+		}
+		if tw != nil && len(pairs) > 0 {
+			tw.Span(cfg.TracePID, c.Rank(), "align", "cluster", tA, dA)
+		}
+		return out, err
+	}
+
+	// Under the delta protocol, verdicts fold into the local merge log and
+	// reports ship only the spanning edges; makeReport centralizes the
+	// per-protocol report assembly.
+	var dl *deltaLog
+	if cfg.MergeShards > 0 {
+		dl = newDeltaLog(set.NumESTs())
+	}
+	var deltaShipped int64
+	makeReport := func(results []alignResult, rep report) report {
+		if dl == nil {
+			rep.results = results
+			return rep
+		}
+		rep.hasDelta = true
+		rep.deltaProcessed = int64(len(results))
+		rep.deltaAccepted = dl.absorb(results)
+		rep.delta.Edges = dl.take()
+		deltaShipped += int64(len(rep.delta.Edges))
+		return rep
+	}
+
+	// Reports are encoded into one reusable buffer; safe under the mp
+	// copy-on-send ownership contract.
+	var wire []byte
+	sendReport := func(rep report) error {
+		wire = appendReport(wire[:0], rep)
+		return c.Send(0, tagReport, wire)
+	}
+
+	// Bootstrap: three initial batches — align the first, report its
+	// results together with the third, keep the second as NEXTWORK. The
+	// unsolicited pairs are capped at the implicit bootstrap grant the
+	// master charged against the WORKBUF for this slave.
+	b1 := chain.Next(nil, cfg.BatchSize)
+	b2 := chain.Next(nil, cfg.BatchSize)
+	pairbuf := chain.Next(nil, bootstrapGrant(cfg, c.Size()))
+	results, err := alignBatch(b1)
+	if err != nil {
+		return err
+	}
+	next := b2
+	first := makeReport(results, report{
+		pairs:       pairbuf,
+		passive:     !chain.Remaining(),
+		hasNextWork: len(next) > 0,
+	})
+	pairbuf = nil
+	if err := sendReport(first); err != nil {
+		return err
+	}
+
+	bufCap := cfg.pairBufCap()
+	nextFromMaster := false
+	for {
+		// Phase-boundary cancellation poll; the master polls too, so this
+		// only shortens how long a slave keeps aligning after the abort.
+		if err := cfg.ctxErr(); err != nil {
+			return err
+		}
+		// ackThis: the batch about to be aligned came from the master, so
+		// the report carrying its results retires it from the master's
+		// in-flight FIFO (bootstrap batches are self-generated and must
+		// not acknowledge anything).
+		ackThis := nextFromMaster
+		results, err = alignBatch(next)
+		if err != nil {
+			return err
+		}
+		next = nil
+		nextFromMaster = false
+
+		// Overlap waiting with pair generation (paper: the slave is
+		// never idle while the master prepares its reply).
+		for {
+			ok, err := c.Probe(0, tagWork)
+			if err != nil {
+				return err
+			}
+			if ok {
+				break
+			}
+			if !chain.Remaining() || len(pairbuf) >= bufCap {
+				break
+			}
+			chunk := min(cfg.GenChunk, bufCap-len(pairbuf))
+			pairbuf = chain.Next(pairbuf, chunk)
+		}
+		m, err := c.Recv(0, tagWork)
+		if err != nil {
+			return err
+		}
+		w, err := decodeWork(m.Data)
+		if err != nil {
+			return err
+		}
+		if w.stop {
+			break
+		}
+
+		// Rebuild any dead slave's shards assigned to us: every rank
+		// holds the full string set, so a survivor can rescan it, keep
+		// exactly the shard's buckets, and chain a fresh generator over
+		// them. Regenerated pairs may duplicate work the dead slave
+		// already reported; the master's same-cluster filter and the
+		// idempotence of merges absorb that.
+		for _, sh := range w.recover {
+			tR := c.Elapsed()
+			g, err := rebuildShard(set, cfg, owner, sh)
+			if err != nil {
+				return err
+			}
+			g.Observe(pr.observer(c.Elapsed))
+			chain.add(g)
+			dR := c.Elapsed() - tR
+			tConstruct += dR
+			if tw != nil {
+				tw.Span(cfg.TracePID, c.Rank(), "rebuild", "recovery", tR, dR)
+			}
+		}
+
+		// Top PAIRBUF up to the requested E.
+		for len(pairbuf) < int(w.e) && chain.Remaining() {
+			pairbuf = chain.Next(pairbuf, int(w.e)-len(pairbuf))
+		}
+		p := min(int(w.e), len(pairbuf))
+		outPairs := pairbuf[:p:p]
+		pairbuf = pairbuf[p:]
+		next = w.pairs
+		nextFromMaster = len(w.pairs) > 0
+
+		rep := makeReport(results, report{
+			pairs:       outPairs,
+			passive:     !chain.Remaining() && len(pairbuf) == 0,
+			hasNextWork: len(next) > 0,
+			ackWork:     ackThis,
+		})
+		if err := sendReport(rep); err != nil {
+			return err
+		}
+	}
+
+	total := c.Elapsed() - tStart
+	mine := phaseReport{
+		partitionNs: int64(tPart),
+		constructNs: int64(tConstruct),
+		sortNs:      int64(tSort),
+		alignNs:     int64(alignTime),
+		totalNs:     int64(total),
+		generated:   chain.Generated(),
+		processed:   processed,
+		accepted:    accepted,
+		stale:       chain.Stale(),
+		deltaEdges:  deltaShipped,
+	}
+	fillComm(&mine, c.Stats())
+	// Point-to-point phase report: a collective here would wedge the
+	// survivors whenever a peer died mid-run.
+	return c.Send(0, tagPhase, encodePhase(mine))
+}
+
+// genChain concatenates pair generators: the slave's own partition plus any
+// dead-slave shards it rebuilt during recovery.
+type genChain struct {
+	gens []*pairgen.Generator
+}
+
+func (g *genChain) add(gen *pairgen.Generator) { g.gens = append(g.gens, gen) }
+
+// Next appends up to max more pairs to dst, draining the generators in
+// order.
+func (g *genChain) Next(dst []pairgen.Pair, max int) []pairgen.Pair {
+	want := len(dst) + max
+	for _, gen := range g.gens {
+		if len(dst) >= want {
+			break
+		}
+		dst = gen.Next(dst, want-len(dst))
+	}
+	return dst
+}
+
+// Remaining reports whether any chained generator can still produce pairs.
+func (g *genChain) Remaining() bool {
+	for _, gen := range g.gens {
+		if gen.Remaining() {
+			return true
+		}
+	}
+	return false
+}
+
+// Generated sums the pairs produced across the chain.
+func (g *genChain) Generated() int64 {
+	var n int64
+	for _, gen := range g.gens {
+		n += gen.Stats().Generated
+	}
+	return n
+}
+
+// Stale sums the old×old pairs the chain's generators suppressed in
+// fresh-only mode.
+func (g *genChain) Stale() int64 {
+	var n int64
+	for _, gen := range g.gens {
+		n += gen.Stats().DiscardedStale
+	}
+	return n
+}
+
+// rebuildShard reconstructs a dead slave's bucket shard on a survivor. The
+// rescan visits every string (ascending id, ascending position — the same
+// order exchangeSuffixes produces), so the rebuilt buckets and therefore the
+// regenerated pair stream are identical to what the dead slave held.
+func rebuildShard(set *seq.SetS, cfg Config, owner []int32, sh shard) (*pairgen.Generator, error) {
+	byBucket := make(map[int][]suffix.SuffixRef)
+	n := seq.StringID(set.NumStrings())
+	for id := seq.StringID(0); id < n; id++ {
+		suffix.BucketEach(set.Str(id), cfg.Window, func(b int, pos int32) {
+			if owner[b] == sh.part && int32(b)%sh.of == sh.idx {
+				byBucket[b] = append(byBucket[b], suffix.SuffixRef{SID: id, Pos: pos})
+			}
+		})
+	}
+	var forest []*suffix.Tree
+	if len(byBucket) > 0 {
+		var err error
+		forest, err = suffix.BuildForest(set, byBucket, cfg.Window)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Fresh-only mode must survive recovery: a rebuilt shard regenerates the
+	// dead slave's restricted pair stream, not the full one.
+	return pairgen.NewFresh(set, forest, cfg.Psi, cfg.FreshGen)
+}

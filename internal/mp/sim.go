@@ -22,13 +22,19 @@ import (
 // meaningful even on a single-core host precisely because only one rank ever
 // runs at a time.
 type simTransport struct {
-	cfg  Config
-	mu   sync.Mutex
-	cond *sync.Cond
+	cfg Config
+	mu  sync.Mutex
 
 	ranks   []*simRank
 	running int // rank currently computing, or -1
 	dead    error
+}
+
+// wakeAll releases every parked rank (machine-wide death). Caller holds mu.
+func (t *simTransport) wakeAll() {
+	for _, rk := range t.ranks {
+		rk.cond.Signal()
+	}
 }
 
 const (
@@ -44,6 +50,7 @@ type simMsg struct {
 
 type simRank struct {
 	id        int
+	cond      *sync.Cond // signaled when this rank is chosen (or the machine dies)
 	clock     time.Duration
 	phase     int
 	resumedAt time.Time
@@ -67,6 +74,16 @@ type simRank struct {
 	failedAt time.Duration
 	notified []bool
 
+	// Scheduling-key cache. A parked rank's keyOf value can only change
+	// when the rank re-parks with a new descriptor, a message lands in its
+	// mailbox, or some rank fails (all of which clear keyValid) — its own
+	// clock is frozen while parked. Without the cache, schedule() rescans
+	// every mailbox on every communication call, which is O(p·mailbox) per
+	// op and dominates sim runs beyond a few hundred ranks.
+	keyValid  bool
+	cachedKey time.Duration
+	cachedOK  bool
+
 	mailbox []simMsg
 	traffic CommStats
 }
@@ -76,10 +93,13 @@ func newSimTransport(cfg Config) *simTransport {
 		cfg.ComputeScale = 1
 	}
 	t := &simTransport{cfg: cfg, running: -1}
-	t.cond = sync.NewCond(&t.mu)
 	t.ranks = make([]*simRank, cfg.Procs)
 	for i := range t.ranks {
 		t.ranks[i] = &simRank{id: i, phase: phaseArena, notified: make([]bool, cfg.Procs)}
+		// Per-rank wakeups: a shared Cond would broadcast every release to
+		// all p parked goroutines (a thundering herd that dominates large-p
+		// runs); signaling only the chosen rank wakes exactly one.
+		t.ranks[i].cond = sync.NewCond(&t.mu)
 	}
 	return t
 }
@@ -205,7 +225,11 @@ func (t *simTransport) schedule() {
 		if rk.chosen {
 			return // someone is already released and about to run
 		}
-		key, ok := t.keyOf(rk)
+		if !rk.keyValid {
+			rk.cachedKey, rk.cachedOK = t.keyOf(rk)
+			rk.keyValid = true
+		}
+		key, ok := rk.cachedKey, rk.cachedOK
 		if !ok {
 			continue
 		}
@@ -216,12 +240,12 @@ func (t *simTransport) schedule() {
 	if best == -1 {
 		if arena > 0 {
 			t.dead = ErrDeadlock
-			t.cond.Broadcast()
+			t.wakeAll()
 		}
 		return
 	}
 	t.ranks[best].chosen = true
-	t.cond.Broadcast()
+	t.ranks[best].cond.Signal()
 }
 
 // enter parks rank r in the arena with the given operation descriptor and
@@ -244,12 +268,13 @@ func (t *simTransport) enter(r int, isRecv bool, from, tag int, timeout time.Dur
 		rk.deadline = rk.clock + timeout
 	}
 	rk.chosen = false
+	rk.keyValid = false
 	if t.running == r {
 		t.running = -1
 	}
 	t.schedule()
 	for !rk.chosen && t.dead == nil {
-		t.cond.Wait()
+		rk.cond.Wait()
 	}
 	if t.dead != nil {
 		t.mu.Unlock()
@@ -277,10 +302,11 @@ func (t *simTransport) begin(r int) error {
 	rk.isRecv = false
 	rk.hasDeadline = false
 	rk.chosen = false
+	rk.keyValid = false
 	rk.phase = phaseArena
 	t.schedule()
 	for !rk.chosen && t.dead == nil {
-		t.cond.Wait()
+		rk.cond.Wait()
 	}
 	if t.dead != nil {
 		t.mu.Unlock()
@@ -300,6 +326,7 @@ func (t *simTransport) send(from, to, tag int, data []byte) error {
 		Msg:     Msg{From: from, To: to, Tag: tag, Data: data},
 		deliver: deliver,
 	})
+	t.ranks[to].keyValid = false
 	rk.clock += t.cfg.SendOverhead
 	rk.traffic.addSent(len(data))
 	t.leave(from)
@@ -434,6 +461,10 @@ func (t *simTransport) fail(rank int, err error) {
 			at += time.Duration(float64(time.Since(rk.resumedAt)) * t.cfg.ComputeScale)
 		}
 		rk.failedAt = at
+		// Failure notifications feed every parked receiver's key.
+		for _, peer := range t.ranks {
+			peer.keyValid = false
+		}
 	}
 	t.mu.Unlock()
 }

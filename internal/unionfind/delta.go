@@ -1,0 +1,90 @@
+package unionfind
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MergeDelta is a slave's local merge log for one report interval: the
+// spanning edges of the pairs it accepted, pre-filtered through its local
+// union-find so redundant pairs (already connected locally) never hit the
+// wire. Applying a delta to any structure that has already absorbed a
+// superset of the slave's earlier edges is idempotent — re-delivered edges
+// resolve to already-connected roots — which is what lets recovery replay a
+// dead slave's work without double-counting merges.
+//
+// Binary layout (version 1, little-endian):
+//
+//	magic "UFD1" | u32 nEdges | nEdges × (u32 a, u32 b)
+//
+// Edge node ids are int32 EST indices; the high bit is reserved (ids are
+// non-negative), and self-edges are rejected on decode — a well-formed
+// producer never emits either.
+var deltaMagic = [4]byte{'U', 'F', 'D', '1'}
+
+// MergeEdge is one accepted pair that joined two previously-disjoint local
+// sets on the producing slave.
+type MergeEdge struct {
+	A, B int32
+}
+
+// MergeDelta is an ordered batch of merge edges.
+type MergeDelta struct {
+	Edges []MergeEdge
+}
+
+// AppendBinary appends the serialized delta to dst and returns it.
+func (d *MergeDelta) AppendBinary(dst []byte) []byte {
+	dst = append(dst, deltaMagic[:]...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(d.Edges)))
+	for _, e := range d.Edges {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(e.A))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(e.B))
+	}
+	return dst
+}
+
+// MarshalBinary serializes the delta.
+func (d *MergeDelta) MarshalBinary() ([]byte, error) {
+	return d.AppendBinary(make([]byte, 0, 8+8*len(d.Edges))), nil
+}
+
+// UnmarshalBinary replaces d's edges with the serialized delta. Corrupted or
+// truncated input — including trailing bytes past the declared edge count —
+// returns an error wrapping ErrCorrupt with the failing offset and leaves d
+// untouched; it never panics.
+func (d *MergeDelta) UnmarshalBinary(data []byte) error {
+	if len(data) < 8 {
+		return fmt.Errorf("%w: %d bytes, want >= 8", ErrCorrupt, len(data))
+	}
+	if [4]byte(data[:4]) != deltaMagic {
+		return fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[:4])
+	}
+	n := int(binary.LittleEndian.Uint32(data[4:8]))
+	if want := 8 + 8*n; len(data) != want {
+		if len(data) < want {
+			return fmt.Errorf("%w: truncated at offset %d for %d edges, want %d bytes", ErrCorrupt, len(data), n, want)
+		}
+		return fmt.Errorf("%w: %d trailing bytes at offset %d for %d edges", ErrCorrupt, len(data)-want, want, n)
+	}
+	// An empty delta decodes to nil, so decode(encode(d)) is DeepEqual to d
+	// for the zero value too.
+	var edges []MergeEdge
+	if n > 0 {
+		edges = make([]MergeEdge, n)
+	}
+	for i := range edges {
+		off := 8 + 8*i
+		a := int32(binary.LittleEndian.Uint32(data[off:]))
+		b := int32(binary.LittleEndian.Uint32(data[off+4:]))
+		if a < 0 || b < 0 {
+			return fmt.Errorf("%w: negative edge id at offset %d", ErrCorrupt, off)
+		}
+		if a == b {
+			return fmt.Errorf("%w: self-edge %d at offset %d", ErrCorrupt, a, off)
+		}
+		edges[i] = MergeEdge{A: a, B: b}
+	}
+	d.Edges = edges
+	return nil
+}

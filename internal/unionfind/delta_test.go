@@ -1,0 +1,120 @@
+package unionfind
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// deltaSeeds is the pinned corpus shared by FuzzMergeDelta and its plain
+// go-test mirror, so CI without -fuzz still exercises every seed.
+func deltaSeeds() [][]byte {
+	empty := MergeDelta{}
+	one := MergeDelta{Edges: []MergeEdge{{0, 1}}}
+	many := MergeDelta{Edges: []MergeEdge{{4, 2}, {7, 100}, {100, 4}, {3, 2}}}
+	var seeds [][]byte
+	for _, d := range []*MergeDelta{&empty, &one, &many} {
+		enc, _ := d.MarshalBinary()
+		seeds = append(seeds, enc)
+	}
+	enc, _ := many.MarshalBinary()
+	seeds = append(seeds,
+		enc[:len(enc)-3],                       // truncated mid-edge
+		append(append([]byte{}, enc...), 0xAB), // trailing byte
+		[]byte("UFD2????"),                     // wrong magic version
+		[]byte{'U', 'F', 'D', '1', 1, 0, 0, 0, 5, 0, 0, 0, 5, 0, 0, 0},    // self-edge
+		[]byte{'U', 'F', 'D', '1', 1, 0, 0, 0, 5, 0, 0, 0, 0, 0, 0, 0x80}, // high-bit id
+	)
+	return seeds
+}
+
+// checkDelta runs the fuzz invariants on one input: no panic, failures wrap
+// ErrCorrupt, accepted inputs round-trip byte-exact.
+func checkDelta(t *testing.T, b []byte) {
+	t.Helper()
+	var d MergeDelta
+	if err := d.UnmarshalBinary(b); err != nil {
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("decode error does not wrap ErrCorrupt: %v", err)
+		}
+		return
+	}
+	got, _ := d.MarshalBinary()
+	if !bytes.Equal(got, b) {
+		t.Fatalf("round-trip mismatch:\n in  %x\n out %x", b, got)
+	}
+}
+
+// FuzzMergeDelta drives UnmarshalBinary with arbitrary bytes under the PR 5
+// codec-fuzzer contract: accept ⇒ byte-exact round-trip; reject ⇒ wrapped
+// ErrCorrupt (trailing bytes included, with the offending offset).
+func FuzzMergeDelta(f *testing.F) {
+	for _, s := range deltaSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) { checkDelta(t, b) })
+}
+
+// TestMergeDeltaSeeds is the pinned-seed plain-test mirror of FuzzMergeDelta
+// plus randomized valid encodings, so the invariants run on every `go test`.
+func TestMergeDeltaSeeds(t *testing.T) {
+	for i, s := range deltaSeeds() {
+		t.Logf("seed %d (%d bytes)", i, len(s))
+		checkDelta(t, s)
+	}
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(64)
+		d := MergeDelta{Edges: make([]MergeEdge, 0, n)}
+		for e := 0; e < n; e++ {
+			a, b := int32(rng.Intn(500)), int32(rng.Intn(500))
+			if a != b {
+				d.Edges = append(d.Edges, MergeEdge{A: a, B: b})
+			}
+		}
+		enc, _ := d.MarshalBinary()
+		checkDelta(t, enc)
+		var back MergeDelta
+		if err := back.UnmarshalBinary(enc); err != nil {
+			t.Fatal(err)
+		}
+		if len(back.Edges) != len(d.Edges) {
+			t.Fatalf("edge count %d, want %d", len(back.Edges), len(d.Edges))
+		}
+	}
+}
+
+// TestMergeDeltaStrictLength pins the truncated/trailing offsets, matching
+// the UFv1 strict-length test.
+func TestMergeDeltaStrictLength(t *testing.T) {
+	d := MergeDelta{Edges: []MergeEdge{{1, 2}, {3, 4}}}
+	enc, _ := d.MarshalBinary()
+
+	var dst MergeDelta
+	err := dst.UnmarshalBinary(append(append([]byte{}, enc...), 0xEE))
+	if err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	if !errors.Is(err, ErrCorrupt) || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("want trailing-bytes ErrCorrupt, got %v", err)
+	}
+	// 8 + 8*2 = 24: the first trailing byte sits at offset 24.
+	if !strings.Contains(err.Error(), "offset 24") {
+		t.Fatalf("error does not name the offending offset: %v", err)
+	}
+
+	err = dst.UnmarshalBinary(enc[:len(enc)-2])
+	if err == nil {
+		t.Fatal("truncated input accepted")
+	}
+	if !errors.Is(err, ErrCorrupt) || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("want truncated ErrCorrupt, got %v", err)
+	}
+
+	// A rejecting decode leaves the destination untouched.
+	if dst.Edges != nil {
+		t.Fatal("failed decode mutated destination")
+	}
+}

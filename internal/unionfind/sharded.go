@@ -1,0 +1,331 @@
+package unionfind
+
+import "sync"
+
+// Sharded is a union-find over [0, n) whose merge path is partitioned into K
+// root shards reconciled in bounded phases, after Doppel's phase
+// reconciliation: contended shared state is split into per-shard views that
+// are updated without cross-shard communication, and cross-shard merges are
+// exchanged between phases rather than serialized through one owner.
+//
+// Ownership and the phase discipline:
+//
+//   - Element x is owned by shard x % K. During a reconcile round, shard s
+//     reads and writes parent entries of its own elements ONLY — never a
+//     peer's. A root chase that reaches a foreign element stops and forwards
+//     the task to that element's owner for the next round.
+//   - Links follow union-by-min: a root is only ever pointed at a smaller
+//     element id, so parent[x] <= x always holds, chains strictly decrease,
+//     and concurrent same-round links can never form a cycle.
+//   - Because a round performs no cross-shard memory access at all, its
+//     outcome is a pure function of the state at the round barrier: the
+//     structure, the per-round task counts, and the final partition are
+//     identical whether shards run on goroutines or sequentially.
+//
+// Rounds are bounded: every forwarded task either strictly descends a
+// parent chain (chains strictly decrease under union-by-min) or swaps to
+// compare against a strictly smaller root, so each task terminates after at
+// most O(longest chain) hops and the reconcile loop reaches a fixpoint
+// (empty inboxes) in finitely many rounds — a handful in practice.
+//
+// Single-threaded methods (Find, Same, Union, Labels, serialization) may
+// touch the whole array and must not run concurrently with Apply.
+type Sharded struct {
+	parent []int32
+	count  int
+	k      int
+
+	// Parallel selects goroutine-per-shard execution inside Apply for
+	// deltas of at least parallelMin tasks. Results are identical either
+	// way (see the phase discipline above); the switch only trades
+	// goroutine overhead against concurrency.
+	Parallel bool
+
+	inbox  [][]task   // per-shard pending tasks for the current round
+	outbox [][][]task // [src][dst] tasks produced during a round
+	stats  ApplyStats // scratch for the in-flight Apply
+	wg     sync.WaitGroup
+}
+
+// task asks that the sets containing a and b be merged. It always sits in
+// the inbox of a's owner.
+type task struct{ a, b int32 }
+
+// parallelMin is the task count below which Apply runs shards sequentially
+// even when Parallel is set: spawning K goroutines for a handful of edges
+// costs more than the loop.
+const parallelMin = 256
+
+// ApplyStats describes one Apply call (or, summed, a run's reconciliation).
+type ApplyStats struct {
+	// Phases is the number of reconcile rounds until fixpoint.
+	Phases int64
+	// Tasks is the number of merge tasks processed across all rounds
+	// (the delta's edges plus every cross-shard forward).
+	Tasks int64
+	// CrossShard is the number of tasks forwarded between shards — the
+	// reconciliation traffic a single-master structure never has.
+	CrossShard int64
+	// Links is the number of unions that actually joined two sets.
+	Links int64
+	// RoundTasks is the per-round task count, RoundTasks[0] being the
+	// initial delta distribution.
+	RoundTasks []int64
+}
+
+// NewSharded creates n singleton sets partitioned into k root shards.
+// k < 1 is treated as 1; one shard degenerates to a single-master structure
+// (every task resolves locally in round zero).
+func NewSharded(n, k int) *Sharded {
+	if k < 1 {
+		k = 1
+	}
+	s := &Sharded{
+		parent: make([]int32, n),
+		count:  n,
+		k:      k,
+		inbox:  make([][]task, k),
+		outbox: make([][][]task, k),
+	}
+	for i := range s.parent {
+		s.parent[i] = int32(i)
+	}
+	for src := range s.outbox {
+		s.outbox[src] = make([][]task, k)
+	}
+	return s
+}
+
+// Len returns the number of elements.
+func (s *Sharded) Len() int { return len(s.parent) }
+
+// Count returns the current number of disjoint sets.
+func (s *Sharded) Count() int { return s.count }
+
+// Shards returns the shard count K.
+func (s *Sharded) Shards() int { return s.k }
+
+// shardOf is the root-partition function: element x belongs to shard x % K.
+func (s *Sharded) shardOf(x int32) int { return int(x) % s.k }
+
+// Find returns the representative of x's set — under union-by-min, the
+// minimum element id of the set. Single-threaded: path halving may touch any
+// shard's entries, so it must not race an Apply.
+func (s *Sharded) Find(x int32) int32 {
+	for s.parent[x] != x {
+		s.parent[x] = s.parent[s.parent[x]]
+		x = s.parent[x]
+	}
+	return x
+}
+
+// Same reports whether x and y are in the same set. Single-threaded.
+func (s *Sharded) Same(x, y int32) bool { return s.Find(x) == s.Find(y) }
+
+// Union merges the sets of x and y and reports whether a merge happened.
+// Single-threaded — the seeding path (resumed checkpoints, initial labels),
+// not the reconciled merge path.
+func (s *Sharded) Union(x, y int32) bool {
+	rx, ry := s.Find(x), s.Find(y)
+	if rx == ry {
+		return false
+	}
+	if rx > ry {
+		rx, ry = ry, rx
+	}
+	s.parent[ry] = rx
+	s.count--
+	return true
+}
+
+// Labels returns first-appearance-order dense cluster labels.
+func (s *Sharded) Labels() []int32 { return s.LabelsInto(nil) }
+
+// LabelsInto is Labels writing into dst (reused when capacity suffices).
+func (s *Sharded) LabelsInto(dst []int32) []int32 {
+	return labelsInto(dst, len(s.parent), s.Find)
+}
+
+// Snapshot copies the structure into a plain UF with zeroed ranks, in the
+// exact shape the UFv1 checkpoint codec serializes — a checkpoint written
+// from a sharded run resumes through the same PACECKPT/UFv1 path as a
+// single-master one. Ranks carry no information under union-by-min; a resume
+// only reads the partition.
+func (s *Sharded) Snapshot() *UF {
+	u := &UF{
+		parent: make([]int32, len(s.parent)),
+		rank:   make([]uint8, len(s.parent)),
+		count:  s.count,
+	}
+	copy(u.parent, s.parent)
+	return u
+}
+
+// AppendBinary appends the UFv1 serialization of the current structure.
+func (s *Sharded) AppendBinary(dst []byte) []byte {
+	return s.Snapshot().AppendBinary(dst)
+}
+
+// Apply merges every edge of the delta through the phase-reconciled shard
+// machinery and returns the round/traffic breakdown. The final partition is
+// the connected components of the applied edges over the prior state,
+// independent of shard count, execution order, and Parallel.
+func (s *Sharded) Apply(delta MergeDelta) ApplyStats {
+	s.stats = ApplyStats{}
+	if len(delta.Edges) == 0 {
+		return s.stats
+	}
+	// Round 0 distribution: task (a,b) goes to a's owner.
+	for _, e := range delta.Edges {
+		if e.A == e.B {
+			continue
+		}
+		s.inbox[s.shardOf(e.A)] = append(s.inbox[s.shardOf(e.A)], task{e.A, e.B})
+	}
+	for {
+		pending := int64(0)
+		for _, in := range s.inbox {
+			pending += int64(len(in))
+		}
+		if pending == 0 {
+			break
+		}
+		s.stats.Phases++
+		s.stats.Tasks += pending
+		s.stats.RoundTasks = append(s.stats.RoundTasks, pending)
+		s.round()
+		// Barrier: swap outboxes into inboxes in (src, dst) order so the
+		// next round's task order is deterministic.
+		for dst := 0; dst < s.k; dst++ {
+			s.inbox[dst] = s.inbox[dst][:0]
+			for src := 0; src < s.k; src++ {
+				s.inbox[dst] = append(s.inbox[dst], s.outbox[src][dst]...)
+				s.outbox[src][dst] = s.outbox[src][dst][:0]
+			}
+		}
+	}
+	return s.stats
+}
+
+// round drains every shard's inbox, writing forwards to the outboxes. Shards
+// run concurrently when Parallel is set and the round is large enough; the
+// per-shard work touches only shard-owned parent entries either way.
+func (s *Sharded) round() {
+	if s.Parallel && s.k > 1 && s.stats.RoundTasks[len(s.stats.RoundTasks)-1] >= parallelMin {
+		links := make([]int64, s.k)
+		forwards := make([]int64, s.k)
+		s.wg.Add(s.k)
+		for sh := 0; sh < s.k; sh++ {
+			go func(sh int) {
+				defer s.wg.Done()
+				links[sh], forwards[sh] = s.drain(sh)
+			}(sh)
+		}
+		s.wg.Wait()
+		for sh := 0; sh < s.k; sh++ {
+			s.stats.Links += links[sh]
+			s.stats.CrossShard += forwards[sh]
+			s.count -= int(links[sh])
+		}
+		return
+	}
+	for sh := 0; sh < s.k; sh++ {
+		links, forwards := s.drain(sh)
+		s.stats.Links += links
+		s.stats.CrossShard += forwards
+		s.count -= int(links)
+	}
+}
+
+// drain processes shard sh's inbox for one round. It reads and writes only
+// parent entries owned by sh; every cross-shard need becomes an outbox task.
+func (s *Sharded) drain(sh int) (links, forwards int64) {
+	forward := func(t task) {
+		s.outbox[sh][s.shardOf(t.a)] = append(s.outbox[sh][s.shardOf(t.a)], t)
+		forwards++
+	}
+	for _, t := range s.inbox[sh] {
+		ra, ok := s.resolve(sh, t.a)
+		if !ok {
+			// The chain left the region: the owner of the exit node
+			// continues the chase next round.
+			forward(task{ra, t.b})
+			continue
+		}
+		b := t.b
+		if s.shardOf(b) == sh {
+			rb, ok := s.resolve(sh, b)
+			if !ok {
+				forward(task{rb, ra})
+				continue
+			}
+			if ra == rb {
+				continue
+			}
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			s.parent[rb] = ra // rb: owned local root; ra < rb
+			links++
+			continue
+		}
+		switch {
+		case b == ra:
+			// Can't happen across shards, but harmless to absorb.
+		case b < ra:
+			// ra is an owned root and b is smaller, so b cannot be in
+			// ra's set (its root would be ra <= b): link down without
+			// touching b's shard at all.
+			s.parent[ra] = b
+			links++
+		default:
+			// b > ra: the link must write b's side; hand (b, ra) to b's
+			// owner, which either descends b's chain or links b's root
+			// against the strictly smaller ra.
+			forward(task{b, ra})
+		}
+	}
+	return links, forwards
+}
+
+// resolve chases x's chain within shard sh's owned region. It returns
+// (root, true) when x resolves to an owned root, or (exit, false) with the
+// first foreign element on the chain. Visited owned nodes are compressed to
+// the stopping point — owned writes only.
+func (s *Sharded) resolve(sh int, x int32) (int32, bool) {
+	r := x
+	var stop int32
+	root := false
+	for {
+		p := s.parent[r]
+		if p == r {
+			stop, root = r, true
+			break
+		}
+		if s.shardOf(p) != sh {
+			stop, root = p, false
+			break
+		}
+		r = p
+	}
+	// Compression pass: every node from x to the stop is owned by sh.
+	for s.parent[x] != stop && x != stop {
+		s.parent[x], x = stop, s.parent[x]
+	}
+	return stop, root
+}
+
+// Add accumulates the other stats into s (for per-run totals).
+func (a *ApplyStats) Add(o ApplyStats) {
+	a.Tasks += o.Tasks
+	a.CrossShard += o.CrossShard
+	a.Links += o.Links
+	a.Phases += o.Phases
+	for i, n := range o.RoundTasks {
+		if i < len(a.RoundTasks) {
+			a.RoundTasks[i] += n
+		} else {
+			a.RoundTasks = append(a.RoundTasks, n)
+		}
+	}
+}

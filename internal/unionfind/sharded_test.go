@@ -1,0 +1,233 @@
+package unionfind
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// applyEdges runs one Apply over the whole edge list and returns the stats.
+func applyEdges(s *Sharded, edges []MergeEdge) ApplyStats {
+	return s.Apply(MergeDelta{Edges: edges})
+}
+
+// TestShardedMatchesUF is the core equivalence property: for random edge
+// sets, every shard count, batch split, and execution mode must produce the
+// same partition (labels) and set count as the plain single-master UF.
+func TestShardedMatchesUF(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(200)
+		nEdges := rng.Intn(3 * n)
+		edges := make([]MergeEdge, 0, nEdges)
+		for e := 0; e < nEdges; e++ {
+			a, b := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if a == b {
+				continue
+			}
+			edges = append(edges, MergeEdge{A: a, B: b})
+		}
+		ref := New(n)
+		for _, e := range edges {
+			ref.Union(e.A, e.B)
+		}
+		want := ref.Labels()
+		for _, k := range []int{1, 2, 4, 7, 16, 64} {
+			for _, par := range []bool{false, true} {
+				s := NewSharded(n, k)
+				s.Parallel = par
+				// Split the edge list into a few batches to exercise
+				// Apply over non-virgin state.
+				batches := 1 + rng.Intn(3)
+				per := (len(edges) + batches - 1) / max(batches, 1)
+				for off := 0; off < len(edges); off += per {
+					end := min(off+per, len(edges))
+					applyEdges(s, edges[off:end])
+				}
+				if s.Count() != ref.Count() {
+					t.Fatalf("trial %d k=%d par=%v: count %d, want %d", trial, k, par, s.Count(), ref.Count())
+				}
+				got := s.Labels()
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("trial %d k=%d par=%v: label[%d] = %d, want %d", trial, k, par, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedDeterministicStats: the phase-reconciled rounds are a pure
+// function of the input, so parallel and sequential execution must agree on
+// every statistic, not just the partition.
+func TestShardedDeterministicStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const n = 4096
+	edges := make([]MergeEdge, 0, 3*n)
+	for e := 0; e < 3*n; e++ {
+		a, b := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if a != b {
+			edges = append(edges, MergeEdge{A: a, B: b})
+		}
+	}
+	for _, k := range []int{4, 16} {
+		seq := NewSharded(n, k)
+		par := NewSharded(n, k)
+		par.Parallel = true
+		ss := applyEdges(seq, edges)
+		ps := applyEdges(par, edges)
+		if fmt.Sprint(ss) != fmt.Sprint(ps) {
+			t.Fatalf("k=%d: stats diverge\nseq %+v\npar %+v", k, ss, ps)
+		}
+		for i := range seq.parent {
+			if seq.parent[i] != par.parent[i] {
+				t.Fatalf("k=%d: parent[%d] %d vs %d", k, i, seq.parent[i], par.parent[i])
+			}
+		}
+	}
+}
+
+// TestShardedSingleShard: K=1 degenerates to single-master behavior — every
+// task resolves in round zero with no cross-shard traffic.
+func TestShardedSingleShard(t *testing.T) {
+	s := NewSharded(16, 1)
+	st := applyEdges(s, []MergeEdge{{0, 5}, {5, 9}, {2, 3}, {0, 9}})
+	if st.Phases != 1 || st.CrossShard != 0 {
+		t.Fatalf("K=1 must finish in one phase with no forwards: %+v", st)
+	}
+	if st.Links != 3 {
+		t.Fatalf("links = %d, want 3", st.Links)
+	}
+	if s.Count() != 16-3 {
+		t.Fatalf("count = %d", s.Count())
+	}
+}
+
+// TestShardedUnionByMin pins the representative convention: the root of any
+// set is its minimum element, regardless of union order or shard count.
+func TestShardedUnionByMin(t *testing.T) {
+	s := NewSharded(10, 4)
+	applyEdges(s, []MergeEdge{{9, 7}, {7, 3}, {8, 9}})
+	for _, x := range []int32{3, 7, 8, 9} {
+		if r := s.Find(x); r != 3 {
+			t.Fatalf("Find(%d) = %d, want min element 3", x, r)
+		}
+	}
+	if !s.Union(3, 1) {
+		t.Fatal("seeding Union must merge")
+	}
+	if r := s.Find(9); r != 1 {
+		t.Fatalf("after Union(3,1): Find(9) = %d, want 1", r)
+	}
+}
+
+// TestShardedSnapshotUFv1: snapshots serialize through the UFv1 codec and
+// decode into a UF with the identical partition, so PACECKPT checkpoints
+// written by a sharded run resume anywhere.
+func TestShardedSnapshotUFv1(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const n = 300
+	s := NewSharded(n, 8)
+	edges := make([]MergeEdge, 0, n)
+	for e := 0; e < n; e++ {
+		a, b := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if a != b {
+			edges = append(edges, MergeEdge{A: a, B: b})
+		}
+	}
+	applyEdges(s, edges)
+
+	enc, err := s.Snapshot().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AppendBinary on the Sharded itself is the same bytes (before any Find
+	// below compresses paths).
+	if direct := s.AppendBinary(nil); string(direct) != string(enc) {
+		t.Fatal("Sharded.AppendBinary differs from Snapshot().MarshalBinary")
+	}
+	var back UF
+	if err := back.UnmarshalBinary(enc); err != nil {
+		t.Fatalf("UFv1 decode of sharded snapshot: %v", err)
+	}
+	if back.Count() != s.Count() {
+		t.Fatalf("count %d vs %d", back.Count(), s.Count())
+	}
+	want, got := s.Labels(), back.Labels()
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("label[%d] %d vs %d", i, want[i], got[i])
+		}
+	}
+}
+
+// TestLabelsIntoReuse: LabelsInto writes into the provided buffer without
+// allocating when capacity suffices, for both flavors.
+func TestLabelsIntoReuse(t *testing.T) {
+	u := New(128)
+	s := NewSharded(128, 4)
+	for i := int32(0); i < 127; i += 3 {
+		u.Union(i, i+1)
+	}
+	applyEdges(s, []MergeEdge{{0, 1}, {3, 4}, {6, 7}})
+	for name, fn := range map[string]func([]int32) []int32{
+		"uf":      u.LabelsInto,
+		"sharded": s.LabelsInto,
+	} {
+		buf := make([]int32, 0, 128)
+		out := fn(buf)
+		if &out[0] != &buf[:1][0] {
+			t.Errorf("%s: LabelsInto did not reuse the buffer", name)
+		}
+		if allocs := testing.AllocsPerRun(20, func() { buf = fn(buf) }); allocs != 0 {
+			t.Errorf("%s: LabelsInto allocated %v times with sufficient capacity", name, allocs)
+		}
+	}
+}
+
+// TestFindAllocFree pins the satellite: Find is allocation-free (iterative,
+// no recursion or visited stack), including on long chains.
+func TestFindAllocFree(t *testing.T) {
+	u := New(1 << 12)
+	for i := int32(1); i < 1<<12; i++ {
+		u.Union(i-1, i)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { u.Find(1<<12 - 1) }); allocs != 0 {
+		t.Fatalf("Find allocated %v times", allocs)
+	}
+}
+
+// BenchmarkMergePhase measures Apply over a fixed random delta for several
+// shard counts, sequential and parallel — the merge-phase half of the
+// BENCH_shardeduf perf trajectory.
+func BenchmarkMergePhase(b *testing.B) {
+	rng := rand.New(rand.NewSource(41))
+	const n = 1 << 17
+	edges := make([]MergeEdge, 0, n)
+	for e := 0; e < n; e++ {
+		a, bb := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if a != bb {
+			edges = append(edges, MergeEdge{A: a, B: bb})
+		}
+	}
+	for _, k := range []int{1, 4, 16} {
+		for _, par := range []bool{false, true} {
+			if k == 1 && par {
+				continue
+			}
+			mode := "seq"
+			if par {
+				mode = "par"
+			}
+			b.Run(fmt.Sprintf("k=%d/%s", k, mode), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					s := NewSharded(n, k)
+					s.Parallel = par
+					applyEdges(s, edges)
+				}
+			})
+		}
+	}
+}

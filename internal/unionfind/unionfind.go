@@ -30,16 +30,17 @@ func (u *UF) Len() int { return len(u.parent) }
 // Count returns the current number of disjoint sets.
 func (u *UF) Count() int { return u.count }
 
-// Find returns the representative of x's set, compressing the path.
+// Find returns the representative of x's set. It compresses by iterative
+// path halving — every visited node is re-pointed at its grandparent — which
+// keeps the amortized inverse-Ackermann bound of two-pass compression in a
+// single allocation-free loop (no recursion, no visited stack), so the hot
+// Same/Union filters stay allocation-free even under the race detector.
 func (u *UF) Find(x int32) int32 {
-	root := x
-	for u.parent[root] != root {
-		root = u.parent[root]
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
 	}
-	for u.parent[x] != root {
-		u.parent[x], x = root, u.parent[x]
-	}
-	return root
+	return x
 }
 
 // Same reports whether x and y are in the same set.
@@ -65,6 +66,12 @@ func (u *UF) Union(x, y int32) bool {
 	return true
 }
 
+// Snapshot returns the forest itself: UF is already the serializable shape,
+// so the checkpoint seam (which snapshots any merge structure as a *UF to
+// feed the UFv1 codec) costs nothing for the plain flavor. Callers serialize
+// synchronously and must not hold the result across further mutation.
+func (u *UF) Snapshot() *UF { return u }
+
 // Clusters materializes the current partition as a map from representative to
 // members. Member order within a cluster is ascending.
 func (u *UF) Clusters() map[int32][]int32 {
@@ -79,19 +86,46 @@ func (u *UF) Clusters() map[int32][]int32 {
 // Labels returns, for each element, a dense cluster label in [0, Count()).
 // Labels are assigned in order of first appearance, so the output is
 // deterministic for a given structure state.
-func (u *UF) Labels() []int32 {
-	labels := make([]int32, len(u.parent))
-	next := int32(0)
-	seen := make(map[int32]int32, u.count)
-	for i := range u.parent {
-		r := u.Find(int32(i))
-		l, ok := seen[r]
-		if !ok {
-			l = next
-			seen[r] = l
-			next++
-		}
-		labels[i] = l
+func (u *UF) Labels() []int32 { return u.LabelsInto(nil) }
+
+// LabelsInto is Labels writing into dst (reused when its capacity suffices),
+// so per-phase label snapshots in hot loops stop allocating. It allocates
+// nothing when cap(dst) >= Len(): the dense relabeling runs in place over
+// dst using a sign-encoding pass instead of a root→label map.
+func (u *UF) LabelsInto(dst []int32) []int32 {
+	return labelsInto(dst, len(u.parent), u.Find)
+}
+
+// labelsInto materializes first-appearance-order dense labels for any
+// union-find flavor given its Find. Pass 1 stores each element's root id in
+// dst; pass 2 walks ascending and, at the first member of each set, stamps a
+// new label (encoded negative) over the root's own slot so later members
+// find it without a map; pass 3 flips the encoding.
+func labelsInto(dst []int32, n int, find func(int32) int32) []int32 {
+	if cap(dst) < n {
+		dst = make([]int32, n)
 	}
-	return labels
+	dst = dst[:n]
+	for i := 0; i < n; i++ {
+		dst[i] = find(int32(i))
+	}
+	next := int32(0)
+	for i := 0; i < n; i++ {
+		r := dst[i]
+		if r < 0 {
+			continue // i is a root already relabeled via an earlier member
+		}
+		if enc := dst[r]; enc < 0 {
+			dst[i] = enc
+		} else {
+			e := -next - 1
+			next++
+			dst[r] = e
+			dst[i] = e
+		}
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = -dst[i] - 1
+	}
+	return dst
 }

@@ -72,6 +72,10 @@ type (
 	// did: buckets rebuilt vs reused, fresh pairs emitted, old×old pairs
 	// suppressed. See Session.
 	IncrementalStats = cluster.IncrementalStats
+	// ReconcileStats reports the sharded merge path's reconciliation work
+	// (Options.MergeShards): deltas applied, edges received, phase counts
+	// and cross-shard forwards. Zero for legacy (MergeShards == 0) runs.
+	ReconcileStats = cluster.ReconcileStats
 
 	// FS is the filesystem seam the session store and the checkpointer
 	// write through (Session.SaveCheckpointFS, the serving stack's state
@@ -173,6 +177,17 @@ type Options struct {
 	// BatchSize is the number of pairs per master–slave interaction
 	// (paper: 40–60).
 	BatchSize int
+
+	// MergeShards selects the merge protocol. 0 (the default) is the
+	// legacy protocol: slaves ship per-pair verdicts and the master
+	// replays every accepted pair into one union-find. K >= 1 switches to
+	// merge deltas: each slave filters its accepted pairs through a local
+	// union-find and ships only spanning edges; the master partitions
+	// union-find roots into K shards and applies the edges with
+	// phase-reconciled concurrent rounds. The final partition is identical
+	// either way; deltas shrink master traffic and K > 1 parallelizes the
+	// apply. See Stats.Reconcile.
+	MergeShards int
 
 	// Alignment scoring.
 	Match, Mismatch, GapOpen, GapExtend int
@@ -282,9 +297,19 @@ type Stats struct {
 	PairsSkipped   int64
 	Merges         int64
 	MasterBusy     time.Duration
-	// MasterIdle is the master's time blocked waiting for slave reports
-	// (parallel runs; zero sequentially).
+	// MasterIdle is the master's total non-processing time in parallel
+	// runs (zero sequentially): MasterRecvWait + MasterReconcileWait.
 	MasterIdle time.Duration
+	// MasterRecvWait is the master's dispatch-loop time blocked waiting
+	// for slave reports; startup collective waits are excluded.
+	MasterRecvWait time.Duration
+	// MasterReconcileWait is the master's time applying merge deltas
+	// (MergeShards >= 1; zero for legacy runs, where per-pair replay is
+	// counted as MasterBusy).
+	MasterReconcileWait time.Duration
+	// Reconcile reports the sharded merge path's work; zero when
+	// MergeShards == 0.
+	Reconcile ReconcileStats
 	// WorkBufHighWater is the peak WORKBUF occupancy (parallel runs).
 	WorkBufHighWater int
 	// Recovery reports slave-failure recovery and checkpoint activity.
@@ -325,6 +350,9 @@ type RankStats struct {
 	PairsGenerated int64
 	PairsProcessed int64
 	PairsAccepted  int64
+	// DeltaEdges is the number of merge-delta spanning edges this slave
+	// shipped (MergeShards >= 1; zero for legacy runs).
+	DeltaEdges int64
 	// Busy is the message-processing time (master only).
 	Busy time.Duration
 }
@@ -351,6 +379,7 @@ func (o Options) toConfig() (cluster.Config, error) {
 	cfg.Window = o.Window
 	cfg.Psi = o.MinMatch
 	cfg.BatchSize = o.BatchSize
+	cfg.MergeShards = o.MergeShards
 	cfg.Scoring.Match = int32(o.Match)
 	cfg.Scoring.Mismatch = int32(o.Mismatch)
 	cfg.Scoring.GapOpen = int32(o.GapOpen)
@@ -433,16 +462,19 @@ func convertResult(res *cluster.Result) *Clustering {
 		NumClusters: res.NumClusters,
 		Clusters:    make([][]int, res.NumClusters),
 		Stats: Stats{
-			PairsGenerated:   res.Stats.PairsGenerated,
-			PairsProcessed:   res.Stats.PairsProcessed,
-			PairsAccepted:    res.Stats.PairsAccepted,
-			PairsSkipped:     res.Stats.PairsSkipped,
-			Merges:           res.Stats.Merges,
-			MasterBusy:       res.Stats.MasterBusy,
-			MasterIdle:       res.Stats.MasterIdle,
-			WorkBufHighWater: res.Stats.WorkBufHighWater,
-			Recovery:         res.Stats.Recovery,
-			Incremental:      res.Stats.Incremental,
+			PairsGenerated:      res.Stats.PairsGenerated,
+			PairsProcessed:      res.Stats.PairsProcessed,
+			PairsAccepted:       res.Stats.PairsAccepted,
+			PairsSkipped:        res.Stats.PairsSkipped,
+			Merges:              res.Stats.Merges,
+			MasterBusy:          res.Stats.MasterBusy,
+			MasterIdle:          res.Stats.MasterIdle,
+			MasterRecvWait:      res.Stats.MasterRecvWait,
+			MasterReconcileWait: res.Stats.MasterReconcileWait,
+			Reconcile:           res.Stats.Reconcile,
+			WorkBufHighWater:    res.Stats.WorkBufHighWater,
+			Recovery:            res.Stats.Recovery,
+			Incremental:         res.Stats.Incremental,
 			Phases: PhaseTimes{
 				Partition: res.Stats.Phases.Partition,
 				Construct: res.Stats.Phases.Construct,
@@ -465,6 +497,7 @@ func convertResult(res *cluster.Result) *Clustering {
 			PairsGenerated: rs.PairsGenerated,
 			PairsProcessed: rs.PairsProcessed,
 			PairsAccepted:  rs.PairsAccepted,
+			DeltaEdges:     rs.DeltaEdges,
 			Busy:           rs.Busy,
 		})
 	}
