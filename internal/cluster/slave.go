@@ -227,6 +227,9 @@ func runSlave(set *seq.SetS, cfg Config, c *mp.Comm) error {
 		// Overlap waiting with pair generation (paper: the slave is
 		// never idle while the master prepares its reply).
 		for {
+			if err := cfg.ctxErr(); err != nil {
+				return err
+			}
 			ok, err := c.Probe(0, tagWork)
 			if err != nil {
 				return err

@@ -1,8 +1,9 @@
-// Package analyzers holds the six pacelint checks. Each one mechanizes a
-// contract earlier PRs established by convention and guarded only with
+// Package analyzers holds the pacelint checks. Each one mechanizes a
+// contract an earlier PR established by convention and guarded only with
 // tests:
 //
-//   - sendowned: the mp copy-on-send / SendOwned buffer-ownership contract.
+//   - sendowned: the mp copy-on-send / SendOwned buffer-ownership
+//     contract, call-graph-aware (forwarding helpers count as handoffs).
 //   - walltime: no wall-clock reads in the virtual-time packages.
 //   - tagconst: message tags are named tag* constants, unique per package.
 //   - codecwords: fixed-width wire structs, their words() arrays and their
@@ -11,9 +12,18 @@
 //     everywhere.
 //   - vfsonly: durable writes in the state-persisting packages go through
 //     the internal/vfs seam, so fault injection covers them.
+//   - ctxpoll: engine dispatch loops and serving wait loops poll the run
+//     context (the PR 8 cancellation contract).
+//   - lockguard: `// guarded by <mu>` fields are accessed with the mutex
+//     held on every path; suspicious unannotated fields are flagged.
+//   - errwrap: errors crossing the cluster/serve/root API boundaries wrap
+//     with %w so errors.Is/As survive the chain.
+//   - metriccatalog: pace_* metric names in code and the DESIGN.md §13/§15
+//     catalog stay in lockstep, both directions.
 //
-// The catalog (contract, rationale, allow-directive syntax) lives in
-// DESIGN.md §10.
+// The flow-aware ones (ctxpoll, lockguard, sendowned) are built on
+// pace/internal/lint/dataflow. The catalog (contract, rationale,
+// allow-directive syntax) lives in DESIGN.md §10 and §16.
 package analyzers
 
 import (
@@ -32,6 +42,10 @@ func All() []*lint.Analyzer {
 		CodecWords,
 		AtomicHygiene,
 		Vfsonly,
+		Ctxpoll,
+		Lockguard,
+		Errwrap,
+		MetricCatalog,
 	}
 }
 

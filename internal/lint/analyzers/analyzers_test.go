@@ -2,6 +2,7 @@ package analyzers_test
 
 import (
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"pace/internal/lint"
@@ -66,8 +67,125 @@ func TestVfsonlyOutOfScope(t *testing.T) {
 	}
 }
 
-// TestSuiteOnRepo runs the full suite over the real tree: the contract the
-// CI lint gate enforces — after this PR the repo itself lints clean.
+func TestCtxpoll(t *testing.T) {
+	old := analyzers.CtxpollScope
+	analyzers.CtxpollScope = []string{"fixture/ctxpoll"}
+	defer func() { analyzers.CtxpollScope = old }()
+	linttest.Run(t, fixtureDir(t), []*lint.Analyzer{analyzers.Ctxpoll}, "./ctxpoll")
+}
+
+func TestCtxpollOutOfScope(t *testing.T) {
+	// With the real scope, the fixture package carries no cancellation
+	// contract and must produce no findings.
+	diags := linttest.Diagnose(t, fixtureDir(t), []*lint.Analyzer{analyzers.Ctxpoll}, "./ctxpoll")
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic outside CtxpollScope: %s", d)
+	}
+}
+
+func TestLockguard(t *testing.T) {
+	old := analyzers.LockguardScope
+	analyzers.LockguardScope = []string{"fixture/lockguard"}
+	defer func() { analyzers.LockguardScope = old }()
+	linttest.Run(t, fixtureDir(t), []*lint.Analyzer{analyzers.Lockguard}, "./lockguard")
+}
+
+func TestLockguardOutOfScope(t *testing.T) {
+	diags := linttest.Diagnose(t, fixtureDir(t), []*lint.Analyzer{analyzers.Lockguard}, "./lockguard")
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic outside LockguardScope: %s", d)
+	}
+}
+
+func TestErrwrap(t *testing.T) {
+	old := analyzers.ErrwrapScope
+	analyzers.ErrwrapScope = []string{"fixture/errwrap"}
+	defer func() { analyzers.ErrwrapScope = old }()
+	linttest.Run(t, fixtureDir(t), []*lint.Analyzer{analyzers.Errwrap}, "./errwrap")
+}
+
+func TestErrwrapOutOfScope(t *testing.T) {
+	diags := linttest.Diagnose(t, fixtureDir(t), []*lint.Analyzer{analyzers.Errwrap}, "./errwrap")
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic outside ErrwrapScope: %s", d)
+	}
+}
+
+func TestMetricCatalog(t *testing.T) {
+	// No scope to override: the check keys off pace_* literals wherever
+	// they appear, against the DESIGN.md of the literal's own module.
+	linttest.Run(t, fixtureDir(t), []*lint.Analyzer{analyzers.MetricCatalog}, "./metriccatalog")
+}
+
+// TestMetricCatalogGlobal exercises the reverse direction: the fixture
+// catalog lists pace_stale_total, which nothing registers.
+func TestMetricCatalogGlobal(t *testing.T) {
+	pkgs, err := lint.LoadPackages(fixtureDir(t), "./metriccatalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := analyzers.MetricCatalog.RunGlobal(pkgs)
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if !strings.Contains(d.Message, "pace_stale_total") || !strings.Contains(d.Message, "no code registers it") {
+		t.Errorf("unexpected message: %s", d.Message)
+	}
+	if filepath.Base(d.Pos.Filename) != "DESIGN.md" {
+		t.Errorf("diagnostic should point into the catalog file, got %s", d.Pos.Filename)
+	}
+}
+
+// TestStaleAllow exercises the strict-mode exemption-ledger check: unused
+// directives and directives naming unknown analyzers are findings.
+func TestStaleAllow(t *testing.T) {
+	old := analyzers.WalltimeScope
+	analyzers.WalltimeScope = []string{"fixture/staleallow"}
+	defer func() { analyzers.WalltimeScope = old }()
+
+	pkgs, err := lint.LoadPackages(fixtureDir(t), "./staleallow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	diags, err := lint.AnalyzePackageStrict(pkgs[0], []*lint.Analyzer{analyzers.Walltime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stale, unknown, other int
+	for _, d := range diags {
+		switch {
+		case d.Analyzer == "stale-allow" && strings.Contains(d.Message, "suppresses no findings"):
+			stale++
+		case d.Analyzer == "stale-allow" && strings.Contains(d.Message, `unknown analyzer "walltyme"`):
+			unknown++
+		default:
+			other++
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	if stale != 1 || unknown != 1 {
+		t.Errorf("got %d stale + %d unknown diagnostics, want 1 + 1 (all: %v)", stale, unknown, diags)
+	}
+
+	// The same package under non-strict analysis is quiet: the used
+	// directive suppresses its finding and the ledger is not audited.
+	plain, err := lint.AnalyzePackage(pkgs[0], []*lint.Analyzer{analyzers.Walltime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range plain {
+		t.Errorf("unexpected non-strict diagnostic: %s", d)
+	}
+}
+
+// TestSuiteOnRepo runs the full suite over the real tree exactly as the
+// standalone CI driver does — strict per-package analysis (stale-allow
+// audit included) plus the whole-program RunGlobal passes. The contract
+// the CI lint gate enforces: after this PR the repo itself lints clean.
 func TestSuiteOnRepo(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and typechecks the whole module")
@@ -76,7 +194,7 @@ func TestSuiteOnRepo(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags := linttest.Diagnose(t, root, analyzers.All(), "./...")
+	diags := linttest.DiagnoseStrict(t, root, analyzers.All(), "./...")
 	for _, d := range diags {
 		t.Errorf("repo is not lint-clean: %s", d)
 	}

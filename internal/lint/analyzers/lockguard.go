@@ -1,0 +1,604 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"pace/internal/lint"
+	"pace/internal/lint/dataflow"
+)
+
+// LockguardScope is the set of import paths whose mutex discipline is
+// checked. Tests point it at fixture packages.
+var LockguardScope = []string{"pace/internal/serve", "pace/internal/mp", "pace/internal/telemetry"}
+
+// Lockguard checks mutex discipline in the concurrent packages (serve,
+// mp, telemetry) with a flow-aware must-hold walk over each function:
+//
+//   - A struct field annotated `// guarded by <mu>` (a sibling mutex
+//     field, or `Type.mu` for a mutex living in another struct, like the
+//     sim transport's lock guarding per-rank state) may only be read or
+//     written while that mutex is held on every path to the access.
+//   - A field with no annotation that is written with a sibling mutex
+//     held somewhere but accessed bare elsewhere is itself a finding: the
+//     annotation (or a fix) is required either way.
+//
+// Helpers that participate in a locking protocol declare it in their doc
+// comments so the walk can follow:
+//
+//	// lockguard: caller holds t.mu   — assumed held at entry
+//	// lockguard: acquires t.mu       — held after a call returns
+//	// lockguard: releases t.mu       — gone after a call returns
+//
+// The repo's `*Locked` method-name convention is honored automatically: a
+// method whose name ends in "Locked" assumes every mutex field of its
+// receiver is held. Accesses in the function that allocates the struct
+// (composite literal / new) are exempt — nothing else can see it yet.
+var Lockguard = &lint.Analyzer{
+	Name:      "lockguard",
+	Doc:       "fields annotated `// guarded by <mu>` are only accessed with the mutex held; locked-write/bare-access fields missing the annotation are flagged",
+	SkipTests: true,
+	Run:       runLockguard,
+}
+
+var (
+	guardedByRE = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_.]*)`)
+	lockAnnRE   = regexp.MustCompile(`lockguard: (caller holds|acquires|releases) ([A-Za-z_][A-Za-z0-9_.]*)`)
+)
+
+// fieldGuard is one parsed `// guarded by <mu>` annotation.
+type fieldGuard struct {
+	raw       string // as written: "mu" or "simTransport.mu"
+	sibling   string // sibling mutex field name, "" for the dotted form
+	ownerType string // name of the struct declaring the field
+}
+
+// typeKey returns the instance-independent key the guard demands.
+func (g *fieldGuard) typeKey() string {
+	if g.sibling != "" {
+		return g.ownerType + "." + g.sibling
+	}
+	return g.raw
+}
+
+// lockRef is one lock named by a function annotation, e.g. "t.mu".
+type lockRef struct {
+	path    string // as written, rooted at a receiver/param name
+	root    string // first component
+	typeKey string // resolved "OwnerType.field", may be ""
+}
+
+type funcAnn struct {
+	holds    []lockRef
+	acquires []lockRef
+	releases []lockRef
+}
+
+func runLockguard(pass *lint.Pass) error {
+	if !pathInScope(pass.Pkg.Path(), LockguardScope) {
+		return nil
+	}
+	info := pass.TypesInfo
+	g := dataflow.NewGraph(info, pass.Files)
+
+	guards := collectFieldGuards(pass)
+	structMus := collectStructMutexes(pass)
+	anns := collectFuncAnns(pass, g)
+	writes := collectWriteTargets(pass.Files)
+
+	model := dataflow.LockModel{
+		Info: info,
+		Classify: func(call *ast.CallExpr) ([]string, dataflow.LockEffect) {
+			if keys, eff := dataflow.MutexOp(info, call); eff != dataflow.EffectNone {
+				return keys, eff
+			}
+			fn, _ := g.Callee(call).(*types.Func)
+			ann := anns[fn]
+			if ann == nil {
+				return nil, dataflow.EffectNone
+			}
+			if len(ann.acquires) > 0 {
+				return annKeys(g, fn, call, ann.acquires), dataflow.EffectAcquire
+			}
+			if len(ann.releases) > 0 {
+				return annKeys(g, fn, call, ann.releases), dataflow.EffectRelease
+			}
+			return nil, dataflow.EffectNone
+		},
+	}
+
+	// heur accumulates the missing-annotation evidence per unguarded field.
+	type heurSites struct {
+		lockedWrite bool
+		bare        []token.Pos
+		mu          string // sibling mutex name, for the message
+	}
+	heur := map[*types.Var]*heurSites{}
+	reported := map[token.Pos]bool{}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			entry := entryLocks(g, info, fd, anns)
+			local := localAllocs(info, fd.Body)
+			dataflow.WalkHeld(model, fd.Body, entry, func(n ast.Node, held *dataflow.LockSet) {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return
+				}
+				selInfo, ok := info.Selections[sel]
+				if !ok || selInfo.Kind() != types.FieldVal {
+					return
+				}
+				field, ok := selInfo.Obj().(*types.Var)
+				if !ok {
+					return
+				}
+				if base := baseObject(info, sel.X); base != nil && local[base] {
+					return // still private to this function
+				}
+				basePath := dataflow.ExprPath(sel.X)
+
+				if guard, ok := guards[field]; ok {
+					held1 := held.Holds(guard.typeKey())
+					if !held1 && guard.sibling != "" && basePath != "" {
+						held1 = held.Holds(basePath + "." + guard.sibling)
+					}
+					if !held1 && !reported[sel.Pos()] {
+						reported[sel.Pos()] = true
+						pass.Reportf(sel.Pos(),
+							"field %s is guarded by %s but accessed without holding it", field.Name(), guard.raw)
+					}
+					return
+				}
+
+				// Missing-annotation heuristic: only for this package's own
+				// struct fields that have a sibling mutex to be guarded by.
+				if field.Pkg() != pass.Pkg {
+					return
+				}
+				owner, mus := ownerMutexes(selInfo.Recv(), structMus)
+				if owner == "" || len(mus) == 0 || isSyncType(field.Type()) {
+					return
+				}
+				muHeld := false
+				for _, mu := range mus {
+					if held.Holds(owner+"."+mu) || (basePath != "" && held.Holds(basePath+"."+mu)) {
+						muHeld = true
+						break
+					}
+				}
+				h := heur[field]
+				if h == nil {
+					h = &heurSites{mu: mus[0]}
+					heur[field] = h
+				}
+				if muHeld && writes[sel] {
+					h.lockedWrite = true
+				}
+				if !muHeld {
+					h.bare = append(h.bare, sel.Pos())
+				}
+			})
+		}
+	}
+
+	for field, h := range heur {
+		if !h.lockedWrite {
+			continue
+		}
+		for _, pos := range h.bare {
+			if reported[pos] {
+				continue
+			}
+			reported[pos] = true
+			pass.Reportf(pos,
+				"field %s is written under %s elsewhere but accessed bare here; annotate it `// guarded by %s` (and fix this access) or allow with a reason",
+				field.Name(), h.mu, h.mu)
+		}
+	}
+	return nil
+}
+
+// collectFieldGuards parses `// guarded by <mu>` field annotations.
+func collectFieldGuards(pass *lint.Pass) map[*types.Var]*fieldGuard {
+	out := map[*types.Var]*fieldGuard{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				raw := guardAnnotation(field)
+				if raw == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					v, ok := pass.TypesInfo.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					g := &fieldGuard{raw: raw, ownerType: ts.Name.Name}
+					if !strings.Contains(raw, ".") {
+						g.sibling = raw
+					}
+					out[v] = g
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRE.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// collectStructMutexes maps each struct type name declared in the package
+// to the names of its sync.Mutex/RWMutex fields.
+func collectStructMutexes(pass *lint.Pass) map[string][]string {
+	out := map[string][]string{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok && isMutexType(v.Type()) {
+						out[ts.Name.Name] = append(out[ts.Name.Name], name.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// collectFuncAnns parses `// lockguard: ...` doc annotations and applies
+// the *Locked name convention.
+func collectFuncAnns(pass *lint.Pass, g *dataflow.Graph) map[*types.Func]*funcAnn {
+	out := map[*types.Func]*funcAnn{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			var ann funcAnn
+			if fd.Doc != nil {
+				for _, m := range lockAnnRE.FindAllStringSubmatch(fd.Doc.Text(), -1) {
+					ref := makeLockRef(pass.TypesInfo, fd, m[2])
+					switch m[1] {
+					case "caller holds":
+						ann.holds = append(ann.holds, ref)
+					case "acquires":
+						ann.acquires = append(ann.acquires, ref)
+					case "releases":
+						ann.releases = append(ann.releases, ref)
+						// Releasing implies the caller held it on entry.
+						ann.holds = append(ann.holds, ref)
+					}
+				}
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") && fd.Recv != nil {
+				for _, ref := range receiverMutexRefs(pass.TypesInfo, fd) {
+					ann.holds = append(ann.holds, ref)
+				}
+			}
+			if len(ann.holds)+len(ann.acquires)+len(ann.releases) > 0 {
+				out[fn] = &ann
+			}
+		}
+	}
+	return out
+}
+
+// makeLockRef resolves an annotation path ("t.mu") against the function's
+// receiver and parameters to derive the type key.
+func makeLockRef(info *types.Info, fd *ast.FuncDecl, path string) lockRef {
+	parts := strings.Split(path, ".")
+	ref := lockRef{path: path, root: parts[0]}
+	rootType := paramType(info, fd, parts[0])
+	if rootType == nil || len(parts) < 2 {
+		return ref
+	}
+	t := rootType
+	for i := 1; i < len(parts); i++ {
+		t = derefNamedStructField(t, parts[i], i == len(parts)-1, &ref)
+		if t == nil {
+			break
+		}
+	}
+	return ref
+}
+
+// derefNamedStructField steps one field down a path; on the last step it
+// records OwnerType.field as the type key.
+func derefNamedStructField(t types.Type, field string, last bool, ref *lockRef) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == field {
+			if last {
+				ref.typeKey = named.Obj().Name() + "." + field
+			}
+			return st.Field(i).Type()
+		}
+	}
+	return nil
+}
+
+func paramType(info *types.Info, fd *ast.FuncDecl, name string) types.Type {
+	lists := []*ast.FieldList{fd.Recv, fd.Type.Params}
+	for _, fl := range lists {
+		if fl == nil {
+			continue
+		}
+		for _, field := range fl.List {
+			for _, id := range field.Names {
+				if id.Name == name {
+					if obj := info.Defs[id]; obj != nil {
+						return obj.Type()
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// receiverMutexRefs returns one lockRef per mutex field of the receiver
+// struct, rooted at the receiver name (the *Locked convention).
+func receiverMutexRefs(info *types.Info, fd *ast.FuncDecl) []lockRef {
+	if len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	recvName := fd.Recv.List[0].Names[0].Name
+	t := info.Defs[fd.Recv.List[0].Names[0]].Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var out []lockRef
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if isMutexType(f.Type()) {
+			out = append(out, lockRef{
+				path:    recvName + "." + f.Name(),
+				root:    recvName,
+				typeKey: named.Obj().Name() + "." + f.Name(),
+			})
+		}
+	}
+	return out
+}
+
+// entryLocks builds the lock set assumed held when fd starts executing.
+func entryLocks(g *dataflow.Graph, info *types.Info, fd *ast.FuncDecl, anns map[*types.Func]*funcAnn) *dataflow.LockSet {
+	set := dataflow.NewLockSet()
+	fn, ok := info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return set
+	}
+	if ann := anns[fn]; ann != nil {
+		for _, ref := range ann.holds {
+			set.Add(ref.path)
+			set.Add(ref.typeKey)
+		}
+	}
+	return set
+}
+
+// annKeys renders an annotated call's lock keys at a call site: the type
+// key always applies; the instance path is rebased from the callee's
+// receiver name onto the caller's receiver expression when possible.
+func annKeys(g *dataflow.Graph, fn *types.Func, call *ast.CallExpr, refs []lockRef) []string {
+	var keys []string
+	recvName := ""
+	if d := g.Decl(fn); d != nil && d.Recv != nil && len(d.Recv.List) > 0 && len(d.Recv.List[0].Names) > 0 {
+		recvName = d.Recv.List[0].Names[0].Name
+	}
+	for _, ref := range refs {
+		if ref.typeKey != "" {
+			keys = append(keys, ref.typeKey)
+		}
+		if recvName != "" && ref.root == recvName {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if base := dataflow.ExprPath(sel.X); base != "" {
+					keys = append(keys, base+strings.TrimPrefix(ref.path, ref.root))
+				}
+			}
+		}
+	}
+	return keys
+}
+
+// ownerMutexes resolves the receiver type of a field selection to its
+// struct name and that struct's mutex fields.
+func ownerMutexes(recv types.Type, structMus map[string][]string) (string, []string) {
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return "", nil
+	}
+	name := named.Obj().Name()
+	return name, structMus[name]
+}
+
+// localAllocs collects local variables bound to a fresh composite literal
+// or new() in this function: accesses through them are pre-publication.
+func localAllocs(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			id, ok := lhs.(*ast.Ident)
+			if !ok || !isFreshAlloc(info, as.Rhs[i]) {
+				continue
+			}
+			if obj := info.Defs[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isFreshAlloc(info *types.Info, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, ok := e.X.(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "new" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectWriteTargets marks the selector expressions that are assignment
+// or inc/dec targets (possibly through indexing/dereference).
+func collectWriteTargets(files []*ast.File) map[*ast.SelectorExpr]bool {
+	out := map[*ast.SelectorExpr]bool{}
+	mark := func(e ast.Expr) {
+		for {
+			switch x := e.(type) {
+			case *ast.SelectorExpr:
+				out[x] = true
+				return
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.ParenExpr:
+				e = x.X
+			default:
+				return
+			}
+		}
+	}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					mark(lhs)
+				}
+			case *ast.IncDecStmt:
+				mark(n.X)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// baseObject resolves the root identifier of a selector chain.
+func baseObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return resolveIdent(info, x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// isSyncType reports whether the field's type is itself a synchronization
+// primitive (sync.*, sync/atomic.*): those have their own disciplines and
+// analyzers.
+func isSyncType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && (pkg.Path() == "sync" || pkg.Path() == "sync/atomic")
+}

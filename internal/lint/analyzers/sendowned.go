@@ -5,6 +5,7 @@ import (
 	"go/types"
 
 	"pace/internal/lint"
+	"pace/internal/lint/dataflow"
 )
 
 // SendOwned enforces the PR-1 ownership contract of Comm.SendOwned: the
@@ -21,17 +22,34 @@ import (
 //     into a field, map, slice element or package-level variable, or
 //     appending it to another slice.
 //
+// v2 is call-graph-aware: the dataflow layer's value-flows-to-call fact
+// marks every same-package function whose parameter ends up (possibly
+// through further helpers) as a SendOwned payload, and a call to such a
+// helper hands the argument off exactly like a direct SendOwned — so a
+// buffer passed to a forwarding helper and then touched again, or passed
+// to two helpers in a row, is flagged in the caller.
+//
 // Payloads built in-place (function call results, literals) are untracked:
 // with no name there is nothing to misuse. The analysis is per-function and
 // flow-insensitive across branches; genuinely safe patterns it cannot see
 // are annotated //pacelint:allow sendowned <reason>.
 var SendOwned = &lint.Analyzer{
 	Name: "sendowned",
-	Doc:  "flags use or retention of a buffer after it was handed to Comm.SendOwned",
+	Doc:  "flags use or retention of a buffer after it was handed to Comm.SendOwned, directly or via a forwarding helper",
 	Run:  runSendOwned,
 }
 
 func runSendOwned(pass *lint.Pass) error {
+	g := dataflow.NewGraph(pass.TypesInfo, pass.Files)
+	sinks := g.SinkParams(
+		func(call *ast.CallExpr) int {
+			if len(call.Args) == 3 && commMethod(pass.TypesInfo, call, "SendOwned") {
+				return 2
+			}
+			return -1
+		},
+		func(e ast.Expr) types.Object { return identObj(pass.TypesInfo, e) },
+	)
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			var body *ast.BlockStmt
@@ -44,7 +62,7 @@ func runSendOwned(pass *lint.Pass) error {
 				return true
 			}
 			if body != nil {
-				checkSendOwnedFunc(pass, body)
+				checkSendOwnedFunc(pass, g, sinks, body)
 			}
 			return true
 		})
@@ -52,22 +70,40 @@ func runSendOwned(pass *lint.Pass) error {
 	return nil
 }
 
-func checkSendOwnedFunc(pass *lint.Pass, body *ast.BlockStmt) {
+func checkSendOwnedFunc(pass *lint.Pass, g *dataflow.Graph, sinks map[types.Object][]int, body *ast.BlockStmt) {
 	info := pass.TypesInfo
-	// Pass 1: collect SendOwned payload variables in this function body
-	// (nested function literals analyze their own bodies; skip them here).
+	// Pass 1: collect handoff points in this function body (nested function
+	// literals analyze their own bodies; skip them here): direct SendOwned
+	// payloads, plus arguments flowing into a forwarding helper's sink
+	// parameter.
 	type handoff struct {
 		obj  types.Object
 		call *ast.CallExpr
+		via  string // helper name for indirect handoffs, "" for direct
 	}
 	var handoffs []handoff
 	inspectShallow(body, func(n ast.Node) {
 		call, ok := n.(*ast.CallExpr)
-		if !ok || len(call.Args) != 3 || !commMethod(info, call, "SendOwned") {
+		if !ok {
 			return
 		}
-		if obj := identObj(info, call.Args[2]); obj != nil && isLocalVar(obj) {
-			handoffs = append(handoffs, handoff{obj: obj, call: call})
+		if len(call.Args) == 3 && commMethod(info, call, "SendOwned") {
+			if obj := identObj(info, call.Args[2]); obj != nil && isLocalVar(obj) {
+				handoffs = append(handoffs, handoff{obj: obj, call: call})
+			}
+			return
+		}
+		callee := g.Callee(call)
+		if callee == nil || call.Ellipsis.IsValid() {
+			return
+		}
+		for _, i := range sinks[callee] {
+			if i >= len(call.Args) {
+				continue
+			}
+			if obj := identObj(info, call.Args[i]); obj != nil && isLocalVar(obj) {
+				handoffs = append(handoffs, handoff{obj: obj, call: call, via: callee.Name()})
+			}
 		}
 	})
 	if len(handoffs) == 0 {
@@ -103,6 +139,10 @@ func checkSendOwnedFunc(pass *lint.Pass, body *ast.BlockStmt) {
 		}
 
 		// Pass 2a: uses after the handoff.
+		target := "SendOwned"
+		if h.via != "" {
+			target = h.via + " (which forwards it to SendOwned)"
+		}
 		inspectShallow(body, func(n ast.Node) {
 			id, ok := n.(*ast.Ident)
 			if !ok || resolveIdent(info, id) != h.obj {
@@ -115,7 +155,7 @@ func checkSendOwnedFunc(pass *lint.Pass, body *ast.BlockStmt) {
 				return
 			}
 			pass.Reportf(id.Pos(),
-				"%s is used after being passed to SendOwned (ownership transferred to the runtime); use Send, or stop touching the buffer", id.Name)
+				"%s is used after being passed to %s (ownership transferred to the runtime); use Send, or stop touching the buffer", id.Name, target)
 		})
 
 		// Pass 2b: retention anywhere in the function — an alias that

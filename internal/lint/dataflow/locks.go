@@ -1,0 +1,485 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// LockSet is a must-hold set of lock keys. Keys are strings in two forms,
+// both usually recorded per acquisition:
+//
+//   - an instance path like "t.mu" — the rendered selector chain of the
+//     lock expression, precise but only comparable within one function;
+//   - a type key like "simTransport.mu" — the owning struct type plus
+//     field name, which survives renaming across functions and lets a
+//     field of one struct be guarded by a mutex living in another.
+type LockSet struct{ m map[string]bool }
+
+// NewLockSet returns a set holding the given keys.
+func NewLockSet(keys ...string) *LockSet {
+	s := &LockSet{m: map[string]bool{}}
+	for _, k := range keys {
+		s.Add(k)
+	}
+	return s
+}
+
+// Holds reports whether key is in the must-hold set.
+func (s *LockSet) Holds(key string) bool { return key != "" && s.m[key] }
+
+// Add inserts a key; empty keys are ignored.
+func (s *LockSet) Add(key string) {
+	if key != "" {
+		s.m[key] = true
+	}
+}
+
+// Del removes a key.
+func (s *LockSet) Del(key string) { delete(s.m, key) }
+
+// Keys returns the sorted held keys (for tests and diagnostics).
+func (s *LockSet) Keys() []string {
+	out := make([]string, 0, len(s.m))
+	for k := range s.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (s *LockSet) clone() *LockSet {
+	c := &LockSet{m: make(map[string]bool, len(s.m))}
+	for k := range s.m {
+		c.m[k] = true
+	}
+	return c
+}
+
+// intersectAll returns the keys held in every set; must-hold merges meet.
+func intersectAll(sets []*LockSet) *LockSet {
+	if len(sets) == 0 {
+		return NewLockSet()
+	}
+	out := sets[0].clone()
+	for _, s := range sets[1:] {
+		for k := range out.m {
+			if !s.m[k] {
+				delete(out.m, k)
+			}
+		}
+	}
+	return out
+}
+
+// LockEffect classifies a call's effect on the lock set.
+type LockEffect int
+
+const (
+	// EffectNone leaves the lock set unchanged.
+	EffectNone LockEffect = iota
+	// EffectAcquire adds the call's keys to the set.
+	EffectAcquire
+	// EffectRelease removes the call's keys from the set.
+	EffectRelease
+)
+
+// LockModel configures the simulation.
+type LockModel struct {
+	Info *types.Info
+	// Classify reports a call's lock keys and effect (EffectNone for calls
+	// that do not touch locks). MutexOp handles the direct
+	// sync.Mutex/RWMutex cases; analyzers layer annotated helpers on top.
+	Classify func(call *ast.CallExpr) ([]string, LockEffect)
+}
+
+// WalkHeld runs a forward must-hold simulation over body starting from
+// entry, invoking visit on every visited node with the lock set held at
+// that point. The walk follows the function's block ordering: branches
+// merge by intersection (a key survives only if held on every non-
+// terminated path), loops account for the zero-iteration path and break
+// exits, a path ending in return/panic stops contributing, `go` literals
+// start from an empty set, and a deferred release is ignored (the lock
+// stays held until the function returns, which is exactly what the
+// deferred unlock means).
+//
+// The visited set held at a node is a may-be-too-small approximation by
+// construction — the simulation never invents a held lock — so "guarded
+// access while not held" checks built on it can report false positives on
+// exotic flow, but silence genuinely means every path held the lock.
+func WalkHeld(model LockModel, body *ast.BlockStmt, entry *LockSet, visit func(n ast.Node, held *LockSet)) {
+	s := &lockSim{model: model, visit: visit}
+	s.stmt(body, entry.clone())
+}
+
+type lockSim struct {
+	model LockModel
+	visit func(ast.Node, *LockSet)
+	loops []*loopFrame
+}
+
+type loopFrame struct{ breaks []*LockSet }
+
+func (s *lockSim) stmts(list []ast.Stmt, in *LockSet) (*LockSet, bool) {
+	cur := in
+	for _, st := range list {
+		var term bool
+		cur, term = s.stmt(st, cur)
+		if term {
+			return cur, true
+		}
+	}
+	return cur, false
+}
+
+// stmt simulates one statement, returning the lock set after it and
+// whether control cannot continue past it (return, panic, break, ...).
+func (s *lockSim) stmt(st ast.Stmt, in *LockSet) (*LockSet, bool) {
+	switch n := st.(type) {
+	case nil:
+		return in, false
+	case *ast.BlockStmt:
+		s.visit(n, in)
+		return s.stmts(n.List, in)
+	case *ast.ExprStmt:
+		out := s.expr(n.X, in)
+		return out, s.isPanic(n.X)
+	case *ast.AssignStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.DeclStmt:
+		s.visit(st, in)
+		out := in
+		for _, e := range stmtExprs(st) {
+			out = s.expr(e, out)
+		}
+		return out, false
+	case *ast.ReturnStmt:
+		s.visit(n, in)
+		out := in
+		for _, e := range n.Results {
+			out = s.expr(e, out)
+		}
+		return out, true
+	case *ast.BranchStmt:
+		// break exits the innermost loop with the current state; continue
+		// re-enters it (already accounted for by the loop-entry path), and
+		// goto is rare enough to treat as an opaque exit.
+		if len(s.loops) > 0 && n.Tok.String() == "break" {
+			f := s.loops[len(s.loops)-1]
+			f.breaks = append(f.breaks, in.clone())
+		}
+		return in, true
+	case *ast.IfStmt:
+		in1, _ := s.stmt(n.Init, in)
+		in2 := s.expr(n.Cond, in1)
+		thenOut, thenTerm := s.stmt(n.Body, in2.clone())
+		elseOut, elseTerm := in2.clone(), false
+		if n.Else != nil {
+			elseOut, elseTerm = s.stmt(n.Else, in2.clone())
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return in2, true
+		case thenTerm:
+			return elseOut, false
+		case elseTerm:
+			return thenOut, false
+		default:
+			return intersectAll([]*LockSet{thenOut, elseOut}), false
+		}
+	case *ast.ForStmt:
+		in1, _ := s.stmt(n.Init, in)
+		in2 := s.expr(n.Cond, in1)
+		frame := &loopFrame{}
+		s.loops = append(s.loops, frame)
+		bodyOut, bodyTerm := s.stmt(n.Body, in2.clone())
+		if !bodyTerm {
+			bodyOut, _ = s.stmt(n.Post, bodyOut)
+		}
+		s.loops = s.loops[:len(s.loops)-1]
+		exits := frame.breaks
+		if !bodyTerm {
+			exits = append(exits, bodyOut)
+		}
+		if n.Cond != nil {
+			exits = append(exits, in2) // zero iterations
+		}
+		if len(exits) == 0 {
+			return in2, true // `for {}` with no break never falls through
+		}
+		return intersectAll(exits), false
+	case *ast.RangeStmt:
+		in1 := s.expr(n.X, in)
+		frame := &loopFrame{}
+		s.loops = append(s.loops, frame)
+		bodyOut, bodyTerm := s.stmt(n.Body, in1.clone())
+		s.loops = s.loops[:len(s.loops)-1]
+		exits := append(frame.breaks, in1) // zero iterations
+		if !bodyTerm {
+			exits = append(exits, bodyOut)
+		}
+		return intersectAll(exits), false
+	case *ast.SwitchStmt:
+		in1, _ := s.stmt(n.Init, in)
+		in2 := s.expr(n.Tag, in1)
+		return s.clauses(n.Body, in2, false)
+	case *ast.TypeSwitchStmt:
+		in1, _ := s.stmt(n.Init, in)
+		in2, _ := s.stmt(n.Assign, in1)
+		return s.clauses(n.Body, in2, false)
+	case *ast.SelectStmt:
+		return s.clauses(n.Body, in, true)
+	case *ast.GoStmt:
+		s.visit(n, in)
+		out := in
+		for _, a := range n.Call.Args {
+			out = s.expr(a, out)
+		}
+		// The goroutine starts on its own schedule holding nothing.
+		if lit, ok := unparen(n.Call.Fun).(*ast.FuncLit); ok {
+			sub := &lockSim{model: s.model, visit: s.visit}
+			sub.stmt(lit.Body, NewLockSet())
+		}
+		return out, false
+	case *ast.DeferStmt:
+		s.visit(n, in)
+		out := in
+		for _, a := range n.Call.Args {
+			out = s.expr(a, out)
+		}
+		// A deferred unlock keeps the lock held to the end of the function;
+		// the effect is deliberately not applied. A deferred literal runs at
+		// return: simulate it with the current set as an approximation.
+		if lit, ok := unparen(n.Call.Fun).(*ast.FuncLit); ok {
+			sub := &lockSim{model: s.model, visit: s.visit}
+			sub.stmt(lit.Body, out.clone())
+		}
+		return out, false
+	case *ast.LabeledStmt:
+		return s.stmt(n.Stmt, in)
+	default:
+		s.visit(st, in)
+		return in, false
+	}
+}
+
+// clauses merges a switch/select body: the result holds only what every
+// non-terminated clause holds; a tag switch without a default keeps the
+// fall-past path alive.
+func (s *lockSim) clauses(body *ast.BlockStmt, in *LockSet, isSelect bool) (*LockSet, bool) {
+	var exits []*LockSet
+	hasDefault := false
+	for _, cl := range body.List {
+		var list []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			cur := in.clone()
+			for _, e := range cl.List {
+				cur = s.expr(e, cur)
+			}
+			list = cl.Body
+			if out, term := s.stmts(list, cur); !term {
+				exits = append(exits, out)
+			}
+			continue
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			}
+			cur, _ := s.stmt(cl.Comm, in.clone())
+			list = cl.Body
+			if out, term := s.stmts(list, cur); !term {
+				exits = append(exits, out)
+			}
+			continue
+		}
+	}
+	if !isSelect && !hasDefault {
+		exits = append(exits, in)
+	}
+	if len(exits) == 0 {
+		if isSelect && len(body.List) == 0 {
+			return in, true // select{} blocks forever
+		}
+		return in, true
+	}
+	return intersectAll(exits), false
+}
+
+// expr visits every node of e with the incoming set, then applies the
+// effects of the calls it contains in source order. Function literals are
+// simulated as separate walks from the current set (callbacks usually run
+// where they are installed or later under the same discipline; `go`
+// literals are handled at the statement level with an empty set).
+func (s *lockSim) expr(e ast.Expr, in *LockSet) *LockSet {
+	if e == nil {
+		return in
+	}
+	var calls []*ast.CallExpr
+	ast.Inspect(e, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		if lit, ok := n.(*ast.FuncLit); ok {
+			sub := &lockSim{model: s.model, visit: s.visit}
+			sub.stmt(lit.Body, in.clone())
+			return false
+		}
+		s.visit(n, in)
+		if call, ok := n.(*ast.CallExpr); ok {
+			calls = append(calls, call)
+		}
+		return true
+	})
+	out := in
+	for _, call := range calls {
+		keys, eff := s.model.Classify(call)
+		if eff == EffectNone || len(keys) == 0 {
+			continue
+		}
+		if out == in {
+			out = in.clone()
+		}
+		for _, k := range keys {
+			if eff == EffectAcquire {
+				out.Add(k)
+			} else {
+				out.Del(k)
+			}
+		}
+	}
+	return out
+}
+
+func (s *lockSim) isPanic(e ast.Expr) bool {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := s.model.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}
+
+func stmtExprs(st ast.Stmt) []ast.Expr {
+	switch n := st.(type) {
+	case *ast.AssignStmt:
+		out := append([]ast.Expr{}, n.Rhs...)
+		return append(out, n.Lhs...)
+	case *ast.IncDecStmt:
+		return []ast.Expr{n.X}
+	case *ast.SendStmt:
+		return []ast.Expr{n.Chan, n.Value}
+	case *ast.DeclStmt:
+		var out []ast.Expr
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					out = append(out, vs.Values...)
+				}
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// MutexOp classifies a direct sync.Mutex / sync.RWMutex method call:
+// Lock/RLock acquire, Unlock/RUnlock release. Both an instance-path key
+// ("t.mu") and, when the mutex is a struct field, a type key
+// ("simTransport.mu") are returned. Reader and writer locks share a key:
+// the guard question here is "was the mutex held", not "in which mode".
+func MutexOp(info *types.Info, call *ast.CallExpr) ([]string, LockEffect) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, EffectNone
+	}
+	var eff LockEffect
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		// TryLock is approximated as an acquire; the false branch that
+		// skips the critical section is rare and self-evidently guarded.
+		eff = EffectAcquire
+	case "Unlock", "RUnlock":
+		eff = EffectRelease
+	default:
+		return nil, EffectNone
+	}
+	if !isSyncMutex(info.TypeOf(sel.X)) {
+		return nil, EffectNone
+	}
+	var keys []string
+	if p := ExprPath(sel.X); p != "" {
+		keys = append(keys, p)
+	}
+	if inner, ok := unparen(sel.X).(*ast.SelectorExpr); ok {
+		if _, tk := FieldKeys(info, inner); tk != "" {
+			keys = append(keys, tk)
+		}
+	}
+	if len(keys) == 0 {
+		return nil, EffectNone
+	}
+	return keys, eff
+}
+
+func isSyncMutex(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// ExprPath renders a pure selector chain rooted at an identifier —
+// "t.mu", "m.cfg" — or "" when the expression involves anything else
+// (indexing, calls, literals), which makes the instance untrackable.
+func ExprPath(e ast.Expr) string {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := ExprPath(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return ExprPath(e.X)
+	}
+	return ""
+}
+
+// FieldKeys returns the two lock keys of a field selector: the instance
+// path ("t.mu") and the type key ("simTransport.mu", derived from the
+// named type of the receiver expression). Either may be "" when not
+// derivable; a non-field selector yields "", "".
+func FieldKeys(info *types.Info, sel *ast.SelectorExpr) (pathKey, typeKey string) {
+	selInfo, ok := info.Selections[sel]
+	if !ok || selInfo.Kind() != types.FieldVal {
+		return "", ""
+	}
+	pathKey = ExprPath(sel)
+	t := selInfo.Recv()
+	if p, okp := t.(*types.Pointer); okp {
+		t = p.Elem()
+	}
+	if named, okn := t.(*types.Named); okn {
+		typeKey = named.Obj().Name() + "." + sel.Sel.Name
+	}
+	return pathKey, typeKey
+}

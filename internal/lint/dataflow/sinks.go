@@ -1,0 +1,92 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// SinkParams computes the value-flows-to-call fact: for every function and
+// tracked closure in the package, which of its parameters flow — directly
+// or through further same-package calls — into the sink argument slot of a
+// sink call.
+//
+// seed identifies the primitive sink: it returns the index of a call's
+// sink argument, or -1 if the call is not a sink. base resolves an
+// argument expression to the object it aliases (typically looking through
+// slicing and parens, since a sub-slice shares the backing array).
+//
+// The result maps a function object to the sorted indices of its sink
+// parameters. Example: with seed matching Comm.SendOwned's payload (index
+// 2), a helper `func ship(c *mp.Comm, to int, buf []byte) { c.SendOwned(to,
+// tag, buf) }` gets {ship: [2]}, and so does any function that forwards a
+// parameter to ship's buf.
+func (g *Graph) SinkParams(seed func(*ast.CallExpr) int, base func(ast.Expr) types.Object) map[types.Object][]int {
+	bodies := g.Bodies()
+	marked := map[types.Object]map[int]bool{}
+	paramIdx := map[types.Object]map[types.Object]int{}
+	for obj := range bodies {
+		idx := map[types.Object]int{}
+		for i, p := range g.Params(obj) {
+			if p != nil {
+				idx[p] = i
+			}
+		}
+		paramIdx[obj] = idx
+	}
+
+	mark := func(fn types.Object, i int) bool {
+		if marked[fn] == nil {
+			marked[fn] = map[int]bool{}
+		}
+		if marked[fn][i] {
+			return false
+		}
+		marked[fn][i] = true
+		return true
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for fn, body := range bodies {
+			params := paramIdx[fn]
+			ast.Inspect(body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || call.Ellipsis.IsValid() {
+					return true
+				}
+				sinkArg := func(i int) {
+					if i < 0 || i >= len(call.Args) {
+						return
+					}
+					obj := base(call.Args[i])
+					if obj == nil {
+						return
+					}
+					if j, ok := params[obj]; ok && mark(fn, j) {
+						changed = true
+					}
+				}
+				if i := seed(call); i >= 0 {
+					sinkArg(i)
+				} else if callee := g.Callee(call); callee != nil {
+					for i := range marked[callee] {
+						sinkArg(i)
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	out := make(map[types.Object][]int, len(marked))
+	for fn, set := range marked {
+		idxs := make([]int, 0, len(set))
+		for i := range set {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+		out[fn] = idxs
+	}
+	return out
+}

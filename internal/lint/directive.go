@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"strings"
@@ -19,42 +20,92 @@ import (
 // suppresses them for the whole file. The reason is mandatory: a directive
 // without one is reported as a finding of the pseudo-analyzer "pacelint",
 // so suppressions stay self-documenting.
+//
+// The index also keeps the ledger honest in the other direction: each
+// directive records whether it actually suppressed anything, and full runs
+// (AnalyzePackageStrict) report the ones that did not as "stale-allow" —
+// an exemption that outlived the code it excused.
 
 const (
 	directiveLine = "//pacelint:allow "
 	directiveFile = "//pacelint:allow-file "
 )
 
-// allowIndex records which (analyzer, file, line) triples are suppressed.
+// directive is one parsed //pacelint:allow[-file] comment.
+type directive struct {
+	analyzer string
+	pos      token.Position
+	fileWide bool
+	used     bool
+}
+
+// allowIndex records which (analyzer, file, line) triples are suppressed,
+// pointing back at the directive so suppression marks it as used.
 type allowIndex struct {
-	// lines maps analyzer -> filename -> suppressed line set.
-	lines map[string]map[string]map[int]bool
-	// files maps analyzer -> filename set.
-	files map[string]map[string]bool
+	// lines maps analyzer -> filename -> line -> directive.
+	lines map[string]map[string]map[int]*directive
+	// files maps analyzer -> filename -> directive.
+	files map[string]map[string]*directive
+	dirs  []*directive
 }
 
-func (ix *allowIndex) add(analyzer, file string, line int) {
-	if ix.lines[analyzer] == nil {
-		ix.lines[analyzer] = map[string]map[int]bool{}
+func (ix *allowIndex) add(d *directive, line int) {
+	if ix.lines[d.analyzer] == nil {
+		ix.lines[d.analyzer] = map[string]map[int]*directive{}
 	}
-	if ix.lines[analyzer][file] == nil {
-		ix.lines[analyzer][file] = map[int]bool{}
+	if ix.lines[d.analyzer][d.pos.Filename] == nil {
+		ix.lines[d.analyzer][d.pos.Filename] = map[int]*directive{}
 	}
-	ix.lines[analyzer][file][line] = true
+	ix.lines[d.analyzer][d.pos.Filename][line] = d
 }
 
-func (ix *allowIndex) addFile(analyzer, file string) {
-	if ix.files[analyzer] == nil {
-		ix.files[analyzer] = map[string]bool{}
+func (ix *allowIndex) addFile(d *directive) {
+	if ix.files[d.analyzer] == nil {
+		ix.files[d.analyzer] = map[string]*directive{}
 	}
-	ix.files[analyzer][file] = true
+	ix.files[d.analyzer][d.pos.Filename] = d
 }
 
 func (ix *allowIndex) allows(analyzer string, posn token.Position) bool {
-	if ix.files[analyzer][posn.Filename] {
+	if d := ix.files[analyzer][posn.Filename]; d != nil {
+		d.used = true
 		return true
 	}
-	return ix.lines[analyzer][posn.Filename][posn.Line]
+	if d := ix.lines[analyzer][posn.Filename][posn.Line]; d != nil {
+		d.used = true
+		return true
+	}
+	return false
+}
+
+// stale reports the directives that suppressed nothing during the run
+// (for analyzers that actually ran) and the ones naming analyzers that do
+// not exist at all.
+func (ix *allowIndex) stale(known map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	form := func(d *directive) string {
+		if d.fileWide {
+			return "//pacelint:allow-file"
+		}
+		return "//pacelint:allow"
+	}
+	for _, d := range ix.dirs {
+		switch {
+		case !known[d.analyzer]:
+			out = append(out, Diagnostic{
+				Pos:      d.pos,
+				Analyzer: "stale-allow",
+				Message:  fmt.Sprintf("%s names unknown analyzer %q; fix the name or delete the directive", form(d), d.analyzer),
+			})
+		case !d.used:
+			out = append(out, Diagnostic{
+				Pos:      d.pos,
+				Analyzer: "stale-allow",
+				Message:  fmt.Sprintf("%s %s suppresses no findings; the code it excused is gone — delete the directive", form(d), d.analyzer),
+			})
+		}
+	}
+	return out
 }
 
 // buildAllowIndex scans every comment in the package for directives. It
@@ -62,8 +113,8 @@ func (ix *allowIndex) allows(analyzer string, posn token.Position) bool {
 // analyzer name or reason).
 func buildAllowIndex(fset *token.FileSet, files []*ast.File) (*allowIndex, []Diagnostic) {
 	ix := &allowIndex{
-		lines: map[string]map[string]map[int]bool{},
-		files: map[string]map[string]bool{},
+		lines: map[string]map[string]map[int]*directive{},
+		files: map[string]map[string]*directive{},
 	}
 	var bad []Diagnostic
 	malformed := func(pos token.Pos, what string) {
@@ -99,13 +150,18 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File) (*allowIndex, []Dia
 					malformed(c.Pos(), "missing reason after analyzer name (suppressions must say why)")
 					continue
 				}
-				posn := fset.Position(c.Pos())
+				d := &directive{
+					analyzer: fields[0],
+					pos:      fset.Position(c.Pos()),
+					fileWide: fileWide,
+				}
+				ix.dirs = append(ix.dirs, d)
 				if fileWide {
-					ix.addFile(fields[0], posn.Filename)
+					ix.addFile(d)
 					continue
 				}
-				ix.add(fields[0], posn.Filename, posn.Line)
-				ix.add(fields[0], posn.Filename, posn.Line+1)
+				ix.add(d, d.pos.Line)
+				ix.add(d, d.pos.Line+1)
 			}
 		}
 	}

@@ -42,6 +42,12 @@ type Analyzer struct {
 	SkipTests bool
 	// Run reports findings via pass.Reportf.
 	Run func(pass *Pass) error
+	// RunGlobal, when non-nil, is a whole-program direction of the check
+	// that needs every package in view at once (e.g. "the catalog lists a
+	// metric no package registers"). It only runs in standalone mode and
+	// in the repo suite test — the vet driver analyzes one package per
+	// process, so per-package Run must carry the per-package direction.
+	RunGlobal func(pkgs []*Package) []Diagnostic
 }
 
 // Pass carries one analyzer's view of one package.
@@ -92,6 +98,31 @@ func isTestFile(name string) bool { return strings.HasSuffix(name, "_test.go") }
 // surviving findings, sorted by position. Malformed pacelint directives are
 // reported under the pseudo-analyzer "pacelint".
 func AnalyzePackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := analyzePackage(pkg, analyzers)
+	return diags, err
+}
+
+// AnalyzePackageStrict additionally reports allow directives that
+// suppressed nothing as "stale-allow" findings (and directives naming an
+// analyzer that does not exist). It is meant for full runs — the
+// standalone driver and the repo suite test — where every analyzer and
+// every non-test file is in view, so "suppressed nothing" genuinely means
+// the directive is dead weight in the exemption ledger.
+func AnalyzePackageStrict(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, allow, err := analyzePackage(pkg, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	diags = append(diags, allow.stale(known)...)
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+func analyzePackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, *allowIndex, error) {
 	var diags []Diagnostic
 	allow, bad := buildAllowIndex(pkg.Fset, pkg.Files)
 	diags = append(diags, bad...)
@@ -110,9 +141,14 @@ func AnalyzePackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			out:       &diags,
 		}
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.PkgPath, err)
+			return nil, nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.PkgPath, err)
 		}
 	}
+	sortDiagnostics(diags)
+	return diags, allow, nil
+}
+
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -123,7 +159,6 @@ func AnalyzePackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return diags, nil
 }
 
 func nonTestFiles(fset *token.FileSet, files []*ast.File) []*ast.File {

@@ -130,3 +130,28 @@ func Diagnose(t *testing.T, dir string, analyzers []*lint.Analyzer, pattern stri
 	}
 	return all
 }
+
+// DiagnoseStrict mirrors the standalone driver: per-package strict
+// analysis (stale-allow included) plus each analyzer's whole-program
+// RunGlobal pass over everything the pattern matched.
+func DiagnoseStrict(t *testing.T, dir string, analyzers []*lint.Analyzer, pattern string) []lint.Diagnostic {
+	t.Helper()
+	pkgs, err := lint.LoadPackages(dir, pattern)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pattern, err)
+	}
+	var all []lint.Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := lint.AnalyzePackageStrict(pkg, analyzers)
+		if err != nil {
+			t.Fatalf("analyzing %s: %v", pkg.PkgPath, err)
+		}
+		all = append(all, diags...)
+	}
+	for _, a := range analyzers {
+		if a.RunGlobal != nil {
+			all = append(all, a.RunGlobal(pkgs)...)
+		}
+	}
+	return all
+}

@@ -63,14 +63,22 @@ func standaloneMain(patterns []string, analyzers []*Analyzer, asJSON bool) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	// Standalone runs see the whole program (non-test sources of every
+	// package), so they also run the strict directions: stale-allow
+	// directive auditing and the analyzers' RunGlobal checks.
 	var all []Diagnostic
 	for _, pkg := range pkgs {
-		diags, err := AnalyzePackage(pkg, analyzers)
+		diags, err := AnalyzePackageStrict(pkg, analyzers)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		all = append(all, diags...)
+	}
+	for _, a := range analyzers {
+		if a.RunGlobal != nil {
+			all = append(all, a.RunGlobal(pkgs)...)
+		}
 	}
 	emit(all, asJSON)
 	if len(all) > 0 {

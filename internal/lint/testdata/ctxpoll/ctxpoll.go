@@ -1,0 +1,108 @@
+// Fixtures for the ctxpoll analyzer: unbounded dispatch loops and
+// blocking wait loops must poll the run context.
+package ctxpoll
+
+import (
+	"context"
+	"time"
+)
+
+type cfg struct{ ctx context.Context }
+
+// ctxErr mirrors cluster.Config.ctxErr: a same-package helper whose body
+// reaches a context poll. Loops calling it are covered by reachability.
+func (c cfg) ctxErr() error {
+	if c.ctx == nil {
+		return nil
+	}
+	return c.ctx.Err()
+}
+
+func dispatchNoPoll(work chan int) {
+	for { // want "unbounded loop never polls the run context"
+		select {
+		case <-work:
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+func dispatchDirectPoll(ctx context.Context, work chan int) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return
+		}
+		<-work
+	}
+}
+
+func dispatchHelperPoll(c cfg, work chan int) {
+	for {
+		if err := c.ctxErr(); err != nil {
+			return
+		}
+		<-work
+	}
+}
+
+func dispatchDoneCase(ctx context.Context, work chan int) {
+	for {
+		select {
+		case <-work:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+func waitNoPoll(idle func() bool) {
+	for !idle() { // want "blocking wait loop never polls the run context"
+		<-time.After(time.Millisecond)
+	}
+}
+
+func waitSleepNoPoll(idle func() bool) {
+	for !idle() { // want "blocking wait loop never polls the run context"
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func waitWithPoll(ctx context.Context, idle func() bool) error {
+	for !idle() {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+	return nil
+}
+
+// A poll inside a spawned goroutine does not interrupt the loop itself.
+func spawnedPollDoesNotCount(ctx context.Context) {
+	for { // want "unbounded loop never polls the run context"
+		go func() { _ = ctx.Err() }()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Conforming: a conditional loop that never blocks is plain iteration,
+// not a wait loop — out of scope for the contract.
+func countingLoop(n int) int {
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += i
+	}
+	return sum
+}
+
+// Conforming via directive: a bounded drain that runs after the deadline
+// already fired is legitimately exempt, with the reason recorded.
+func allowedDrain(work chan int) {
+	//pacelint:allow ctxpoll bounded drain after the deadline fired; exits when work closes
+	for {
+		if _, ok := <-work; !ok {
+			return
+		}
+	}
+}

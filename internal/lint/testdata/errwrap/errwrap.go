@@ -1,0 +1,56 @@
+// Fixtures for the errwrap analyzer: errors formatted into fmt.Errorf in
+// API-boundary packages must use %w so errors.Is/As survive the chain.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("sentinel")
+
+type rankErr struct{ rank int }
+
+func (e rankErr) Error() string { return "rank failed" }
+
+func flattenV(err error) error {
+	return fmt.Errorf("run failed: %v", err) // want "use %w so errors.Is/As still match"
+}
+
+func flattenS(err error) error {
+	return fmt.Errorf("run failed: %s", err) // want "use %w so errors.Is/As still match"
+}
+
+func flattenCustomType(e rankErr) error {
+	return fmt.Errorf("slave: %v", e) // want "use %w so errors.Is/As still match"
+}
+
+func stringified(err error) error {
+	return fmt.Errorf("run failed: %s", err.Error()) // want "flattens the chain"
+}
+
+func mixed(id string, cause error) error {
+	return fmt.Errorf("%w: session %s: %v", errSentinel, id, cause) // want "use %w so errors.Is/As still match"
+}
+
+// Conforming: %w preserves the chain.
+func wrapped(err error) error {
+	return fmt.Errorf("run failed: %w", err)
+}
+
+// Conforming: Go 1.20+ allows multiple %w verbs in one format.
+func doubleWrapped(id string, cause error) error {
+	return fmt.Errorf("%w: session %s: %w", errSentinel, id, cause)
+}
+
+// Conforming: %v and %s on non-error values are fine.
+func nonErrorVerbs(rank int, phase string) error {
+	return fmt.Errorf("rank %d stalled in %s (after %v retries)", rank, phase, rank)
+}
+
+// Conforming via directive: a deliberately terminal message where the
+// chain must not leak internal sentinels to clients.
+func allowedFlatten(err error) error {
+	//pacelint:allow errwrap terminal client-facing message; the chain must not leak sentinels
+	return fmt.Errorf("request rejected: %v", err)
+}

@@ -86,3 +86,52 @@ func allowed(c *mp.Comm) {
 	//pacelint:allow sendowned send is the last touch on this code path in real mode
 	buf[0] = 1
 }
+
+// --- v2: call-graph-aware handoffs through forwarding helpers ---
+
+// ship forwards its buffer to SendOwned: its third parameter is a sink,
+// so calling ship transfers ownership exactly like the direct call.
+func ship(c *mp.Comm, to int, buf []byte) error {
+	return c.SendOwned(to, tagWork, buf)
+}
+
+// shipTwice forwards through ship; the sink fact is transitive.
+func shipTwice(c *mp.Comm, to int, buf []byte) error {
+	return ship(c, to, buf)
+}
+
+func useAfterHelper(c *mp.Comm) {
+	buf := make([]byte, 8)
+	ship(c, 1, buf)
+	buf[0] = 1 // want "used after being passed to ship"
+}
+
+func useAfterTransitiveHelper(c *mp.Comm) byte {
+	buf := make([]byte, 8)
+	shipTwice(c, 1, buf)
+	return buf[0] // want "used after being passed to shipTwice"
+}
+
+func helperThenEscape(c *mp.Comm) {
+	buf := make([]byte, 8)
+	global = buf // want "stored beyond this function"
+	ship(c, 1, buf)
+}
+
+// Conforming: a helper that only reads the buffer is not a handoff.
+func inspect(buf []byte) int { return len(buf) }
+
+func useAfterInspect(c *mp.Comm) {
+	buf := make([]byte, 8)
+	_ = inspect(buf)
+	buf[0] = 1
+	c.Send(1, tagWork, buf)
+}
+
+// Conforming: reassignment between helper handoffs ends the obligation.
+func helperThenReuse(c *mp.Comm) {
+	buf := make([]byte, 8)
+	ship(c, 1, buf)
+	buf = make([]byte, 8)
+	ship(c, 2, buf)
+}

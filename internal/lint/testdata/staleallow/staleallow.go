@@ -1,0 +1,23 @@
+// Fixtures for the strict-mode stale-allow check: a directive must
+// suppress something real, and must name a real analyzer. Run with
+// WalltimeScope pointed at this package; wants are asserted directly by
+// the engine test (this fixture is not run through linttest wants).
+package staleallow
+
+import "time"
+
+// Used: suppresses a genuine walltime finding; not stale.
+func now() time.Time {
+	//pacelint:allow walltime fixture exercises a used directive
+	return time.Now()
+}
+
+// Stale: nothing on the covered lines violates walltime.
+//
+//pacelint:allow walltime nothing here reads the clock
+func quiet() int { return 1 }
+
+// Unknown analyzer name (typo): flagged regardless of usage.
+//
+//pacelint:allow walltyme typo in the analyzer name
+func typo() int { return 2 }

@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"pace/internal/testutil"
 )
 
 // simTestConfig: deterministic simulation (no measured compute).
@@ -27,6 +29,7 @@ func bothModes(t *testing.T, p int, name string, body func(c *Comm) error) {
 			mode = "sim"
 		}
 		t.Run(fmt.Sprintf("%s/%s", name, mode), func(t *testing.T) {
+			testutil.CheckGoroutines(t)
 			if err := Run(cfg, body); err != nil {
 				t.Fatal(err)
 			}

@@ -26,11 +26,13 @@ type simTransport struct {
 	mu  sync.Mutex
 
 	ranks   []*simRank
-	running int // rank currently computing, or -1
-	dead    error
+	running int   // rank currently computing, or -1; guarded by mu
+	dead    error // guarded by mu
 }
 
-// wakeAll releases every parked rank (machine-wide death). Caller holds mu.
+// wakeAll releases every parked rank (machine-wide death).
+//
+// lockguard: caller holds t.mu
 func (t *simTransport) wakeAll() {
 	for _, rk := range t.ranks {
 		rk.cond.Signal()
@@ -105,6 +107,8 @@ func newSimTransport(cfg Config) *simTransport {
 }
 
 // stopClock charges the elapsed compute time of a currently-computing rank.
+//
+// lockguard: caller holds t.mu
 func (t *simTransport) stopClock(rk *simRank) {
 	if rk.phase == phaseComputing && t.cfg.MeasureCompute {
 		//pacelint:allow walltime MeasureCompute bridges real compute time into the virtual clock
@@ -129,7 +133,9 @@ func firstMatch(rk *simRank) (int, *simMsg) {
 // report, with the virtual time of the notification (no earlier than the
 // death, no earlier than the receiver's own clock). A specific dead source
 // is sticky; for AnySource each dead peer is reported once (earliest death
-// first), turning sticky when every peer is dead. Caller holds mu.
+// first), turning sticky when every peer is dead.
+//
+// lockguard: caller holds t.mu
 func (t *simTransport) failureCandidate(rk *simRank) (int, time.Duration, bool) {
 	if !rk.isRecv {
 		return 0, 0, false
@@ -182,6 +188,8 @@ func (t *simTransport) failureCandidate(rk *simRank) (int, time.Duration, bool) 
 // virtual deadline (at which it will report a timeout). A matching message
 // takes precedence over a peer-failure notification; a receive with neither
 // becomes eligible at the failure-notification time.
+//
+// lockguard: caller holds t.mu
 func (t *simTransport) keyOf(rk *simRank) (time.Duration, bool) {
 	if !rk.isRecv {
 		return rk.clock, true
@@ -209,7 +217,9 @@ func (t *simTransport) keyOf(rk *simRank) (time.Duration, bool) {
 }
 
 // schedule releases the eligible parked rank with the minimum timestamp.
-// Caller holds mu. A no-op while some rank is computing.
+// A no-op while some rank is computing.
+//
+// lockguard: caller holds t.mu
 func (t *simTransport) schedule() {
 	if t.running != -1 || t.dead != nil {
 		return
@@ -249,14 +259,16 @@ func (t *simTransport) schedule() {
 }
 
 // enter parks rank r in the arena with the given operation descriptor and
-// blocks until the scheduler releases it. On return the caller holds mu and
-// may execute its operation. timeout > 0 arms a virtual-time deadline on a
-// receive.
+// blocks until the scheduler releases it. On a nil return the caller holds
+// mu and may execute its operation (an error return leaves mu released).
+// timeout > 0 arms a virtual-time deadline on a receive.
+//
+// lockguard: acquires t.mu
 func (t *simTransport) enter(r int, isRecv bool, from, tag int, timeout time.Duration) error {
 	t.mu.Lock()
-	if t.dead != nil {
+	if dead := t.dead; dead != nil {
 		t.mu.Unlock()
-		return t.dead
+		return dead
 	}
 	rk := t.ranks[r]
 	t.stopClock(rk)
@@ -276,14 +288,16 @@ func (t *simTransport) enter(r int, isRecv bool, from, tag int, timeout time.Dur
 	for !rk.chosen && t.dead == nil {
 		rk.cond.Wait()
 	}
-	if t.dead != nil {
+	if dead := t.dead; dead != nil {
 		t.mu.Unlock()
-		return t.dead
+		return dead
 	}
 	return nil
 }
 
-// leave resumes compute for rank r after its operation; releases mu.
+// leave resumes compute for rank r after its operation.
+//
+// lockguard: releases t.mu
 func (t *simTransport) leave(r int) {
 	rk := t.ranks[r]
 	rk.phase = phaseComputing
@@ -308,9 +322,9 @@ func (t *simTransport) begin(r int) error {
 	for !rk.chosen && t.dead == nil {
 		rk.cond.Wait()
 	}
-	if t.dead != nil {
+	if dead := t.dead; dead != nil {
 		t.mu.Unlock()
-		return t.dead
+		return dead
 	}
 	t.leave(r)
 	return nil

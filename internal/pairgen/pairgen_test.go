@@ -534,7 +534,7 @@ func TestDiscardedStaleCounted(t *testing.T) {
 	set := mustSet(t,
 		"AAAA"+core+"TTTT",
 		"CCCC"+core+"GGGG")
-	fresh := []seq.Sequence{mustParseSeq(t, "AAAA" + core + "TTAA")}
+	fresh := []seq.Sequence{mustParseSeq(t, "AAAA"+core+"TTAA")}
 	gen, err := set.Append(fresh)
 	if err != nil {
 		t.Fatal(err)

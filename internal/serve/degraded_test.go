@@ -69,6 +69,11 @@ func TestManagerDegradedModeHeals(t *testing.T) {
 	}
 	if _, err := mgr.Add(ctx, "s", batches[2]); !errors.Is(err, ErrDegraded) {
 		t.Fatalf("ingest into degraded session: got %v, want ErrDegraded", err)
+	} else if !errors.Is(err, errDiskDown) {
+		// Regression: the refusal on an already-degraded session must wrap
+		// the stored cause with %w, not flatten it with %v, so callers can
+		// still match the original disk error.
+		t.Fatalf("degraded refusal lost the stored cause: %v", err)
 	}
 	if n := mgr.DegradedCount(); n != 1 {
 		t.Fatalf("DegradedCount = %d, want 1", n)

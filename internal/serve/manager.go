@@ -512,7 +512,7 @@ func (m *Manager) Add(ctx context.Context, id string, recs []pace.Record) (*Batc
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
 	if s.degraded {
-		return nil, fmt.Errorf("%w: %s: %v", ErrDegraded, id, s.degradedCause)
+		return nil, fmt.Errorf("%w: %s: %w", ErrDegraded, id, s.degradedCause)
 	}
 	if max := m.cfg.MaxESTsPerSession; max > 0 && s.sess.NumESTs()+len(recs) > max {
 		return nil, fmt.Errorf("%w: %d + %d ESTs > limit %d", ErrTooLarge, s.sess.NumESTs(), len(recs), max)

@@ -12,6 +12,8 @@ import (
 	"time"
 
 	"pace"
+
+	"pace/internal/testutil"
 )
 
 func testOptions() pace.Options {
@@ -99,6 +101,7 @@ func fromScratchLabels(t *testing.T, batches [][]pace.Record, opt pace.Options) 
 // per-session serialization plus admission bounds make the whole thing
 // race-clean even though sessions share the manager, metrics and data dir.
 func TestManagerConcurrentSessions(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	const numSessions = 10
 	m, err := NewManager(Config{
 		Options:              testOptions(),
@@ -431,6 +434,49 @@ func TestManagerResumeDetectsMismatch(t *testing.T) {
 			t.Errorf("error %q does not explain the truncated store", err)
 		}
 	})
+
+	t.Run("parameter drift keeps the validation error in the chain", func(t *testing.T) {
+		cfg, _ := seed(t)
+		// Resume with different clustering parameters: the checkpoint's
+		// Validate rejects the drift. Regression: that validation error
+		// must be wrapped with %w — a distinct node in the unwrap chain —
+		// not flattened into text with %v.
+		cfg.Options.Window = cfg.Options.Window + 2
+		m, err := NewManager(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = m.ResumeAll()
+		if !errors.Is(err, ErrStateMismatch) {
+			t.Fatalf("got %v, want ErrStateMismatch", err)
+		}
+		if !chainHasNodeWithPrefix(err, "cluster: checkpoint parameters") {
+			t.Fatalf("validation error is not a node in the chain (flattened?): %v", err)
+		}
+	})
+}
+
+// chainHasNodeWithPrefix reports whether some error in err's unwrap tree has
+// a message starting with prefix — i.e. the error survives as its own node
+// rather than as flattened text inside a parent's message.
+func chainHasNodeWithPrefix(err error, prefix string) bool {
+	if err == nil {
+		return false
+	}
+	if strings.HasPrefix(err.Error(), prefix) {
+		return true
+	}
+	switch x := err.(type) {
+	case interface{ Unwrap() error }:
+		return chainHasNodeWithPrefix(x.Unwrap(), prefix)
+	case interface{ Unwrap() []error }:
+		for _, e := range x.Unwrap() {
+			if chainHasNodeWithPrefix(e, prefix) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // TestManagerQuotas covers the session quotas: server-wide, per-tenant and
@@ -488,6 +534,7 @@ func TestManagerQuotas(t *testing.T) {
 // TestManagerDrain proves Drain refuses new work, waits for in-flight
 // admissions, and persists every session.
 func TestManagerDrain(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	dir := t.TempDir()
 	cfg := Config{Options: testOptions(), DataDir: dir}
 	m, err := NewManager(cfg)

@@ -158,7 +158,7 @@ func LoadState(dir string, opt pace.Options) (*State, error) {
 			ErrStateMismatch, dir, ck.NumESTs, len(recs))
 	}
 	if err := ck.Validate(len(recs), opt.Window, opt.MinMatch); err != nil {
-		return nil, fmt.Errorf("serve: %w in %s: %v", ErrStateMismatch, dir, err)
+		return nil, fmt.Errorf("serve: %w in %s: %w", ErrStateMismatch, dir, err)
 	}
 	st := &State{Recs: recs, Labels: pace.ResumeLabels(ck)}
 	if data, err := os.ReadFile(filepath.Join(dir, MetaFile)); err == nil {

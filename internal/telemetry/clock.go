@@ -40,5 +40,5 @@ func (c wallClock) Elapsed() time.Duration {
 // two identical runs emit byte-identical reports.
 type FixedClock struct{ Stamp time.Time }
 
-func (c FixedClock) Now() time.Time        { return c.Stamp }
+func (c FixedClock) Now() time.Time         { return c.Stamp }
 func (c FixedClock) Elapsed() time.Duration { return 0 }

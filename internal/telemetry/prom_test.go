@@ -6,12 +6,15 @@ import (
 	"net/http"
 	"testing"
 	"time"
+
+	"pace/internal/testutil"
 )
 
 // TestServerErrSurfacesListenerDeath kills the listener out from under a
 // running server and asserts the serve-loop error reaches Err instead of
 // vanishing — the silent-listener-death bug.
 func TestServerErrSurfacesListenerDeath(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	srv, err := Serve("127.0.0.1:0", NewRegistry())
 	if err != nil {
 		t.Fatal(err)
@@ -33,6 +36,7 @@ func TestServerErrSurfacesListenerDeath(t *testing.T) {
 // closed-without-error Err channel, so daemons can select on it without
 // misreading their own drain as a failure.
 func TestServerErrClosesOnOrderlyShutdown(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	srv, err := Serve("127.0.0.1:0", NewRegistry())
 	if err != nil {
 		t.Fatal(err)
@@ -55,6 +59,7 @@ func TestServerErrClosesOnOrderlyShutdown(t *testing.T) {
 // TestServerShutdownServesInFlight asserts requests accepted before
 // Shutdown complete during the drain window.
 func TestServerShutdownServesInFlight(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	reg := NewRegistry()
 	reg.Counter("pace_test_total").Inc()
 	srv, err := Serve("127.0.0.1:0", reg)

@@ -1,0 +1,52 @@
+package testutil_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pace/internal/testutil"
+)
+
+// blockUntil parks a goroutine so the guard has something to catch; the
+// function name must show up in the reported stack.
+func blockUntil(release chan struct{}) {
+	<-release
+}
+
+func TestLeakedDetectsAndClears(t *testing.T) {
+	snap := testutil.Take()
+
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		blockUntil(release)
+	}()
+
+	leaked := snap.Leaked(50 * time.Millisecond)
+	if len(leaked) != 1 {
+		t.Fatalf("got %d leaked goroutines, want 1: %v", len(leaked), leaked)
+	}
+	if !strings.Contains(leaked[0], "blockUntil") {
+		t.Errorf("leaked stack does not name the blocked function:\n%s", leaked[0])
+	}
+
+	close(release)
+	<-done
+	if leaked := snap.Leaked(5 * time.Second); len(leaked) != 0 {
+		t.Errorf("goroutine still reported after exiting:\n%s", strings.Join(leaked, "\n\n"))
+	}
+}
+
+func TestLeakedIgnoresPreexisting(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	go blockUntil(release) // started before the snapshot
+
+	time.Sleep(10 * time.Millisecond)
+	snap := testutil.Take()
+	if leaked := snap.Leaked(50 * time.Millisecond); len(leaked) != 0 {
+		t.Errorf("pre-existing goroutine reported as a leak:\n%s", strings.Join(leaked, "\n\n"))
+	}
+}

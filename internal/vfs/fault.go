@@ -283,6 +283,5 @@ func (t *faultyFile) Sync() error {
 	if inject {
 		return injected("fsync "+t.Name(), syscall.EIO)
 	}
-	//pacelint:allow vfsonly delegating to the wrapped file is the seam itself
 	return t.File.Sync()
 }

@@ -57,19 +57,16 @@ type OS struct{}
 
 // CreateTemp implements FS.
 func (OS) CreateTemp(dir, pattern string) (File, error) {
-	//pacelint:allow vfsonly the OS implementation is the passthrough the seam bottoms out in
 	return os.CreateTemp(dir, pattern)
 }
 
 // WriteFile implements FS.
 func (OS) WriteFile(name string, data []byte, perm fs.FileMode) error {
-	//pacelint:allow vfsonly the OS implementation is the passthrough the seam bottoms out in
 	return os.WriteFile(name, data, perm)
 }
 
 // Rename implements FS.
 func (OS) Rename(oldpath, newpath string) error {
-	//pacelint:allow vfsonly the OS implementation is the passthrough the seam bottoms out in
 	return os.Rename(oldpath, newpath)
 }
 
@@ -87,7 +84,6 @@ func (OS) SyncDir(dir string) error {
 	if err != nil {
 		return nil
 	}
-	//pacelint:allow vfsonly the OS implementation is the passthrough the seam bottoms out in
 	_ = d.Sync()
 	return d.Close()
 }
